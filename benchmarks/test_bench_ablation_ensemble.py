@@ -1,0 +1,80 @@
+"""A3 — Ablation: NN voting-machine ensemble size.
+
+Fig. 4 step 1 proposes "multiple NNs ... trained on different subsets ...
+then vote in parallel"; step 4 derives confidence from the per-network mean
+errors.  The sweep trains ensembles of 1/3/5/9 members on the same measured
+data and reports accuracy and vote agreement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.ensemble import VotingEnsemble
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.mlp import MLP
+from repro.nn.trainer import Trainer
+
+SIZES = (1, 3, 5, 9)
+
+
+def build_dataset(session_learning):
+    _, _, learning = session_learning
+    inputs = learning.encoder.encode_batch(learning.tests)
+    targets = learning.coder.encode_batch(learning.trip_values)
+    labels = np.argmax(targets, axis=1)
+    rng = np.random.default_rng(43)
+    order = rng.permutation(len(inputs))
+    n_val = len(inputs) // 4
+    val, train = order[:n_val], order[n_val:]
+    return (
+        inputs[train], targets[train], labels[train],
+        inputs[val], targets[val], labels[val],
+        learning.encoder.input_dim, targets.shape[1],
+    )
+
+
+def train_ensemble(n_networks, data):
+    (train_x, train_y, _, val_x, val_y, _, input_dim, n_classes) = data
+    architecture = MLP([input_dim, 24, 12, n_classes], seed=43)
+    ensemble = VotingEnsemble(
+        architecture, n_networks=n_networks, subset_fraction=0.7, seed=43
+    )
+    trainer = Trainer(
+        CrossEntropyLoss(), learning_rate=0.08, momentum=0.9,
+        batch_size=24, max_epochs=80, patience=15, seed=43,
+    )
+    ensemble.fit(trainer, train_x, train_y, val_x, val_y)
+    return ensemble
+
+
+@pytest.mark.benchmark(group="ablation-ensemble")
+def test_ablation_voting_machine_size(benchmark, report_sink, session_learning):
+    data = build_dataset(session_learning)
+    val_x, val_labels = data[3], data[5]
+
+    ensembles = {}
+    for size in SIZES:
+        if size == 5:
+            ensembles[size] = benchmark.pedantic(
+                train_ensemble, args=(size, data), rounds=1, iterations=1
+            )
+        else:
+            ensembles[size] = train_ensemble(size, data)
+
+    report_sink("A3 — voting machine size sweep (same data):")
+    accuracies = {}
+    for size in SIZES:
+        ensemble = ensembles[size]
+        accuracy = ensemble.accuracy(val_x, val_labels)
+        agreement = float(np.mean(ensemble.vote_agreement(val_x)))
+        accuracies[size] = accuracy
+        report_sink(
+            f"  {size} network(s): val acc {accuracy:.3f}, "
+            f"mean vote agreement {agreement:.3f}"
+        )
+
+    # Shape: voting never hurts much and the recommended multi-network
+    # setting matches or beats the single network.
+    best_multi = max(accuracies[s] for s in SIZES if s > 1)
+    assert best_multi >= accuracies[1] - 0.02
+    assert all(acc > 0.6 for acc in accuracies.values())

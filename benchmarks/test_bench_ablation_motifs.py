@@ -1,0 +1,82 @@
+"""A5 — Ablation: motif mutations give the GA composable building blocks.
+
+The worst case of the simulated device is *block structured* (a hot
+full-toggle window plus same-address read-after-write bursts) — no uniform
+per-cycle mutation composes that efficiently.  The ablation runs the same
+GA budget with and without motif mutations and compares where the fitness
+lands.
+"""
+
+import pytest
+
+from benchmarks.conftest import RESOLUTION, SEARCH_RANGE, fresh_ate
+from repro.core.objectives import CharacterizationObjective
+from repro.core.trip_point import MultipleTripPointRunner
+from repro.device.parameters import T_DQ_PARAMETER
+from repro.ga.chromosome import TestIndividual
+from repro.ga.engine import GAConfig, MultiPopulationGA
+from repro.patterns.conditions import ConditionSpace, NOMINAL_CONDITION
+from repro.patterns.random_gen import RandomTestGenerator
+
+
+def run_ga(motif_prob, seed=53):
+    space = ConditionSpace()
+    config = GAConfig(
+        population_size=14,
+        n_populations=2,
+        max_generations=16,
+        motif_mutation_prob=motif_prob,
+        stagnation_patience=50,
+        stop_fitness=2.0,
+        evolve_conditions=False,
+    )
+    seeds = [
+        TestIndividual.from_test_case(
+            t.with_condition(NOMINAL_CONDITION), space
+        )
+        for t in RandomTestGenerator(seed=seed).batch(10)
+    ]
+    ate = fresh_ate(seed=seed)
+    runner = MultipleTripPointRunner(
+        ate, SEARCH_RANGE, strategy="sutp", resolution=RESOLUTION
+    )
+    objective = CharacterizationObjective.worst_case_for(T_DQ_PARAMETER)
+
+    def fitness(test):
+        entry = runner.measure_one(test)
+        return 0.0 if entry.value is None else objective.fitness(entry.value)
+
+    engine = MultiPopulationGA(config, space, fitness, seed=seed)
+    return engine.run(seeds)
+
+
+SEEDS = (53, 54, 55)
+
+
+@pytest.mark.benchmark(group="ablation-motifs")
+def test_ablation_motif_mutations(benchmark, report_sink):
+    with_motifs = [
+        benchmark.pedantic(run_ga, args=(0.35,), kwargs={"seed": SEEDS[0]},
+                           rounds=1, iterations=1)
+    ]
+    with_motifs.extend(run_ga(0.35, seed=s) for s in SEEDS[1:])
+    without_motifs = [run_ga(0.0, seed=s) for s in SEEDS]
+
+    report_sink("A5 — GA with vs without motif mutations "
+                f"(same budget, {len(SEEDS)} seeds):")
+    for seed, a, b in zip(SEEDS, with_motifs, without_motifs):
+        report_sink(
+            f"  seed {seed}: with {a.best.fitness:.3f}, "
+            f"without {b.best.fitness:.3f}"
+        )
+    mean_with = sum(r.best.fitness for r in with_motifs) / len(SEEDS)
+    mean_without = sum(r.best.fitness for r in without_motifs) / len(SEEDS)
+    report_sink(f"  mean: with {mean_with:.3f}, without {mean_without:.3f}")
+
+    # Shape: on average, motif mutations reach a materially worse case with
+    # the same measurement budget (splice crossover alone composes blocks
+    # occasionally, so individual seeds can tie — the mean gap is the claim).
+    assert mean_with > mean_without + 0.03
+    # And motifs never lose badly on any seed.
+    for a, b in zip(with_motifs, without_motifs):
+        assert a.best.fitness > b.best.fitness - 0.05

@@ -1,0 +1,65 @@
+"""A2 — Ablation: SUTP search-factor resolution sweep.
+
+SF is "a programmable variable such as 1MHz or 2MHz per step" (section 4).
+The sweep shows the cost/robustness trade: a tiny SF wastes steps walking,
+a huge SF overshoots and pays refinement; all settings land on the same
+boundaries.
+"""
+
+import pytest
+
+from benchmarks.conftest import RESOLUTION, SEARCH_RANGE, fresh_ate
+from repro.core.trip_point import MultipleTripPointRunner
+from repro.patterns.conditions import NOMINAL_CONDITION
+from repro.patterns.random_gen import RandomTestGenerator
+
+SF_VALUES = (0.1, 0.25, 0.5, 1.0, 2.0, 4.0)
+N_TESTS = 40
+
+
+def run_with_sf(search_factor):
+    tests = [
+        t.with_condition(NOMINAL_CONDITION)
+        for t in RandomTestGenerator(seed=41).batch(N_TESTS)
+    ]
+    ate = fresh_ate(seed=41)
+    runner = MultipleTripPointRunner(
+        ate,
+        SEARCH_RANGE,
+        strategy="sutp",
+        search_factor=search_factor,
+        resolution=RESOLUTION,
+    )
+    return runner.run(tests)
+
+
+@pytest.mark.benchmark(group="ablation-sf")
+def test_ablation_search_factor_sweep(benchmark, report_sink):
+    results = {}
+    for sf in SF_VALUES:
+        if sf == 0.5:
+            results[sf] = benchmark.pedantic(
+                run_with_sf, args=(sf,), rounds=1, iterations=1
+            )
+        else:
+            results[sf] = run_with_sf(sf)
+
+    report_sink(f"A2 — SUTP search factor sweep ({N_TESTS} tests):")
+    report_sink("  SF (ns)   total meas   per test   spread found (ns)")
+    for sf in SF_VALUES:
+        dsv = results[sf]
+        report_sink(
+            f"  {sf:7.2f}   {dsv.total_measurements:>10}   "
+            f"{dsv.total_measurements / N_TESTS:8.1f}   {dsv.spread():8.2f}"
+        )
+
+    # All SF settings find the same boundaries within tolerance.
+    reference = results[0.5].values()
+    for sf in SF_VALUES:
+        for a, b in zip(reference, results[sf].values()):
+            assert abs(a - b) < 0.5
+
+    # The cost curve is U-ish: the middle settings beat both extremes.
+    costs = {sf: results[sf].total_measurements for sf in SF_VALUES}
+    best_sf = min(costs, key=costs.get)
+    assert best_sf not in (SF_VALUES[0], SF_VALUES[-1])

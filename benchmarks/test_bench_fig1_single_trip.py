@@ -1,0 +1,84 @@
+"""F1 — Fig. 1: the single-trip-point concept (binary search example).
+
+Regenerates the figure's content: a binary-search trace over the
+characterization range for one pre-defined test — the sequence of probed
+values converging on the pass/fail boundary — plus the cost comparison of
+the three conventional ATE search methods described in section 1.
+"""
+
+import pytest
+
+from benchmarks.conftest import RESOLUTION, SEARCH_RANGE, fresh_ate
+from repro.patterns.conditions import NOMINAL_CONDITION
+from repro.patterns.march import compile_march, get_march_test
+from repro.patterns.testcase import TestCase
+from repro.search.binary import BinarySearch
+from repro.search.linear import LinearSearch
+from repro.search.oracles import make_ate_oracle
+from repro.search.successive import SuccessiveApproximation
+
+
+def march_case():
+    sequence = compile_march(get_march_test("march_c-"))
+    return TestCase(sequence, NOMINAL_CONDITION, name="march_c-")
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_binary_search_trace(benchmark, report_sink):
+    test = march_case()
+
+    def run():
+        ate = fresh_ate(seed=0)
+        searcher = BinarySearch(resolution=RESOLUTION)
+        return searcher.search(make_ate_oracle(ate, test), *SEARCH_RANGE)
+
+    outcome = benchmark(run)
+
+    report_sink("fig. 1 — binary search for trip point (march_c-):")
+    report_sink(f"  start point S1={SEARCH_RANGE[0]} ns, end point S2={SEARCH_RANGE[1]} ns")
+    for step, (value, passed) in enumerate(outcome.history, start=1):
+        state = "PASS" if passed else "FAIL"
+        report_sink(f"  step {step:>2}: strobe {value:7.3f} ns -> {state}")
+    report_sink(
+        f"  trip point: {outcome.trip_point:.3f} ns after "
+        f"{outcome.measurements} measurements"
+    )
+
+    assert outcome.found
+    # The trace alternates shrinking brackets: strictly decreasing spans.
+    assert outcome.measurements < 18
+    lo, hi = outcome.bracket
+    assert hi - lo <= RESOLUTION + 1e-9
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_conventional_method_costs(benchmark, report_sink):
+    """Section 1's comparison: linear / binary / successive approximation."""
+    test = march_case()
+
+    def run():
+        rows = []
+        for label, searcher in (
+            ("linear", LinearSearch(resolution=RESOLUTION)),
+            ("binary", BinarySearch(resolution=RESOLUTION)),
+            ("successive", SuccessiveApproximation(resolution=RESOLUTION)),
+        ):
+            ate = fresh_ate(seed=0)
+            outcome = searcher.search(make_ate_oracle(ate, test), *SEARCH_RANGE)
+            rows.append((label, outcome))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_sink("conventional search methods, same boundary:")
+    for label, outcome in rows:
+        report_sink(
+            f"  {label:<11} trip {outcome.trip_point:7.3f} ns  "
+            f"cost {outcome.measurements:>4} measurements"
+        )
+
+    by_name = {label: outcome for label, outcome in rows}
+    # All agree on the boundary...
+    trips = [o.trip_point for o in by_name.values()]
+    assert max(trips) - min(trips) <= 3 * RESOLUTION
+    # ...but linear at fine resolution is far more expensive than binary.
+    assert by_name["linear"].measurements > 10 * by_name["binary"].measurements

@@ -1,0 +1,67 @@
+"""F2 — Fig. 2: the multiple-trip-point concept.
+
+Regenerates the figure's content: per-test trip points over a set of
+non-deterministic random tests (eq. 1's DSV), the worst-case trip-point
+variation they span, and the contrast with the single march trip point.
+"""
+
+import pytest
+
+from benchmarks.conftest import RESOLUTION, SEARCH_RANGE, fresh_ate
+from repro.analysis.statistics import ascii_histogram, summarize
+from repro.core.trip_point import MultipleTripPointRunner
+from repro.patterns.conditions import NOMINAL_CONDITION
+from repro.patterns.march import compile_march, get_march_test
+from repro.patterns.random_gen import RandomTestGenerator
+from repro.patterns.testcase import TestCase
+
+N_TESTS = 60
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_multiple_trip_points(benchmark, report_sink):
+    tests = [
+        t.with_condition(NOMINAL_CONDITION)
+        for t in RandomTestGenerator(seed=17).batch(N_TESTS)
+    ]
+
+    def run():
+        ate = fresh_ate(seed=17)
+        runner = MultipleTripPointRunner(
+            ate, SEARCH_RANGE, strategy="sutp", resolution=RESOLUTION
+        )
+        dsv = runner.run(tests)
+        march = TestCase(
+            compile_march(get_march_test("march_c-")),
+            NOMINAL_CONDITION,
+            name="march_c-",
+        )
+        march_entry = MultipleTripPointRunner(
+            ate, SEARCH_RANGE, strategy="full", resolution=RESOLUTION
+        ).measure_one(march)
+        return dsv, march_entry
+
+    dsv, march_entry = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report_sink(f"fig. 2 — {N_TESTS} random tests, one trip point each:")
+    for index, entry in enumerate(dsv):
+        report_sink(
+            f"  test {index:>3} ({entry.test.sequence.name:<18}) "
+            f"trip {entry.value:6.2f} ns"
+        )
+    stats = summarize(dsv.values())
+    report_sink()
+    report_sink(f"single march trip point: {march_entry.value:.2f} ns")
+    report_sink(f"DSV statistics: {stats.describe('ns')}")
+    report_sink(
+        f"worst case trip point variation (spread): {dsv.spread():.2f} ns"
+    )
+    report_sink()
+    report_sink(ascii_histogram(dsv.values(), bins=10, width=36, unit="ns"))
+
+    # Shape assertions: trip points are test dependent, the march value
+    # sits at the benign top of the distribution, and the spread is real.
+    assert dsv.found_count == N_TESTS
+    assert dsv.spread() > 1.5
+    assert march_entry.value > stats.p95 - 1.0
+    assert dsv.worst().value < stats.mean

@@ -1,0 +1,81 @@
+"""F3b — Fig. 3 with the paper's literal frequency numbers.
+
+Section 4 formulates SUTP on a frequency axis: "specified operating
+frequency of the device is 100MHz and the device will fail if operating
+frequency is further increased above 110MHz.  In order to have a generous
+starting range, we defined the starting frequency is S1=80MHz, and ending
+frequency is S2=130MHz.  So the characterization range is CR=50MHz ... SF
+... is a programmable variable such as 1MHz or 2MHz per step".
+
+This bench runs exactly that configuration against the simulated device's
+``f_max`` parameter.
+"""
+
+import pytest
+
+from repro.ate.measurement import MeasurementModel
+from repro.ate.tester import ATE
+from repro.core.trip_point import MultipleTripPointRunner
+from repro.device.memory_chip import MemoryTestChip
+from repro.device.parameters import F_MAX_PARAMETER
+from repro.patterns.conditions import NOMINAL_CONDITION
+from repro.patterns.random_gen import RandomTestGenerator
+
+S1_MHZ = 80.0
+S2_MHZ = 130.0
+SF_MHZ = 1.0
+N_TESTS = 40
+
+
+def run_campaign(strategy):
+    chip = MemoryTestChip(parameter=F_MAX_PARAMETER)
+    ate = ATE(chip, measurement=MeasurementModel(0.0, seed=47))
+    runner = MultipleTripPointRunner(
+        ate,
+        (S1_MHZ, S2_MHZ),
+        strategy=strategy,
+        search_factor=SF_MHZ,
+        resolution=0.25,
+    )
+    tests = [
+        t.with_condition(NOMINAL_CONDITION)
+        for t in RandomTestGenerator(seed=47).batch(N_TESTS)
+    ]
+    return runner.run(tests)
+
+
+@pytest.mark.benchmark(group="fig3-frequency")
+def test_fig3_frequency_axis(benchmark, report_sink):
+    full_dsv = run_campaign("full")
+    sutp_dsv = benchmark.pedantic(
+        run_campaign, args=("sutp",), rounds=1, iterations=1
+    )
+
+    report_sink("fig. 3 on the paper's frequency axis:")
+    report_sink(f"  S1={S1_MHZ:.0f} MHz, S2={S2_MHZ:.0f} MHz, "
+                f"CR={S2_MHZ - S1_MHZ:.0f} MHz, SF={SF_MHZ:.0f} MHz/step")
+    report_sink(
+        f"  spec P={F_MAX_PARAMETER.spec_limit:.0f} MHz (pass region), "
+        f"quiet-die fail point ~110 MHz"
+    )
+    report_sink(
+        f"  full-range: {full_dsv.total_measurements} measurements, "
+        f"SUTP: {sutp_dsv.total_measurements} measurements "
+        f"({1 - sutp_dsv.total_measurements / full_dsv.total_measurements:.0%}"
+        " saving)"
+    )
+    worst = sutp_dsv.worst()
+    report_sink(
+        f"  f_max over {N_TESTS} tests: worst {worst.value:.1f} MHz, "
+        f"mean {sutp_dsv.mean():.1f} MHz, spread {sutp_dsv.spread():.1f} MHz"
+    )
+
+    # The paper's frame: trip points sit between the 100 MHz spec and the
+    # ~110 MHz fail point, inside the generous 80-130 range.
+    for value in sutp_dsv.values():
+        assert S1_MHZ < value < S2_MHZ
+        assert 100.0 < value < 112.0
+    assert sutp_dsv.total_measurements < full_dsv.total_measurements
+    # SUTP and full searches agree on the boundaries.
+    for a, b in zip(full_dsv.values(), sutp_dsv.values()):
+        assert a == pytest.approx(b, abs=1.0)

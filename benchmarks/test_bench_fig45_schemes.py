@@ -1,0 +1,110 @@
+"""F4/F5 — Figs. 4/5: the learning and optimization schemes converge.
+
+Fig. 4's loop is judged by its learning/generalization errors shrinking to
+acceptance; fig. 5's by the GA fitness (WCR) series climbing from the NN
+seeds to the weakness region.  The bench prints both series.
+"""
+
+import pytest
+
+from benchmarks.conftest import RESOLUTION, SEARCH_RANGE
+from repro.core.learning import FuzzyNeuralTestGenerator
+from repro.core.objectives import CharacterizationObjective
+from repro.core.optimization import OptimizationConfig, OptimizationScheme
+from repro.core.trip_point import MultipleTripPointRunner
+from repro.device.parameters import T_DQ_PARAMETER
+from repro.ga.engine import GAConfig
+from repro.patterns.conditions import NOMINAL_CONDITION
+
+
+@pytest.mark.benchmark(group="fig45")
+def test_fig4_learning_scheme_convergence(
+    benchmark, report_sink, session_learning
+):
+    _, _, learning = session_learning
+
+    def inspect():
+        return learning
+
+    benchmark(inspect)
+
+    report_sink("fig. 4 — learning scheme:")
+    report_sink(
+        f"  rounds run: {learning.rounds_run}, measured tests: "
+        f"{len(learning.tests)}, ATE measurements: "
+        f"{learning.ate_measurements}"
+    )
+    for index, (ensemble_report, check) in enumerate(
+        zip(learning.ensemble_reports, learning.generalization_reports),
+        start=1,
+    ):
+        report_sink(
+            f"  round {index}: consistency {ensemble_report.consistency:.3f}, "
+            f"train err {check.train_error:.3f}, val err {check.val_error:.3f}, "
+            f"verdict {check.verdict.value}"
+        )
+    report_sink(
+        f"  final accuracy: train {learning.train_accuracy:.3f} / "
+        f"val {learning.val_accuracy:.3f}"
+    )
+
+    assert learning.accepted
+    assert learning.val_accuracy > 0.75
+    assert learning.generalization_reports[-1].generalization_gap < 0.20
+
+
+@pytest.mark.benchmark(group="fig45")
+def test_fig5_ga_fitness_series(benchmark, report_sink, session_learning):
+    ate, space, learning = session_learning
+    runner = MultipleTripPointRunner(
+        ate, SEARCH_RANGE, strategy="sutp", resolution=RESOLUTION
+    )
+    objective = CharacterizationObjective.worst_case_for(T_DQ_PARAMETER)
+    config = OptimizationConfig(
+        ga=GAConfig(population_size=16, n_populations=2, max_generations=22),
+        n_seeds=12,
+        seed_pool_size=200,
+        pin_condition=NOMINAL_CONDITION,
+        seed=21,
+    )
+
+    def run():
+        scheme = OptimizationScheme(runner, space, learning, objective, config)
+        return scheme.run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    ga = result.ga_result
+
+    # NN seed quality (fig. 5 step 1) for context.
+    nn_generator = FuzzyNeuralTestGenerator(
+        learning, space, seed=5, pin_condition=NOMINAL_CONDITION
+    )
+    seed_scores = [
+        objective.fitness(
+            ate.chip.true_parameter_value(t, account_heating=False)
+        )
+        for t in nn_generator.propose(12, 200)
+    ]
+
+    report_sink("fig. 5 — GA optimization (fitness = WCR via SUTP):")
+    report_sink(
+        f"  NN seed WCR: best {max(seed_scores):.3f}, "
+        f"mean {sum(seed_scores) / len(seed_scores):.3f}"
+    )
+    for generation, fitness in enumerate(ga.fitness_history, start=1):
+        report_sink(f"  gen {generation:>3}: WCR {fitness:.3f} "
+                    f"|{'#' * int(fitness * 50)}")
+    report_sink(
+        f"  evaluations {ga.evaluations}, restarts {ga.restarts}, "
+        f"ATE measurements {result.ate_measurements}"
+    )
+    report_sink(
+        f"  best: {result.best_value:.2f} ns (WCR {result.best_wcr:.3f})"
+    )
+
+    # Shape: monotone best-so-far series that improves on the seeds and
+    # reaches the weakness region at nominal conditions.
+    history = ga.fitness_history
+    assert all(b >= a - 1e-12 for a, b in zip(history, history[1:]))
+    assert history[-1] > max(seed_scores)
+    assert result.best_wcr > 0.8

@@ -1,0 +1,50 @@
+"""F6 — Fig. 6: the Worst-Case Ratio classification regions.
+
+Regenerates the figure: a WCR sweep mapped to pass / weakness / fail with
+the paper's boundaries at 0.8 and 1.0, plus the Table-1 values placed on
+the axis.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.wcr import WCRClass, WCRClassifier, worst_case_ratio
+from repro.device.parameters import T_DQ_PARAMETER
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_wcr_classification_axis(benchmark, report_sink):
+    classifier = WCRClassifier()
+    axis = np.round(np.arange(0.0, 1.21, 0.05), 3)
+
+    def classify_axis():
+        return [classifier.classify(float(w)) for w in axis]
+
+    regions = benchmark(classify_axis)
+
+    report_sink("fig. 6 — WCR classification (pass <= 0.8 < weakness <= 1 < fail):")
+    line = "".join(
+        {"pass": "p", "weakness": "w", "fail": "F"}[r.value] for r in regions
+    )
+    report_sink("  WCR 0.0" + " " * 24 + "0.8   1.0      1.2")
+    report_sink(f"      |{line}|")
+    for value, region in zip(axis, regions):
+        report_sink(f"  WCR {value:5.2f} -> {region.value}")
+
+    # The paper's boundaries, exactly.
+    assert classifier.classify(0.80) is WCRClass.PASS
+    assert classifier.classify(0.801) is WCRClass.WEAKNESS
+    assert classifier.classify(1.00) is WCRClass.WEAKNESS
+    assert classifier.classify(1.001) is WCRClass.FAIL
+
+    report_sink()
+    report_sink("Table-1 values on the fig. 6 axis:")
+    for name, t_dq in (("March", 32.3), ("Random", 28.5), ("NNGA", 22.1)):
+        wcr = worst_case_ratio(t_dq, T_DQ_PARAMETER)
+        report_sink(
+            f"  {name:<7} T_DQ {t_dq:5.1f} ns -> WCR {wcr:.3f} "
+            f"({classifier.classify(wcr).value})"
+        )
+    assert classifier.classify(
+        worst_case_ratio(22.1, T_DQ_PARAMETER)
+    ) is WCRClass.WEAKNESS

@@ -1,0 +1,63 @@
+"""F7 — Fig. 7: data-output-valid-time semantics.
+
+The figure defines ``T_DQ`` as the data valid window after an address
+change, with the arrow toward 0 ns: *smaller is worse* because "the
+processor will have to wait for a longer time to read the valid
+information".  The bench checks the simulated device implements exactly
+those semantics: a strobe inside the window passes, outside fails; worse
+patterns shrink the window; the spec minimum is 20 ns.
+"""
+
+import pytest
+
+from benchmarks.conftest import fresh_ate
+from repro.device.parameters import T_DQ_PARAMETER
+from repro.patterns.conditions import NOMINAL_CONDITION
+from repro.patterns.march import compile_march, get_march_test
+from repro.patterns.random_gen import RandomTestGenerator
+from repro.patterns.testcase import TestCase
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_valid_window_semantics(benchmark, report_sink):
+    ate = fresh_ate(seed=0)
+    march = TestCase(
+        compile_march(get_march_test("march_c-")),
+        NOMINAL_CONDITION,
+        name="march_c-",
+    )
+    window = ate.chip.true_parameter_value(march, account_heating=False)
+
+    def probe_edges():
+        inside = ate.apply(march, window - 0.5)
+        outside = ate.apply(march, window + 0.5)
+        return inside, outside
+
+    inside, outside = benchmark(probe_edges)
+
+    report_sink("fig. 7 — data output valid time semantics (march_c-):")
+    report_sink(f"  spec: T_DQ >= {T_DQ_PARAMETER.spec_limit:.0f} ns (min is worst)")
+    report_sink(f"  valid window under march_c-: {window:.2f} ns")
+    report_sink(f"  strobe at window - 0.5 ns: {'valid data' if inside else 'NOT VALID'}")
+    report_sink(f"  strobe at window + 0.5 ns: {'valid data' if outside else 'NOT VALID'}")
+
+    assert inside and not outside
+    assert T_DQ_PARAMETER.meets_spec(window)
+
+    # Smaller T_DQ = worse: the busiest pattern shrinks the window, and the
+    # processor-facing margin shrinks with it.
+    report_sink()
+    report_sink("  window vs pattern activity (smaller T_DQ = worse):")
+    generator = RandomTestGenerator(seed=5)
+    windows = []
+    for style in ("sweep", "uniform", "toggle"):
+        test = generator.generate(style=style).with_condition(NOMINAL_CONDITION)
+        value = ate.chip.true_parameter_value(test, account_heating=False)
+        windows.append((style, value))
+        margin = value - T_DQ_PARAMETER.spec_limit
+        report_sink(
+            f"    {style:<8} T_DQ {value:6.2f} ns  "
+            f"(processor margin {margin:5.2f} ns)"
+        )
+    values = [v for _, v in windows]
+    assert values[0] > values[-1]  # benign sweep > aggressive toggle

@@ -1,0 +1,56 @@
+"""F8 — Fig. 8: the overlaid worst-case shmoo plot (Vdd × T_DQ).
+
+The paper overlays 1000 tests in a single shmoo so the test-dependence of
+the trip point becomes visible.  The bench overlays a configurable number
+(default 80; set ``REPRO_SHMOO_TESTS=1000`` for the full-size plot),
+renders the ASCII shmoo, and asserts the figure's qualitative content:
+a visible boundary spread at every Vdd, wider pass region at higher Vdd.
+"""
+
+import os
+
+import pytest
+
+from benchmarks.conftest import fresh_characterizer
+from repro.patterns.conditions import NOMINAL_CONDITION
+from repro.patterns.random_gen import RandomTestGenerator
+
+N_TESTS = int(os.environ.get("REPRO_SHMOO_TESTS", "80"))
+VDD_AXIS = (1.45, 1.55, 1.65, 1.75, 1.8, 1.9, 2.0, 2.1)
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_overlaid_shmoo(benchmark, report_sink):
+    tests = [
+        t.with_condition(NOMINAL_CONDITION)
+        for t in RandomTestGenerator(seed=31).batch(N_TESTS)
+    ]
+
+    def run():
+        characterizer = fresh_characterizer(seed=31)
+        plot = characterizer.shmoo_overlay(
+            tests, vdd_values=VDD_AXIS, strobe_step=0.5
+        )
+        return plot, characterizer.ate.measurement_count
+
+    plot, measurements = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report_sink(f"fig. 8 — {N_TESTS} tests overlapping in a single shmoo plot:")
+    report_sink(plot.render())
+    report_sink()
+    report_sink("trip point spread per Vdd row:")
+    for vdd in VDD_AXIS:
+        report_sink(f"  Vdd {vdd:4.2f} V: {plot.boundary_spread_ns(vdd):5.2f} ns")
+    report_sink(f"total ATE measurements for the overlay: {measurements}")
+
+    # Qualitative content of the figure:
+    # 1. T_DQ is test dependent — visible spread at the nominal row.
+    assert plot.boundary_spread_ns(1.8) > 1.5
+    # 2. The pass region widens with Vdd (classic shmoo shape).
+    low_row = plot.counts[0].sum()
+    high_row = plot.counts[-1].sum()
+    assert high_row > low_row
+    # 3. Every test tripped somewhere inside the plotted range at nominal.
+    nominal_index = VDD_AXIS.index(1.8)
+    for _, bounds in plot.boundaries:
+        assert bounds[nominal_index] is not None

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Lot characterization, environmental sweeps and fuzzy triage.
+
+The wider engineering workflow around the paper's method:
+
+1. characterize a Monte-Carlo lot of dies with one random test set and
+   find the worst die / corner;
+2. sweep the worst test over every (Vdd, temperature) combination — the
+   classic characterization matrix of section 1;
+3. triage the measured tests with the fuzzy risk assessor ("if A and B
+   and C, then D is quite close to the limit");
+4. mine the raw datalog to reconstruct trip points post-hoc.
+
+Usage::
+
+    python examples/lot_characterization.py
+"""
+
+from repro.analysis.datalog_tools import estimate_trip_points, measurements_per_test
+from repro.analysis.fuzzy_assessment import WorstCaseAssessor
+from repro.ate.measurement import MeasurementModel
+from repro.ate.tester import ATE
+from repro.core.lot import EnvironmentalSweep, LotCharacterizer
+from repro.device.memory_chip import MemoryTestChip
+from repro.device.parameters import T_DQ_PARAMETER
+from repro.patterns.conditions import NOMINAL_CONDITION
+from repro.patterns.random_gen import RandomTestGenerator
+
+
+def main() -> None:
+    tests = [
+        t.with_condition(NOMINAL_CONDITION)
+        for t in RandomTestGenerator(seed=8).batch(12)
+    ]
+
+    # 1. Lot characterization.
+    print("== lot characterization (12 tests x 10 dies) ==")
+    lot = LotCharacterizer(search_range=(15.0, 45.0), seed=8)
+    report = lot.run(tests, n_dies=10)
+    print(report.describe())
+
+    # 2. Environmental sweep on a fresh nominal die, using the test that
+    #    provoked the lot worst case.
+    worst_name = report.worst_die().worst_test_name
+    worst_test = next(t for t in tests if t.name == worst_name)
+    print()
+    print(f"== environmental sweep of {worst_name!r} ==")
+    chip = MemoryTestChip()
+    ate = ATE(chip, measurement=MeasurementModel(0.0, seed=8))
+    sweep = EnvironmentalSweep(ate, (15.0, 45.0))
+    result = sweep.sweep(
+        worst_test,
+        vdd_values=[1.5, 1.65, 1.8, 1.95, 2.1],
+        temperature_values=[-40.0, 25.0, 85.0, 125.0],
+    )
+    print(result.render())
+    i, j, value = result.worst_cell()
+    print(
+        f"worst cell: Vdd {result.vdd_values[i]:.2f} V, "
+        f"{result.temperature_values[j]:.0f} C -> {value:.2f} ns "
+        f"({result.measurements} measurements for the whole matrix)"
+    )
+
+    # 3. Fuzzy triage of the test set at nominal.
+    print()
+    print("== fuzzy risk triage (nominal die, nominal conditions) ==")
+    assessor = WorstCaseAssessor(T_DQ_PARAMETER)
+    triage = []
+    for test in tests:
+        measured = chip.true_parameter_value(test, account_heating=False)
+        triage.append((test.name, assessor.assess(test, measured)))
+    for name, verdict in sorted(
+        triage, key=lambda kv: kv[1].risk_score, reverse=True
+    ):
+        print(f"  {name:<20} {verdict.describe()}")
+
+    # 4. Post-hoc datalog mining of the sweep session.
+    print()
+    print("== datalog mining (the sweep's raw log) ==")
+    estimates = estimate_trip_points(ate.datalog)
+    costs = measurements_per_test(ate.datalog)
+    for name, estimate in estimates.items():
+        if estimate.found:
+            print(
+                f"  {name:<20} reconstructed trip {estimate.trip_point:6.2f} ns "
+                f"from {costs[name]} logged measurements "
+                f"({estimate.ambiguous_levels} noisy levels)"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Production screening vs characterization: why worst-case tests matter.
+
+Demonstrates the paper's motivating scenario end to end:
+
+1. a production binning policy (single strobe at the guard-banded spec)
+   screens a lot of simulated dies with a march test — faulty dies bin out,
+   healthy dies bin PASS;
+2. the CI-discovered worst-case pattern *also* bins PASS on a healthy die
+   (its trip point sits above the production strobe) while its WCR is deep
+   in the fig. 6 weakness region — a latent application risk no production
+   insertion would flag.
+
+Usage::
+
+    python examples/production_escape.py
+"""
+
+from repro.ate.binning import Bin, production_binning
+from repro.ate.measurement import MeasurementModel
+from repro.ate.tester import ATE
+from repro.core.wcr import WCRClassifier, worst_case_ratio
+from repro.device.faults import CouplingFault, StuckAtFault, TransitionFault
+from repro.device.memory_chip import MemoryTestChip
+from repro.device.parameters import T_DQ_PARAMETER
+from repro.device.process import ProcessModel
+from repro.patterns.conditions import NOMINAL_CONDITION
+from repro.patterns.march import compile_march, get_march_test
+from repro.patterns.testcase import TestCase
+from repro.patterns.vectors import Operation, TestVector, VectorSequence
+
+
+def march_screen_demo() -> None:
+    print("== production screen over a simulated lot ==")
+    policy = production_binning(T_DQ_PARAMETER.spec_limit, guard_band_ns=0.5)
+    sequence = compile_march(get_march_test("march_c-"), addresses=range(64))
+    screen = TestCase(sequence, NOMINAL_CONDITION, name="march_c-")
+
+    lots = [
+        ("healthy", ()),
+        ("stuck-at", (StuckAtFault(word=7, bit=3, stuck_value=1),)),
+        ("transition", (TransitionFault(word=12, bit=0, rising=True),)),
+        (
+            "coupling",
+            (
+                CouplingFault(
+                    aggressor_word=5, aggressor_bit=1,
+                    victim_word=6, victim_bit=1, invert_victim=True,
+                ),
+            ),
+        ),
+    ]
+    process = ProcessModel(seed=4)
+    for label, faults in lots:
+        die = process.sample()
+        chip = MemoryTestChip(die=die, faults=list(faults))
+        ate = ATE(chip, measurement=MeasurementModel(0.0, seed=0))
+        assigned, applied = policy.bin_device(ate, [screen])
+        print(
+            f"  {label:<10} die -> bin {assigned.value} ({assigned.name}), "
+            f"{applied} test(s) applied"
+        )
+
+
+def crafted_worst_case() -> VectorSequence:
+    """The block-structured weakness pattern the NN+GA flow discovers."""
+    vectors = []
+    word, addr = 0, 0
+    for _ in range(120):
+        word ^= 0xFF
+        addr ^= 0x3FF
+        vectors.append(TestVector(Operation.WRITE, addr, word))
+    while len(vectors) < 600:
+        word ^= 0xFF
+        addr ^= 0x200
+        vectors.append(TestVector(Operation.WRITE, addr, word))
+        vectors.append(TestVector(Operation.READ, addr, 0))
+    return VectorSequence(vectors, name="worst_case_pattern")
+
+
+def escape_demo() -> None:
+    print()
+    print("== the escape: weakness pattern on a healthy die ==")
+    chip = MemoryTestChip()
+    ate = ATE(chip, measurement=MeasurementModel(0.0, seed=0))
+    policy = production_binning(T_DQ_PARAMETER.spec_limit, guard_band_ns=0.5)
+    classifier = WCRClassifier()
+
+    worst = TestCase(crafted_worst_case(), NOMINAL_CONDITION, name="worst")
+    assigned, _ = policy.bin_device(ate, [worst])
+    true_t_dq = chip.true_parameter_value(worst, account_heating=False)
+    wcr = worst_case_ratio(true_t_dq, T_DQ_PARAMETER)
+
+    print(f"  production bin at strobe {policy.production_strobe_ns:.1f} ns: "
+          f"{assigned.name}")
+    print(f"  true T_DQ under this pattern: {true_t_dq:.2f} ns")
+    print(f"  WCR {wcr:.3f} -> fig. 6 class: {classifier.classify(wcr).value}")
+    print()
+    print(
+        "  The device ships (bin 1) although this pattern leaves only "
+        f"{true_t_dq - T_DQ_PARAMETER.spec_limit:.1f} ns of margin — the "
+        "weakness only characterization with worst-case tests can expose."
+    )
+
+
+def closed_loop_demo() -> None:
+    """Generate a production program that closes the escape."""
+    from repro.core.database import WorstCaseDatabase, WorstCaseRecord
+    from repro.core.production import build_production_program
+    from repro.core.wcr import WCRClassifier
+    from repro.device.process import ProcessInstance
+
+    print()
+    print("== closing the loop: characterization -> production program ==")
+    worst_test = TestCase(
+        crafted_worst_case(), NOMINAL_CONDITION, name="wc_pattern"
+    )
+    reference_chip = MemoryTestChip()
+    measured = reference_chip.true_parameter_value(
+        worst_test, account_heating=False
+    )
+    wcr = worst_case_ratio(measured, T_DQ_PARAMETER)
+    database = WorstCaseDatabase()
+    database.add(
+        WorstCaseRecord(
+            test=worst_test,
+            measured_value=measured,
+            wcr=wcr,
+            wcr_class=WCRClassifier().classify(wcr),
+            technique="nn+ga",
+        )
+    )
+    program = build_production_program(
+        database, T_DQ_PARAMETER, guard_band=0.5
+    )
+    print(program.to_text())
+
+    # A marginal (slow) die: the march-only screen ships it; the program
+    # with the worst-case step catches it.
+    slow_die = ProcessInstance(die_id=7, timing_offset_ns=-1.8)
+    result = program.run(
+        ATE(MemoryTestChip(die=slow_die), measurement=MeasurementModel(0.0))
+    )
+    print()
+    print(
+        f"marginal die under the CI-augmented program: "
+        f"{'SHIPS' if result.passed else 'CAUGHT'} "
+        f"(bin {result.assigned_bin}, failing step: {result.failing_step})"
+    )
+
+
+def main() -> None:
+    march_screen_demo()
+    escape_demo()
+    closed_loop_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Trip-point search economics: linear vs binary vs successive vs SUTP.
+
+Reproduces the section 1/section 4 story quantitatively on the simulated
+ATE: all methods find the same boundary, but at wildly different
+measurement cost — and across a multi-test characterization campaign the
+Search-Until-Trip-Point algorithm amortizes the cost to a few measurements
+per test.
+
+Usage::
+
+    python examples/search_comparison.py
+"""
+
+from repro.ate.measurement import MeasurementModel
+from repro.ate.tester import ATE
+from repro.core.trip_point import MultipleTripPointRunner
+from repro.device.memory_chip import MemoryTestChip
+from repro.patterns.conditions import NOMINAL_CONDITION
+from repro.patterns.march import compile_march, get_march_test
+from repro.patterns.random_gen import RandomTestGenerator
+from repro.patterns.testcase import TestCase
+from repro.search.binary import BinarySearch
+from repro.search.linear import LinearSearch
+from repro.search.oracles import make_ate_oracle
+from repro.search.successive import SuccessiveApproximation
+
+SEARCH_RANGE = (15.0, 45.0)
+RESOLUTION = 0.05
+
+
+def single_test_comparison() -> None:
+    print("== one test, four search methods (range 15-45 ns) ==")
+    methods = [
+        ("linear (0.05 ns steps)", LinearSearch(resolution=RESOLUTION)),
+        ("linear (0.5 ns steps)", LinearSearch(resolution=0.5)),
+        ("binary", BinarySearch(resolution=RESOLUTION)),
+        ("successive approx.", SuccessiveApproximation(resolution=RESOLUTION)),
+    ]
+    sequence = compile_march(get_march_test("march_c-"))
+    test = TestCase(sequence, NOMINAL_CONDITION, name="march_c-")
+    for label, searcher in methods:
+        chip = MemoryTestChip()
+        ate = ATE(chip, measurement=MeasurementModel(0.0, seed=0))
+        outcome = searcher.search(make_ate_oracle(ate, test), *SEARCH_RANGE)
+        trip = f"{outcome.trip_point:.2f} ns" if outcome.found else "not found"
+        print(f"  {label:<24} trip {trip:>10}  cost {outcome.measurements:>4}")
+
+
+def campaign_comparison(n_tests: int = 60) -> None:
+    print()
+    print(f"== {n_tests}-test campaign: full re-search vs SUTP ==")
+    generator = RandomTestGenerator(seed=9)
+    tests = [
+        t.with_condition(NOMINAL_CONDITION) for t in generator.batch(n_tests)
+    ]
+
+    results = {}
+    for strategy in ("full", "sutp"):
+        chip = MemoryTestChip()
+        ate = ATE(chip, measurement=MeasurementModel(0.0, seed=0))
+        runner = MultipleTripPointRunner(
+            ate, SEARCH_RANGE, strategy=strategy, resolution=RESOLUTION
+        )
+        dsv = runner.run(tests)
+        results[strategy] = dsv
+        print(
+            f"  {strategy:<5} strategy: {dsv.total_measurements:>6} "
+            f"measurements total "
+            f"({dsv.total_measurements / n_tests:5.1f} per test), "
+            f"worst {dsv.worst().value:.2f} ns, spread {dsv.spread():.2f} ns"
+        )
+
+    saving = 1.0 - (
+        results["sutp"].total_measurements
+        / results["full"].total_measurements
+    )
+    print(f"  SUTP measurement saving: {saving:.0%}")
+    drift = max(
+        abs(a - b)
+        for a, b in zip(results["full"].values(), results["sutp"].values())
+    )
+    print(f"  largest per-test disagreement between strategies: {drift:.2f} ns")
+
+
+def sutp_trace() -> None:
+    print()
+    print("== SUTP walk trace (fig. 3) ==")
+    from repro.core.sutp import SearchUntilTripPoint
+
+    chip = MemoryTestChip()
+    ate = ATE(chip, measurement=MeasurementModel(0.0, seed=0))
+    sutp = SearchUntilTripPoint(
+        SEARCH_RANGE, search_factor=0.5, resolution=RESOLUTION
+    )
+    generator = RandomTestGenerator(seed=2)
+    for index in range(6):
+        test = generator.generate().with_condition(NOMINAL_CONDITION)
+        result = sutp.measure(make_ate_oracle(ate, test))
+        kind = "full (eq. 2, RTP)" if result.used_full_search else (
+            f"incremental (eqs. 3/4, IT={result.iterations})"
+        )
+        print(
+            f"  test {index}: trip {result.trip_point:6.2f} ns  "
+            f"cost {result.measurements:>3}  via {kind}"
+        )
+
+
+def main() -> None:
+    single_test_comparison()
+    campaign_comparison()
+    sutp_trace()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Shmoo analysis: reproduce the fig. 8 overlay at engineering scale.
+
+Overlays many random tests in one Vdd × T_DQ shmoo, renders it as ASCII,
+and quantifies the worst-case trip-point variation per Vdd row — the
+paper's demonstration that "T_DQ is test dependent, as different tests
+trigger different trip point values in the shmoo plot".
+
+Also sweeps a single test exhaustively for comparison, and shows how the
+boundary moves across process corners.
+
+Usage::
+
+    python examples/shmoo_analysis.py [n_tests]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.ate.measurement import MeasurementModel
+from repro.ate.shmoo import ShmooPlotter
+from repro.ate.tester import ATE
+from repro.core.characterizer import DeviceCharacterizer
+from repro.device.memory_chip import MemoryTestChip
+from repro.device.process import ProcessCorner, ProcessModel
+from repro.patterns.conditions import NOMINAL_CONDITION
+from repro.patterns.random_gen import RandomTestGenerator
+
+
+def overlay_demo(n_tests: int) -> None:
+    characterizer = DeviceCharacterizer.with_default_setup(seed=3)
+    tests = [
+        t.with_condition(NOMINAL_CONDITION)
+        for t in RandomTestGenerator(seed=3).batch(n_tests)
+    ]
+    vdd_axis = [1.45, 1.55, 1.65, 1.75, 1.8, 1.9, 2.0, 2.1]
+    plot = characterizer.shmoo_overlay(tests, vdd_axis, strobe_step=0.5)
+
+    print(f"== fig. 8 overlay: {n_tests} tests, Vdd x T_DQ ==")
+    print(plot.render())
+    print()
+    print("trip-point spread (max - min across tests) per Vdd row:")
+    for vdd in vdd_axis:
+        spread = plot.boundary_spread_ns(vdd)
+        print(f"  Vdd {vdd:4.2f} V: spread {spread:5.2f} ns")
+    print()
+    print(
+        "measurements spent on the whole overlay: "
+        f"{characterizer.ate.measurement_count}"
+    )
+
+
+def corner_demo() -> None:
+    print()
+    print("== boundary movement across process corners (march_c-) ==")
+    process = ProcessModel(seed=1)
+    for corner in (ProcessCorner.FF, ProcessCorner.TT, ProcessCorner.SS):
+        die = process.sample(corner)
+        chip = MemoryTestChip(die=die)
+        ate = ATE(chip, measurement=MeasurementModel(0.0, seed=0))
+        characterizer = DeviceCharacterizer(ate, seed=1)
+        _, entry = characterizer.characterize_march("march_c-")
+        print(
+            f"  {corner.value.upper()} die: trip {entry.value:6.2f} ns "
+            f"({die})"
+        )
+
+
+def main() -> None:
+    n_tests = int(sys.argv[1]) if len(sys.argv) > 1 else 40
+    overlay_demo(n_tests)
+    corner_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Post-measurement analysis: statistics, drift analysis, fuzzy risk
+assessment, datalog mining and report rendering."""
+
+from repro.analysis.datalog_tools import (
+    estimate_trip_points,
+    measurements_per_test,
+    per_test_curves,
+    reconstruct_shmoo_counts,
+)
+from repro.analysis.drift import DriftAnalysis, TechniqueComparison
+from repro.analysis.fuzzy_assessment import Assessment, WorstCaseAssessor
+from repro.analysis.reporting import Table1Report, Table1Row, TextTable
+from repro.analysis.spec_setting import (
+    SpecProposal,
+    propose_spec,
+    violation_fraction,
+)
+from repro.analysis.statistics import SummaryStats, ascii_histogram, summarize
+
+__all__ = [
+    "estimate_trip_points",
+    "measurements_per_test",
+    "per_test_curves",
+    "reconstruct_shmoo_counts",
+    "DriftAnalysis",
+    "TechniqueComparison",
+    "Assessment",
+    "WorstCaseAssessor",
+    "Table1Report",
+    "Table1Row",
+    "TextTable",
+    "SpecProposal",
+    "propose_spec",
+    "violation_fraction",
+    "SummaryStats",
+    "ascii_histogram",
+    "summarize",
+]

@@ -1,0 +1,108 @@
+"""Design-parameter variation (drift) analysis.
+
+Turns a measured :class:`~repro.core.trip_point.DesignSpecificationValues`
+into the quantities the paper reasons about: the worst-case drift against
+the spec limit, the trip-point spread across tests, the WCR distribution
+over the fig. 6 regions, and side-by-side technique comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.statistics import SummaryStats, summarize
+from repro.core.trip_point import DesignSpecificationValues
+from repro.core.wcr import WCRClass, WCRClassifier, worst_case_ratio
+from repro.device.parameters import DeviceParameter
+
+
+@dataclass(frozen=True)
+class DriftAnalysis:
+    """Variation analysis of one DSV."""
+
+    parameter: DeviceParameter
+    stats: SummaryStats
+    worst_value: float
+    worst_test_name: str
+    worst_wcr: float
+    class_counts: Dict[WCRClass, int]
+    total_measurements: int
+
+    @classmethod
+    def from_dsv(
+        cls,
+        dsv: DesignSpecificationValues,
+        classifier: WCRClassifier = WCRClassifier(),
+    ) -> "DriftAnalysis":
+        """Analyze a measured DSV."""
+        values = dsv.values()
+        if not values:
+            raise ValueError("DSV contains no located trip points")
+        worst_entry = dsv.worst()
+        counts = {region: 0 for region in WCRClass}
+        for value in values:
+            counts[classifier.classify(worst_case_ratio(value, dsv.parameter))] += 1
+        return cls(
+            parameter=dsv.parameter,
+            stats=summarize(values),
+            worst_value=worst_entry.value,
+            worst_test_name=worst_entry.test.name,
+            worst_wcr=worst_case_ratio(worst_entry.value, dsv.parameter),
+            class_counts=counts,
+            total_measurements=dsv.total_measurements,
+        )
+
+    @property
+    def spec_margin(self) -> float:
+        """Signed margin of the worst value against the spec limit."""
+        return self.parameter.margin(self.worst_value)
+
+    def describe(self) -> str:
+        """Multi-line engineering summary."""
+        lines = [
+            f"parameter: {self.parameter}",
+            f"trip points: {self.stats.describe(self.parameter.unit)}",
+            (
+                f"worst case: {self.worst_value:.3f} {self.parameter.unit} "
+                f"(test {self.worst_test_name!r}, WCR {self.worst_wcr:.3f}, "
+                f"margin {self.spec_margin:+.3f} {self.parameter.unit})"
+            ),
+            (
+                "regions: "
+                + ", ".join(
+                    f"{region.value}={count}"
+                    for region, count in self.class_counts.items()
+                )
+            ),
+            f"measurements spent: {self.total_measurements}",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class TechniqueComparison:
+    """Worst case per technique, for Table-1 style conclusions."""
+
+    parameter: DeviceParameter
+    worst_by_technique: Dict[str, float]
+
+    def ranked(self) -> List[str]:
+        """Techniques ordered from most to least effective worst-case finder."""
+        return sorted(
+            self.worst_by_technique,
+            key=lambda name: worst_case_ratio(
+                self.worst_by_technique[name], self.parameter
+            ),
+            reverse=True,
+        )
+
+    def winner(self) -> str:
+        """The technique that found the worst case."""
+        if not self.worst_by_technique:
+            raise ValueError("no techniques to compare")
+        return self.ranked()[0]
+
+    def wcr_of(self, technique: str) -> float:
+        """WCR achieved by one technique."""
+        return worst_case_ratio(self.worst_by_technique[technique], self.parameter)

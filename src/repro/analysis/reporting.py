@@ -1,0 +1,120 @@
+"""Report rendering: aligned text tables and the Table-1 report.
+
+``TextTable`` is a tiny dependency-free table formatter (plain and
+markdown); :class:`Table1Report` reproduces the paper's Table 1 layout
+("Comparison of T_DQ with different approaches: Vdd 1.8V").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.device.parameters import DeviceParameter
+
+
+class TextTable:
+    """Minimal aligned-column table."""
+
+    def __init__(self, headers: Sequence[str]) -> None:
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row (cells are stringified)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(cell) for cell in cells])
+
+    def _widths(self) -> List[int]:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self) -> str:
+        """Plain aligned text."""
+        widths = self._widths()
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+        separator = "  ".join("-" * w for w in widths)
+        return "\n".join([line(self.headers), separator] + [line(r) for r in self.rows])
+
+    def render_markdown(self) -> str:
+        """GitHub-flavoured markdown."""
+        header = "| " + " | ".join(self.headers) + " |"
+        rule = "|" + "|".join("---" for _ in self.headers) + "|"
+        body = ["| " + " | ".join(row) + " |" for row in self.rows]
+        return "\n".join([header, rule] + body)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One technique's result (a row of the paper's Table 1)."""
+
+    test_name: str
+    technique: str
+    wcr: float
+    value: float
+    measurements: int = 0
+
+
+@dataclass
+class Table1Report:
+    """The paper's Table 1: worst case per technique at a fixed Vdd."""
+
+    parameter: DeviceParameter
+    vdd: float
+    rows: List[Table1Row] = field(default_factory=list)
+
+    def add(self, row: Table1Row) -> None:
+        """Append a technique row."""
+        self.rows.append(row)
+
+    def winner(self) -> Table1Row:
+        """Row with the largest WCR (the detected worst case)."""
+        if not self.rows:
+            raise ValueError("report has no rows")
+        return max(self.rows, key=lambda row: row.wcr)
+
+    def to_text(self) -> str:
+        """Render in the paper's Table-1 layout."""
+        table = TextTable(
+            [
+                "Test Name",
+                "Technique",
+                "WCR",
+                f"{self.parameter.name} ({self.parameter.unit})",
+                "ATE measurements",
+            ]
+        )
+        for row in self.rows:
+            table.add_row(
+                row.test_name,
+                row.technique,
+                f"{row.wcr:.3f}",
+                f"{row.value:.1f}",
+                row.measurements or "-",
+            )
+        title = (
+            f"Comparison of {self.parameter.name} with different approaches: "
+            f"Vdd {self.vdd:.1f}V"
+        )
+        return f"{title}\n{table.render()}"
+
+    def to_markdown(self) -> str:
+        """Markdown rendering (EXPERIMENTS.md)."""
+        table = TextTable(
+            ["Test Name", "Technique", "WCR",
+             f"{self.parameter.name} ({self.parameter.unit})"]
+        )
+        for row in self.rows:
+            table.add_row(
+                row.test_name, row.technique, f"{row.wcr:.3f}", f"{row.value:.1f}"
+            )
+        return table.render_markdown()

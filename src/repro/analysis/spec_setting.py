@@ -1,0 +1,132 @@
+"""Final device specification setting.
+
+Section 1: the characterization data "helps to define the final device
+specification at the end of the characterization phase".  Given the
+measured DSV (and optionally per-die lot worst cases), :func:`propose_spec`
+recommends a final spec limit with an explicit guard philosophy:
+
+* anchor on the worst observed case (which, after the CI flow, is the
+  *true* worst case rather than a benign pre-defined test's value);
+* subtract a statistical allowance for unobserved tail (``k_sigma`` times
+  the observed spread) and a fixed engineering guard band;
+* report the achievable limit, the margin against the design target, and
+  the fraction of observations that would violate a given candidate limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.statistics import summarize
+from repro.device.parameters import DeviceParameter, SpecDirection
+
+
+@dataclass(frozen=True)
+class SpecProposal:
+    """A recommended final specification limit."""
+
+    parameter: DeviceParameter
+    proposed_limit: float
+    anchor_value: float  # the worst observed case
+    statistical_allowance: float
+    guard_band: float
+    design_target_margin: float  # proposed vs. the design-phase spec
+    observations: int
+
+    @property
+    def tightens_design_spec(self) -> bool:
+        """True when the proposal is *stricter* than the design target.
+
+        For a min-limited parameter a larger limit is stricter (the device
+        is promised less headroom); for a max-limited one a smaller limit.
+        """
+        return self.design_target_margin < 0
+
+    def describe(self) -> str:
+        """Engineering summary of the proposal."""
+        direction = (
+            "min"
+            if self.parameter.direction is SpecDirection.MIN_IS_WORST
+            else "max"
+        )
+        lines = [
+            f"final spec proposal for {self.parameter.name} "
+            f"({direction}-limited, design target "
+            f"{self.parameter.spec_limit:g} {self.parameter.unit}):",
+            f"  worst observed case: {self.anchor_value:.3f} "
+            f"{self.parameter.unit} over {self.observations} observations",
+            f"  statistical allowance: {self.statistical_allowance:.3f}, "
+            f"guard band: {self.guard_band:.3f}",
+            f"  proposed limit: {self.proposed_limit:.3f} "
+            f"{self.parameter.unit} "
+            f"(margin to design target {self.design_target_margin:+.3f})",
+        ]
+        if self.tightens_design_spec:
+            lines.append(
+                "  NOTE: the observed worst case does not support the design"
+                " target at this guard policy — design weakness review"
+                " required."
+            )
+        return "\n".join(lines)
+
+
+def propose_spec(
+    parameter: DeviceParameter,
+    observed_values: Sequence[float],
+    k_sigma: float = 3.0,
+    guard_band: float = 0.0,
+) -> SpecProposal:
+    """Propose a final spec limit from characterization observations.
+
+    For a min-limited parameter the proposal is
+    ``worst_observed - k_sigma * std - guard_band`` (the device is promised
+    no more than what the worst case minus tail allowance supports); the
+    max-limited case mirrors it upward.
+    """
+    if k_sigma < 0 or guard_band < 0:
+        raise ValueError("k_sigma and guard_band must be non-negative")
+    values = np.asarray(list(observed_values), dtype=float)
+    if values.size < 2:
+        raise ValueError("need at least two observations to set a spec")
+    stats = summarize(values)
+    allowance = k_sigma * stats.std
+
+    if parameter.direction is SpecDirection.MIN_IS_WORST:
+        anchor = stats.minimum
+        proposed = anchor - allowance - guard_band
+        margin = proposed - parameter.spec_limit
+    else:
+        anchor = stats.maximum
+        proposed = anchor + allowance + guard_band
+        margin = parameter.spec_limit - proposed
+
+    return SpecProposal(
+        parameter=parameter,
+        proposed_limit=float(proposed),
+        anchor_value=float(anchor),
+        statistical_allowance=float(allowance),
+        guard_band=float(guard_band),
+        design_target_margin=float(margin),
+        observations=int(values.size),
+    )
+
+
+def violation_fraction(
+    parameter: DeviceParameter,
+    observed_values: Sequence[float],
+    candidate_limit: float,
+) -> float:
+    """Fraction of observations violating a candidate limit.
+
+    The what-if tool for spec negotiation: how much of the observed
+    distribution a tighter/looser limit would cut off.
+    """
+    values = np.asarray(list(observed_values), dtype=float)
+    if values.size == 0:
+        raise ValueError("no observations")
+    if parameter.direction is SpecDirection.MIN_IS_WORST:
+        return float(np.mean(values < candidate_limit))
+    return float(np.mean(values > candidate_limit))

@@ -1,0 +1,37 @@
+"""Industrial ATE simulator.
+
+Reproduces the observable interface of the testers in the paper's refs
+[1-7]: load a pattern, program a timing edge, apply the pattern at an
+operating point and read back a pass/fail decision — plus the engineering
+tools built on top (shmoo plots, datalogging, binning).
+
+Everything the characterization algorithms learn about the device flows
+through :class:`~repro.ate.tester.ATE.apply`, which adds realistic
+measurement noise and quantizes timing edges to the tester resolution, and
+charges every application to a measurement budget — the cost metric the
+paper's SUTP algorithm exists to minimize.
+"""
+
+from repro.ate.binning import Bin, BinningPolicy, production_binning
+from repro.ate.datalog import Datalog, DatalogRecord
+from repro.ate.measurement import MeasurementModel
+from repro.ate.pattern_memory import PatternMemory
+from repro.ate.shmoo import ShmooPlot, ShmooPlotter
+from repro.ate.test_time import TestTimeModel
+from repro.ate.tester import ATE
+from repro.ate.timing_generator import TimingGenerator
+
+__all__ = [
+    "Bin",
+    "BinningPolicy",
+    "production_binning",
+    "Datalog",
+    "DatalogRecord",
+    "MeasurementModel",
+    "PatternMemory",
+    "ShmooPlot",
+    "ShmooPlotter",
+    "ATE",
+    "TestTimeModel",
+    "TimingGenerator",
+]

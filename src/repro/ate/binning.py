@@ -1,0 +1,71 @@
+"""Device binning.
+
+Section 1 distinguishes production verification ("stops testing on first
+fail, bins the device and goes on to the next device") from engineering
+characterization.  The binning policy here provides that production face:
+a go/no-go functional screen plus a parametric guard-band check, mapping
+each device/test outcome to a hard bin.  It is also reused to sanity-check
+that worst-case tests found by the CI flow would indeed escape a
+conventional production screen (they pass bin-1 at the loose production
+strobe while violating the true spec margin).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.ate.tester import ATE
+from repro.patterns.testcase import TestCase
+
+
+class Bin(enum.IntEnum):
+    """Hard bins (1 is good, higher is worse, following test-floor custom)."""
+
+    PASS = 1
+    PARAMETRIC_FAIL = 2
+    FUNCTIONAL_FAIL = 3
+
+
+@dataclass(frozen=True)
+class BinningPolicy:
+    """Production screen: one strobe point, first-fail semantics.
+
+    Attributes
+    ----------
+    production_strobe_ns:
+        The single strobe at which production verifies the parameter —
+        typically the spec limit plus a guard band.
+    """
+
+    production_strobe_ns: float
+
+    def bin_device(self, ate: ATE, tests: Sequence[TestCase]) -> Tuple[Bin, int]:
+        """Screen a device with a test list, stopping on first fail.
+
+        Returns the assigned bin and the number of tests actually applied
+        (production "stops testing on first fail").
+        """
+        applied = 0
+        for test in tests:
+            applied += 1
+            functional = ate.functional_test(test)
+            if not functional.passed:
+                return Bin.FUNCTIONAL_FAIL, applied
+            if not ate.apply(test, self.production_strobe_ns):
+                return Bin.PARAMETRIC_FAIL, applied
+        return Bin.PASS, applied
+
+
+def production_binning(spec_limit_ns: float, guard_band_ns: float = 0.5) -> BinningPolicy:
+    """Standard policy: strobe at the spec limit minus a guard band.
+
+    For a min-limited parameter like ``T_DQ`` the production strobe sits
+    *below* the spec limit so that marginal devices still bin good — which
+    is precisely how single-point production screens miss test-dependent
+    worst cases (the paper's motivation).
+    """
+    if guard_band_ns < 0:
+        raise ValueError("guard band must be non-negative")
+    return BinningPolicy(production_strobe_ns=spec_limit_ns - guard_band_ns)

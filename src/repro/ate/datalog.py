@@ -1,0 +1,122 @@
+"""Characterization datalog.
+
+Records every measurement the tester performs — test name, operating point,
+programmed strobe, pass/fail — in application order.  The datalog is the raw
+material of the shmoo tool and of post-hoc analyses, and its length is the
+measurement-count metric SUTP minimizes.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class DatalogRecord:
+    """One measurement event."""
+
+    index: int
+    test_name: str
+    vdd: float
+    temperature: float
+    clock_period: float
+    strobe_ns: float
+    passed: bool
+
+    CSV_HEADER = "index,test_name,vdd,temperature,clock_period,strobe_ns,passed"
+
+    def to_csv_row(self) -> str:
+        """Comma-separated rendering matching :attr:`CSV_HEADER`."""
+        return (
+            f"{self.index},{self.test_name},{self.vdd:.4f},"
+            f"{self.temperature:.2f},{self.clock_period:.2f},"
+            f"{self.strobe_ns:.4f},{int(self.passed)}"
+        )
+
+
+class Datalog:
+    """Append-only measurement log with simple query helpers."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._records: List[DatalogRecord] = []
+        self.capacity = capacity
+
+    def append(self, record: DatalogRecord) -> None:
+        """Store one record; drops the oldest when over capacity."""
+        self._records.append(record)
+        if self.capacity is not None and len(self._records) > self.capacity:
+            del self._records[0]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[DatalogRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> DatalogRecord:
+        return self._records[index]
+
+    def filter(
+        self, predicate: Callable[[DatalogRecord], bool]
+    ) -> List[DatalogRecord]:
+        """All records satisfying ``predicate``, in order."""
+        return [record for record in self._records if predicate(record)]
+
+    def for_test(self, test_name: str) -> List[DatalogRecord]:
+        """All records of one test."""
+        return self.filter(lambda r: r.test_name == test_name)
+
+    def pass_count(self) -> int:
+        """Number of passing measurements."""
+        return sum(1 for r in self._records if r.passed)
+
+    def fail_count(self) -> int:
+        """Number of failing measurements."""
+        return len(self._records) - self.pass_count()
+
+    def to_csv(self) -> str:
+        """Full CSV dump (header + rows)."""
+        buffer = io.StringIO()
+        buffer.write(DatalogRecord.CSV_HEADER + "\n")
+        for record in self._records:
+            buffer.write(record.to_csv_row() + "\n")
+        return buffer.getvalue()
+
+    def clear(self) -> None:
+        """Discard all records."""
+        self._records.clear()
+
+    @classmethod
+    def from_csv(cls, text: str) -> "Datalog":
+        """Parse a :meth:`to_csv` dump back into a datalog.
+
+        Raises
+        ------
+        ValueError
+            On a missing/mismatched header or malformed row.
+        """
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines or lines[0] != DatalogRecord.CSV_HEADER:
+            raise ValueError("not a datalog CSV (header mismatch)")
+        log = cls()
+        for line_number, line in enumerate(lines[1:], start=2):
+            parts = line.split(",")
+            if len(parts) != 7:
+                raise ValueError(f"line {line_number}: expected 7 fields")
+            try:
+                log.append(
+                    DatalogRecord(
+                        index=int(parts[0]),
+                        test_name=parts[1],
+                        vdd=float(parts[2]),
+                        temperature=float(parts[3]),
+                        clock_period=float(parts[4]),
+                        strobe_ns=float(parts[5]),
+                        passed=bool(int(parts[6])),
+                    )
+                )
+            except ValueError as exc:
+                raise ValueError(f"line {line_number}: {exc}") from exc
+        return log

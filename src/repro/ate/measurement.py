@@ -1,0 +1,42 @@
+"""Measurement noise model of the tester's compare electronics.
+
+Every pass/fail decision on real ATE rides on comparator noise, jitter and
+supply ripple.  The paper's motivation for drift-tolerant searches — "an
+inaccurate reading could result" (section 1) — needs the simulation to make
+repeated measurements of the same point occasionally disagree near the trip
+point, so :class:`MeasurementModel` perturbs the device's true parameter
+value with seeded Gaussian noise before the strobe comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MeasurementModel:
+    """Seeded Gaussian measurement-noise source.
+
+    Parameters
+    ----------
+    noise_sigma_ns:
+        Standard deviation of the per-measurement equivalent timing noise.
+    seed:
+        RNG seed; a fixed seed makes entire characterization runs
+        reproducible measurement-for-measurement.
+    """
+
+    def __init__(self, noise_sigma_ns: float = 0.04, seed: int = 0) -> None:
+        if noise_sigma_ns < 0:
+            raise ValueError("noise sigma must be non-negative")
+        self.noise_sigma_ns = noise_sigma_ns
+        self._rng = np.random.default_rng(seed)
+
+    def observed_value(self, true_value: float) -> float:
+        """One noisy observation of a true parameter value."""
+        if self.noise_sigma_ns == 0.0:
+            return true_value
+        return true_value + float(self._rng.normal(0.0, self.noise_sigma_ns))
+
+    def reseed(self, seed: int) -> None:
+        """Restart the noise stream (new characterization insertion)."""
+        self._rng = np.random.default_rng(seed)

@@ -1,0 +1,86 @@
+"""Tester pattern memory with load-cost accounting.
+
+Loading a pattern into tester vector memory is not free on real ATE; a
+characterization loop that swaps patterns every measurement pays for it.
+:class:`PatternMemory` models a finite vector memory with LRU eviction and
+counts both loads and the vector-cycles transferred, so benchmarks can report
+the full cost picture (measurements *and* pattern traffic).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.patterns.vectors import VectorSequence
+
+
+class PatternMemory:
+    """Finite LRU vector memory.
+
+    Parameters
+    ----------
+    capacity_cycles:
+        Total vector cycles the memory can hold.  The default comfortably
+        holds many paper-sized (100-1000 cycle) sequences, so eviction only
+        matters for stress tests.
+    """
+
+    def __init__(self, capacity_cycles: int = 65536) -> None:
+        if capacity_cycles < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity_cycles = capacity_cycles
+        self._resident: "OrderedDict[int, VectorSequence]" = OrderedDict()
+        self._used_cycles = 0
+        self.load_count = 0
+        self.loaded_cycles_total = 0
+        self.hit_count = 0
+
+    @property
+    def used_cycles(self) -> int:
+        """Vector cycles currently resident."""
+        return self._used_cycles
+
+    @property
+    def resident_count(self) -> int:
+        """Number of resident sequences."""
+        return len(self._resident)
+
+    def is_resident(self, sequence: VectorSequence) -> bool:
+        """True if the sequence is already loaded."""
+        entry = self._resident.get(id(sequence))
+        return entry is sequence
+
+    def load(self, sequence: VectorSequence) -> bool:
+        """Ensure ``sequence`` is resident.
+
+        Returns True when a (costed) load was performed, False on a hit.
+
+        Raises
+        ------
+        ValueError
+            If the sequence alone exceeds the memory capacity.
+        """
+        if len(sequence) > self.capacity_cycles:
+            raise ValueError(
+                f"sequence of {len(sequence)} cycles exceeds pattern memory "
+                f"capacity of {self.capacity_cycles}"
+            )
+        key = id(sequence)
+        if self._resident.get(key) is sequence:
+            self._resident.move_to_end(key)
+            self.hit_count += 1
+            return False
+        while self._used_cycles + len(sequence) > self.capacity_cycles:
+            _, evicted = self._resident.popitem(last=False)
+            self._used_cycles -= len(evicted)
+        self._resident[key] = sequence
+        self._used_cycles += len(sequence)
+        self.load_count += 1
+        self.loaded_cycles_total += len(sequence)
+        return True
+
+    def clear(self) -> None:
+        """Flush the memory (does not reset the cost counters)."""
+        self._resident.clear()
+        self._used_cycles = 0

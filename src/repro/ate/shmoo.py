@@ -1,0 +1,166 @@
+"""Shmoo plot tool.
+
+Reproduces the fig. 8 instrument: "The shmoo plot shows Vdd power supply in
+Y-axis, and T_DQ timing parameters in X-axis.  There are 1000 tests
+overlapping in a single shmoo plot, so that we can compare the differences
+between them."
+
+Two modes are offered:
+
+* :meth:`ShmooPlotter.sweep` — the classic exhaustive grid shmoo of one
+  test (every (Vdd, strobe) cell measured);
+* :meth:`ShmooPlotter.overlay` — the paper's 1000-test overlay: per test
+  and per Vdd row only the pass/fail *boundary* is located (binary search),
+  and the plot renders how many tests still pass in each cell.  This keeps
+  the measurement count tractable exactly the way a characterization
+  engineer would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ate.tester import ATE
+from repro.patterns.testcase import TestCase
+from repro.search.base import PassRegion
+from repro.search.binary import BinarySearch
+from repro.search.oracles import make_ate_oracle
+
+#: Density ramp used to render overlay cells (fraction of tests passing).
+_DENSITY_CHARS = " .:-=+*#%@"
+
+
+@dataclass(frozen=True)
+class ShmooPlot:
+    """A rendered shmoo: axes plus a pass-count matrix.
+
+    ``counts[i, j]`` is the number of tests passing at ``vdd_values[i]`` /
+    ``strobe_values[j]``; ``total_tests`` normalizes it.  For a single-test
+    sweep the counts are 0/1.
+    """
+
+    vdd_values: np.ndarray
+    strobe_values: np.ndarray
+    counts: np.ndarray
+    total_tests: int
+    boundaries: Tuple[Tuple[str, Tuple[Optional[float], ...]], ...] = ()
+
+    def __post_init__(self) -> None:
+        expected = (len(self.vdd_values), len(self.strobe_values))
+        if self.counts.shape != expected:
+            raise ValueError(
+                f"counts shape {self.counts.shape} != axes shape {expected}"
+            )
+
+    def pass_fraction(self, vdd_index: int, strobe_index: int) -> float:
+        """Fraction of tests passing in one cell."""
+        return float(self.counts[vdd_index, strobe_index]) / self.total_tests
+
+    def boundary_spread_ns(self, vdd: float) -> Optional[float]:
+        """Trip-point spread (max - min) across tests at the given Vdd row.
+
+        This is the paper's "worst case trip point variation" made visible
+        by overlapping tests; ``None`` if fewer than two boundaries exist.
+        """
+        row = int(np.argmin(np.abs(self.vdd_values - vdd)))
+        trips = [
+            bounds[row]
+            for _, bounds in self.boundaries
+            if bounds[row] is not None
+        ]
+        if len(trips) < 2:
+            return None
+        return float(max(trips) - min(trips))
+
+    def render(self, width_label: str = "T_DQ (ns)") -> str:
+        """ASCII rendering, Vdd descending top to bottom (fig. 8 layout)."""
+        lines: List[str] = []
+        lines.append(f"shmoo: VDD (V) vs {width_label}  [{self.total_tests} test(s)]")
+        for i in range(len(self.vdd_values) - 1, -1, -1):
+            row_chars = []
+            for j in range(len(self.strobe_values)):
+                frac = self.pass_fraction(i, j)
+                idx = min(
+                    len(_DENSITY_CHARS) - 1,
+                    int(frac * (len(_DENSITY_CHARS) - 1) + 0.5),
+                )
+                row_chars.append(_DENSITY_CHARS[idx])
+            lines.append(f"{self.vdd_values[i]:5.2f} |{''.join(row_chars)}|")
+        axis = self.strobe_values
+        lines.append(
+            "      " + f"{axis[0]:<8.1f}" + " " * max(0, len(axis) - 16)
+            + f"{axis[-1]:>8.1f}"
+        )
+        return "\n".join(lines)
+
+
+class ShmooPlotter:
+    """Builds shmoo plots through a tester."""
+
+    def __init__(self, ate: ATE) -> None:
+        self.ate = ate
+
+    def sweep(
+        self,
+        test: TestCase,
+        vdd_values: Sequence[float],
+        strobe_values: Sequence[float],
+    ) -> ShmooPlot:
+        """Exhaustive grid shmoo of a single test."""
+        vdds = np.asarray(list(vdd_values), dtype=float)
+        strobes = np.asarray(list(strobe_values), dtype=float)
+        counts = np.zeros((len(vdds), len(strobes)), dtype=int)
+        for i, vdd in enumerate(vdds):
+            conditioned = test.with_condition(test.condition.with_vdd(float(vdd)))
+            for j, strobe in enumerate(strobes):
+                if self.ate.apply(conditioned, float(strobe)):
+                    counts[i, j] = 1
+        return ShmooPlot(vdds, strobes, counts, total_tests=1)
+
+    def overlay(
+        self,
+        tests: Sequence[TestCase],
+        vdd_values: Sequence[float],
+        strobe_start: float,
+        strobe_stop: float,
+        strobe_step: float = 0.5,
+        search_resolution: float = 0.1,
+    ) -> ShmooPlot:
+        """Overlaid multi-test shmoo via per-row boundary search.
+
+        For every test and Vdd row, a binary search locates the strobe trip
+        point; each cell then counts the tests whose boundary lies at or
+        beyond the cell's strobe.  Tests that fail the whole row (functional
+        failure or boundary below the window) contribute no passes.
+        """
+        if not tests:
+            raise ValueError("overlay needs at least one test")
+        vdds = np.asarray(list(vdd_values), dtype=float)
+        strobes = np.arange(strobe_start, strobe_stop + 1e-9, strobe_step)
+        counts = np.zeros((len(vdds), len(strobes)), dtype=int)
+        searcher = BinarySearch(
+            resolution=search_resolution, pass_region=PassRegion.LOW
+        )
+        boundaries: List[Tuple[str, Tuple[Optional[float], ...]]] = []
+        for test in tests:
+            per_row: List[Optional[float]] = []
+            for i, vdd in enumerate(vdds):
+                conditioned = test.with_condition(
+                    test.condition.with_vdd(float(vdd))
+                )
+                oracle = make_ate_oracle(self.ate, conditioned)
+                outcome = searcher.search(oracle, strobe_start, strobe_stop)
+                per_row.append(outcome.trip_point)
+                if outcome.trip_point is not None:
+                    counts[i, :] += strobes <= outcome.trip_point
+            boundaries.append((test.name or "unnamed", tuple(per_row)))
+        return ShmooPlot(
+            vdds,
+            strobes,
+            counts,
+            total_tests=len(tests),
+            boundaries=tuple(boundaries),
+        )

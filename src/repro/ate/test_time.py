@@ -1,0 +1,76 @@
+"""Tester-time estimation.
+
+The paper's economics are stated in *measurement time* ("huge savings of
+measurement time", "keeping the test time as low as possible").  The
+simulator counts measurements, executed cycles and pattern loads; this
+model converts those counters into wall-clock tester seconds so cost
+comparisons can be reported in the paper's own currency.
+
+Model (per session)::
+
+    time = measurements * setup_overhead
+         + executed_cycles * cycle_period
+         + loaded_cycles * load_time_per_cycle
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ate.tester import ATE
+
+
+@dataclass(frozen=True)
+class TestTimeModel:
+    """Tester timing constants (mid-2000s memory tester class).
+
+    Attributes
+    ----------
+    setup_overhead_s:
+        Per-measurement overhead: level/timing setup, PE settling, result
+        collection.
+    cycle_period_s:
+        Tester cycle period during pattern execution (40 ns default,
+        matching the nominal test condition).
+    load_time_per_cycle_s:
+        Vector-memory transfer time per cycle loaded.
+    """
+
+    setup_overhead_s: float = 1.0e-3
+    cycle_period_s: float = 40.0e-9
+    load_time_per_cycle_s: float = 2.0e-6
+
+    def __post_init__(self) -> None:
+        if min(
+            self.setup_overhead_s,
+            self.cycle_period_s,
+            self.load_time_per_cycle_s,
+        ) < 0:
+            raise ValueError("time constants must be non-negative")
+
+    def measurement_time_s(self, ate: ATE) -> float:
+        """Time spent applying patterns and collecting results."""
+        applications = ate.measurement_count + ate.functional_count
+        return (
+            applications * self.setup_overhead_s
+            + ate.executed_cycles_total * self.cycle_period_s
+        )
+
+    def load_time_s(self, ate: ATE) -> float:
+        """Time spent transferring vectors into pattern memory."""
+        return (
+            ate.pattern_memory.loaded_cycles_total * self.load_time_per_cycle_s
+        )
+
+    def session_time_s(self, ate: ATE) -> float:
+        """Total estimated tester time of the session so far."""
+        return self.measurement_time_s(ate) + self.load_time_s(ate)
+
+    def describe(self, ate: ATE) -> str:
+        """One-line cost summary for reports."""
+        return (
+            f"{ate.measurement_count} measurements, "
+            f"{ate.executed_cycles_total} cycles, "
+            f"{ate.pattern_memory.load_count} pattern loads -> "
+            f"~{self.session_time_s(ate):.3f} s tester time"
+        )

@@ -1,0 +1,334 @@
+"""Command-line interface.
+
+Exposes the characterization campaigns as subcommands::
+
+    repro-characterize march   [--algorithm march_c-]
+    repro-characterize random  [--tests 200]
+    repro-characterize table1  [--random-tests 300] [--fast]
+    repro-characterize hunt    [--weights out.json] [--database db.json]
+    repro-characterize shmoo   [--tests 40]
+    repro-characterize sweep
+    repro-characterize lot     [--dies 8] [--tests 10]
+
+Every command accepts ``--seed`` and prints the same reports the library
+APIs return; nothing here does work the public API cannot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.drift import DriftAnalysis
+from repro.analysis.statistics import ascii_histogram
+from repro.core.characterizer import DeviceCharacterizer
+from repro.core.learning import LearningConfig
+from repro.core.lot import EnvironmentalSweep, LotCharacterizer
+from repro.core.optimization import OptimizationConfig
+from repro.ga.engine import GAConfig
+from repro.patterns.conditions import NOMINAL_CONDITION
+from repro.patterns.march import available_march_tests
+from repro.patterns.random_gen import RandomTestGenerator
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-characterize",
+        description=(
+            "Computational-intelligence device characterization "
+            "(reproduction of Liau & Schmitt-Landsiedel, DATE 2005)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    march = commands.add_parser(
+        "march", help="conventional single-trip-point march characterization"
+    )
+    march.add_argument(
+        "--algorithm",
+        default="march_c-",
+        choices=available_march_tests(),
+        help="march algorithm to apply",
+    )
+    march.add_argument(
+        "--background",
+        default="solid",
+        choices=("solid", "checkerboard"),
+        help="data background for the march compilation",
+    )
+
+    random_cmd = commands.add_parser(
+        "random", help="multiple-trip-point characterization over random tests"
+    )
+    random_cmd.add_argument("--tests", type=int, default=200)
+
+    table1 = commands.add_parser(
+        "table1", help="reproduce Table 1 (march vs random vs NN+GA)"
+    )
+    table1.add_argument("--random-tests", type=int, default=300)
+    table1.add_argument(
+        "--fast",
+        action="store_true",
+        help="smaller learning/GA budgets (seconds instead of a minute)",
+    )
+
+    hunt = commands.add_parser(
+        "hunt", help="full fig. 4 + fig. 5 worst-case test hunt"
+    )
+    hunt.add_argument("--weights", help="write the NN weight file here")
+    hunt.add_argument("--database", help="write the worst-case database here")
+
+    shmoo = commands.add_parser(
+        "shmoo", help="fig. 8 overlaid shmoo plot"
+    )
+    shmoo.add_argument("--tests", type=int, default=40)
+
+    commands.add_parser(
+        "sweep", help="Vdd x temperature environmental sweep of a march test"
+    )
+
+    lot = commands.add_parser(
+        "lot", help="characterize a Monte-Carlo lot of dies"
+    )
+    lot.add_argument("--dies", type=int, default=8)
+    lot.add_argument("--tests", type=int, default=10)
+
+    wafer = commands.add_parser(
+        "wafer", help="probe a wafer and render the worst-case WCR map"
+    )
+    wafer.add_argument("--grid", type=int, default=7)
+    wafer.add_argument("--tests", type=int, default=6)
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="full campaign: table1 + drift + spec proposal + shmoo + database",
+    )
+    campaign.add_argument("--random-tests", type=int, default=150)
+    campaign.add_argument(
+        "--out", help="directory to save report.md / database / patterns"
+    )
+
+    return parser
+
+
+def _cmd_march(args) -> int:
+    from repro.patterns.march import (
+        checkerboard_background,
+        compile_march,
+        get_march_test,
+        solid_background,
+    )
+    from repro.patterns.testcase import TestCase
+
+    characterizer = DeviceCharacterizer.with_default_setup(seed=args.seed)
+    background = (
+        checkerboard_background
+        if args.background == "checkerboard"
+        else solid_background
+    )
+    sequence = compile_march(
+        get_march_test(args.algorithm), background=background
+    )
+    test = TestCase(
+        sequence, NOMINAL_CONDITION,
+        name=f"{args.algorithm}/{args.background}", origin="deterministic",
+    )
+    entry = characterizer.measure_single(test)
+    if entry.value is None:
+        print("trip point not found inside the characterization range")
+        return 1
+    wcr = characterizer.objective.fitness(entry.value)
+    print(f"{test.name}: trip point {entry.value:.2f} ns "
+          f"({entry.measurements} measurements), WCR {wcr:.3f}")
+    return 0
+
+
+def _cmd_random(args) -> int:
+    characterizer = DeviceCharacterizer.with_default_setup(seed=args.seed)
+    dsv = characterizer.characterize_random(n_tests=args.tests)
+    print(DriftAnalysis.from_dsv(dsv).describe())
+    print()
+    print(ascii_histogram(dsv.values(), bins=10, width=40, unit="ns"))
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    characterizer = DeviceCharacterizer.with_default_setup(seed=args.seed)
+    learning_config = None
+    optimization_config = None
+    if args.fast:
+        learning_config = LearningConfig(
+            tests_per_round=100,
+            max_rounds=1,
+            max_epochs=60,
+            n_networks=3,
+            pin_condition=NOMINAL_CONDITION,
+            seed=args.seed,
+        )
+        optimization_config = OptimizationConfig(
+            ga=GAConfig(population_size=12, n_populations=2, max_generations=15),
+            n_seeds=8,
+            seed_pool_size=120,
+            pin_condition=NOMINAL_CONDITION,
+            seed=args.seed,
+        )
+    report = characterizer.run_table1_comparison(
+        random_tests=args.random_tests,
+        learning_config=learning_config,
+        optimization_config=optimization_config,
+    )
+    print(report.to_text())
+    return 0
+
+
+def _cmd_hunt(args) -> int:
+    characterizer = DeviceCharacterizer.with_default_setup(seed=args.seed)
+    learning, optimization = characterizer.characterize_intelligent()
+    print(
+        f"learning: {len(learning.tests)} measured tests, "
+        f"val accuracy {learning.val_accuracy:.2f}, "
+        f"accepted={learning.accepted}"
+    )
+    ga = optimization.ga_result
+    print(
+        f"optimization: {ga.generations_run} generations, best WCR "
+        f"{optimization.best_wcr:.3f}, value {optimization.best_value:.2f} "
+        f"{characterizer.ate.chip.parameter.unit}"
+    )
+    print(f"worst case test: {optimization.best_test}")
+    if args.weights:
+        learning.save_weight_file(args.weights)
+        print(f"NN weight file written: {args.weights}")
+    if args.database:
+        optimization.database.export_json(args.database)
+        print(f"worst-case database written: {args.database}")
+    return 0
+
+
+def _cmd_shmoo(args) -> int:
+    characterizer = DeviceCharacterizer.with_default_setup(seed=args.seed)
+    tests = [
+        t.with_condition(NOMINAL_CONDITION)
+        for t in RandomTestGenerator(seed=args.seed).batch(args.tests)
+    ]
+    plot = characterizer.shmoo_overlay(
+        tests, vdd_values=[1.5, 1.6, 1.7, 1.8, 1.9, 2.0, 2.1], strobe_step=0.5
+    )
+    print(plot.render())
+    spread = plot.boundary_spread_ns(1.8)
+    print(f"trip point spread at Vdd 1.8 V: {spread:.2f} ns")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    characterizer = DeviceCharacterizer.with_default_setup(seed=args.seed)
+    test, _ = characterizer.characterize_march()
+    sweep = EnvironmentalSweep(
+        characterizer.ate, characterizer.search_range,
+        resolution=characterizer.resolution,
+    )
+    result = sweep.sweep(
+        test,
+        vdd_values=[1.5, 1.65, 1.8, 1.95, 2.1],
+        temperature_values=[-40.0, 25.0, 85.0, 125.0],
+    )
+    print(result.render())
+    i, j, value = result.worst_cell()
+    print(
+        f"worst cell: Vdd {result.vdd_values[i]:.2f} V / "
+        f"{result.temperature_values[j]:.0f} C -> {value:.2f} "
+        f"{result.parameter.unit} ({result.measurements} measurements)"
+    )
+    return 0
+
+
+def _cmd_lot(args) -> int:
+    lot = LotCharacterizer(search_range=(15.0, 45.0), seed=args.seed)
+    tests = [
+        t.with_condition(NOMINAL_CONDITION)
+        for t in RandomTestGenerator(seed=args.seed).batch(args.tests)
+    ]
+    report = lot.run(tests, n_dies=args.dies)
+    print(report.describe())
+    return 0
+
+
+def _cmd_wafer(args) -> int:
+    from repro.core.wafer_probe import WaferProber
+    from repro.device.wafer import RadialVariationModel, Wafer
+
+    wafer = Wafer(grid_diameter=args.grid)
+    variation = RadialVariationModel(seed=args.seed)
+    prober = WaferProber(
+        wafer, variation, search_range=(15.0, 45.0), seed=args.seed
+    )
+    tests = [
+        t.with_condition(NOMINAL_CONDITION)
+        for t in RandomTestGenerator(seed=args.seed).batch(args.tests)
+    ]
+    report = prober.probe(tests)
+    print(report.render_map())
+    site, result = report.worst_site()
+    center, edge = report.center_vs_edge()
+    print(
+        f"worst die at ({site.x},{site.y}): "
+        f"{result.worst_value:.2f} {report.parameter.unit} "
+        f"(WCR {result.worst_wcr:.3f})"
+    )
+    print(f"center mean {center:.2f} vs edge mean {edge:.2f} "
+          f"{report.parameter.unit}")
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from repro.core.campaign import run_campaign
+    from repro.ga.engine import GAConfig
+
+    characterizer = DeviceCharacterizer.with_default_setup(seed=args.seed)
+    report = run_campaign(
+        characterizer,
+        random_tests=args.random_tests,
+        learning_config=LearningConfig(
+            tests_per_round=min(150, args.random_tests),
+            max_rounds=2,
+            pin_condition=NOMINAL_CONDITION,
+            seed=args.seed,
+        ),
+        optimization_config=OptimizationConfig(
+            ga=GAConfig(population_size=16, n_populations=2, max_generations=20),
+            n_seeds=12,
+            seed_pool_size=150,
+            pin_condition=NOMINAL_CONDITION,
+            seed=args.seed,
+        ),
+    )
+    print(report.to_markdown())
+    if args.out:
+        target = report.save(args.out)
+        print(f"\ncampaign saved to: {target}")
+    return 0
+
+
+_COMMANDS = {
+    "march": _cmd_march,
+    "random": _cmd_random,
+    "table1": _cmd_table1,
+    "hunt": _cmd_hunt,
+    "shmoo": _cmd_shmoo,
+    "sweep": _cmd_sweep,
+    "lot": _cmd_lot,
+    "wafer": _cmd_wafer,
+    "campaign": _cmd_campaign,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""The paper's contribution.
+
+* :mod:`~repro.core.trip_point` — the multiple-trip-point concept (eq. 1):
+  one trip point per test, collected over many non-deterministic tests;
+* :mod:`~repro.core.sutp` — the Search-Until-Trip-Point algorithm
+  (eqs. 2/3/4): RTP bootstrap plus incremental re-search;
+* :mod:`~repro.core.wcr` — worst-case ratio and its pass/weakness/fail
+  classification (eqs. 5/6, fig. 6);
+* :mod:`~repro.core.learning` — the fig. 4 intelligent characterization
+  learning scheme (random tests → ATE trip points → fuzzy coding → NN
+  voting ensemble → weight file);
+* :mod:`~repro.core.optimization` — the fig. 5 optimization scheme
+  (NN-seeded multi-population GA with ATE-measured fitness);
+* :mod:`~repro.core.characterizer` — the user-facing façade wiring it all,
+  including the deterministic and random baselines of Table 1;
+* :mod:`~repro.core.objectives` / :mod:`~repro.core.database` — analysis
+  objectives and the worst-case test database.
+"""
+
+# Exports resolve lazily (PEP 562): repro.fuzzy.coding imports
+# repro.core.wcr, and eager imports here would close an import cycle
+# through repro.core.learning -> repro.fuzzy.coding.
+_LAZY_EXPORTS = {
+    "DeviceCharacterizer": "repro.core.characterizer",
+    "WorstCaseDatabase": "repro.core.database",
+    "WorstCaseRecord": "repro.core.database",
+    "LearningConfig": "repro.core.learning",
+    "LotCharacterizer": "repro.core.lot",
+    "LotReport": "repro.core.lot",
+    "EnvironmentalSweep": "repro.core.lot",
+    "EnvSweepResult": "repro.core.lot",
+    "WaferProber": "repro.core.wafer_probe",
+    "WaferProbeReport": "repro.core.wafer_probe",
+    "ProductionTestProgram": "repro.core.production",
+    "build_production_program": "repro.core.production",
+    "CampaignReport": "repro.core.campaign",
+    "run_campaign": "repro.core.campaign",
+    "LearningResult": "repro.core.learning",
+    "LearningScheme": "repro.core.learning",
+    "CharacterizationObjective": "repro.core.objectives",
+    "DriftDirection": "repro.core.objectives",
+    "OptimizationConfig": "repro.core.optimization",
+    "OptimizationResult": "repro.core.optimization",
+    "OptimizationScheme": "repro.core.optimization",
+    "SearchUntilTripPoint": "repro.core.sutp",
+    "SUTPResult": "repro.core.sutp",
+    "DesignSpecificationValues": "repro.core.trip_point",
+    "MultipleTripPointRunner": "repro.core.trip_point",
+    "TripPointValue": "repro.core.trip_point",
+    "WCRClass": "repro.core.wcr",
+    "WCRClassifier": "repro.core.wcr",
+    "worst_case_ratio": "repro.core.wcr",
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+__all__ = [
+    "DeviceCharacterizer",
+    "WorstCaseDatabase",
+    "WorstCaseRecord",
+    "LearningConfig",
+    "LearningResult",
+    "LearningScheme",
+    "LotCharacterizer",
+    "LotReport",
+    "EnvironmentalSweep",
+    "EnvSweepResult",
+    "WaferProber",
+    "WaferProbeReport",
+    "ProductionTestProgram",
+    "build_production_program",
+    "CampaignReport",
+    "run_campaign",
+    "CharacterizationObjective",
+    "DriftDirection",
+    "OptimizationConfig",
+    "OptimizationResult",
+    "OptimizationScheme",
+    "SearchUntilTripPoint",
+    "SUTPResult",
+    "DesignSpecificationValues",
+    "MultipleTripPointRunner",
+    "TripPointValue",
+    "WCRClass",
+    "WCRClassifier",
+    "worst_case_ratio",
+]

@@ -1,0 +1,304 @@
+"""Lot characterization and environmental sweeps.
+
+Section 1 describes the conventional campaign the CI method slots into:
+"select a statistically significant sample of devices, and repeat the test
+for every combination of two or more environmental variables".  This module
+provides both halves:
+
+* :class:`LotCharacterizer` — runs a test set over a Monte-Carlo sample of
+  dies (one tester insertion per die), collecting the worst case and the
+  trip-point spread per die and across the lot;
+* :class:`EnvironmentalSweep` — measures one test's trip point at every
+  combination of two environmental variables (Vdd × temperature by
+  default), yielding the characterization matrix engineers derate specs
+  from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.statistics import SummaryStats, summarize
+from repro.ate.measurement import MeasurementModel
+from repro.ate.tester import ATE
+from repro.core.trip_point import MultipleTripPointRunner
+from repro.core.wcr import worst_case_ratio
+from repro.device.memory_chip import MemoryTestChip
+from repro.device.parameters import DeviceParameter, SpecDirection, T_DQ_PARAMETER
+from repro.device.process import ProcessCorner, ProcessInstance, ProcessModel
+from repro.patterns.testcase import TestCase
+from repro.search.base import PassRegion
+
+
+def _pass_region_for(parameter: DeviceParameter) -> PassRegion:
+    if parameter.direction is SpecDirection.MIN_IS_WORST:
+        return PassRegion.LOW
+    return PassRegion.HIGH
+
+
+@dataclass(frozen=True)
+class DieResult:
+    """One die's characterization outcome."""
+
+    die: ProcessInstance
+    worst_value: float
+    worst_wcr: float
+    worst_test_name: str
+    stats: SummaryStats
+    measurements: int
+
+
+@dataclass
+class LotReport:
+    """Aggregate over a characterized lot."""
+
+    parameter: DeviceParameter
+    dies: List[DieResult] = field(default_factory=list)
+
+    def worst_die(self) -> DieResult:
+        """The die with the worst (largest-WCR) worst case."""
+        if not self.dies:
+            raise ValueError("empty lot report")
+        return max(self.dies, key=lambda d: d.worst_wcr)
+
+    def worst_values(self) -> List[float]:
+        """Per-die worst-case values."""
+        return [d.worst_value for d in self.dies]
+
+    def lot_stats(self) -> SummaryStats:
+        """Distribution of per-die worst cases across the lot."""
+        return summarize(self.worst_values())
+
+    def by_corner(self) -> Dict[ProcessCorner, List[DieResult]]:
+        """Die results grouped by process corner."""
+        grouped: Dict[ProcessCorner, List[DieResult]] = {}
+        for die_result in self.dies:
+            grouped.setdefault(die_result.die.corner, []).append(die_result)
+        return grouped
+
+    def describe(self) -> str:
+        """Engineering summary of the lot."""
+        lines = [
+            f"lot of {len(self.dies)} dies, parameter {self.parameter.name}:",
+            f"  per-die worst cases: "
+            f"{self.lot_stats().describe(self.parameter.unit)}",
+        ]
+        worst = self.worst_die()
+        lines.append(
+            f"  lot worst case: {worst.worst_value:.3f} {self.parameter.unit} "
+            f"(WCR {worst.worst_wcr:.3f}) on {worst.die} "
+            f"via test {worst.worst_test_name!r}"
+        )
+        for corner, members in sorted(
+            self.by_corner().items(), key=lambda kv: kv[0].value
+        ):
+            values = [m.worst_value for m in members]
+            lines.append(
+                f"  corner {corner.value.upper()}: n={len(members)} "
+                f"worst {min(values) if self._min_is_worst() else max(values):.3f}"
+            )
+        return "\n".join(lines)
+
+    def _min_is_worst(self) -> bool:
+        return self.parameter.direction is SpecDirection.MIN_IS_WORST
+
+
+class LotCharacterizer:
+    """Characterize a test set over a Monte-Carlo die sample.
+
+    Each die gets a fresh tester insertion (its own noise stream and cool
+    thermal state); measurement cost is tracked per die.
+
+    Parameters
+    ----------
+    search_range:
+        Generous characterization range of the compare level.
+    parameter:
+        Characterized parameter (defaults to ``T_DQ``).
+    process:
+        Die sampler; a default-configured one is created when omitted.
+    noise_sigma:
+        Tester comparator noise.
+    strategy:
+        Trip-point strategy per die (``"sutp"`` or ``"full"``).
+    seed:
+        Base seed; die ``i`` uses ``seed + i`` for its noise stream.
+    """
+
+    def __init__(
+        self,
+        search_range: Tuple[float, float],
+        parameter: DeviceParameter = T_DQ_PARAMETER,
+        process: Optional[ProcessModel] = None,
+        noise_sigma: float = 0.04,
+        strategy: str = "sutp",
+        resolution: float = 0.05,
+        search_factor: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        self.search_range = search_range
+        self.parameter = parameter
+        self.process = process if process is not None else ProcessModel(seed=seed)
+        self.noise_sigma = noise_sigma
+        self.strategy = strategy
+        self.resolution = resolution
+        self.search_factor = search_factor
+        self.seed = seed
+
+    def characterize_die(
+        self, die: ProcessInstance, tests: Sequence[TestCase]
+    ) -> DieResult:
+        """Run the test set on one die (one insertion)."""
+        chip = MemoryTestChip(die=die, parameter=self.parameter)
+        ate = ATE(
+            chip,
+            measurement=MeasurementModel(
+                self.noise_sigma, seed=self.seed + die.die_id
+            ),
+        )
+        runner = MultipleTripPointRunner(
+            ate,
+            self.search_range,
+            strategy=self.strategy,
+            resolution=self.resolution,
+            search_factor=self.search_factor,
+            pass_region=_pass_region_for(self.parameter),
+        )
+        dsv = runner.run(list(tests))
+        worst = dsv.worst()
+        return DieResult(
+            die=die,
+            worst_value=worst.value,
+            worst_wcr=worst_case_ratio(worst.value, self.parameter),
+            worst_test_name=worst.test.name,
+            stats=summarize(dsv.values()),
+            measurements=dsv.total_measurements,
+        )
+
+    def run(
+        self,
+        tests: Sequence[TestCase],
+        n_dies: int,
+        corner: Optional[ProcessCorner] = None,
+    ) -> LotReport:
+        """Characterize ``n_dies`` sampled dies with the same test set."""
+        if n_dies < 1:
+            raise ValueError("need at least one die")
+        if not tests:
+            raise ValueError("need at least one test")
+        report = LotReport(parameter=self.parameter)
+        for die in self.process.sample_lot(n_dies, corner=corner):
+            report.dies.append(self.characterize_die(die, tests))
+        return report
+
+
+@dataclass(frozen=True)
+class EnvSweepResult:
+    """Trip points over a 2-D environmental grid."""
+
+    parameter: DeviceParameter
+    vdd_values: Tuple[float, ...]
+    temperature_values: Tuple[float, ...]
+    trip_points: np.ndarray  # shape (len(vdd), len(temp)); NaN = not found
+    measurements: int
+
+    def worst_cell(self) -> Tuple[int, int, float]:
+        """Indices and value of the worst grid cell."""
+        grid = self.trip_points
+        if np.all(np.isnan(grid)):
+            raise ValueError("no trip point found anywhere on the grid")
+        if self.parameter.direction is SpecDirection.MIN_IS_WORST:
+            flat = np.nanargmin(grid)
+        else:
+            flat = np.nanargmax(grid)
+        i, j = np.unravel_index(flat, grid.shape)
+        return int(i), int(j), float(grid[i, j])
+
+    def margin_grid(self) -> np.ndarray:
+        """Signed spec margin per cell (negative = violating)."""
+        if self.parameter.direction is SpecDirection.MIN_IS_WORST:
+            return self.trip_points - self.parameter.spec_limit
+        return self.parameter.spec_limit - self.trip_points
+
+    def render(self) -> str:
+        """ASCII matrix, Vdd rows (descending) × temperature columns."""
+        lines = [
+            f"{self.parameter.name} trip points "
+            f"({self.parameter.unit}) — Vdd rows x temperature columns"
+        ]
+        header = "  Vdd\\T  " + "".join(
+            f"{t:>9.0f}" for t in self.temperature_values
+        )
+        lines.append(header)
+        for i in range(len(self.vdd_values) - 1, -1, -1):
+            cells = "".join(
+                f"{self.trip_points[i, j]:>9.2f}"
+                if not np.isnan(self.trip_points[i, j])
+                else "        -"
+                for j in range(len(self.temperature_values))
+            )
+            lines.append(f"  {self.vdd_values[i]:5.2f}  {cells}")
+        return "\n".join(lines)
+
+
+class EnvironmentalSweep:
+    """Trip point at every combination of two environmental variables.
+
+    The classic characterization matrix of section 1: the same test is
+    repeated at each (Vdd, temperature) grid point and its trip point
+    recorded.  SUTP is used along the sweep, so neighbouring cells reuse
+    the reference trip point.
+    """
+
+    def __init__(
+        self,
+        ate: ATE,
+        search_range: Tuple[float, float],
+        resolution: float = 0.05,
+        search_factor: float = 0.5,
+    ) -> None:
+        self.ate = ate
+        self.search_range = search_range
+        self.resolution = resolution
+        self.search_factor = search_factor
+
+    def sweep(
+        self,
+        test: TestCase,
+        vdd_values: Sequence[float],
+        temperature_values: Sequence[float],
+    ) -> EnvSweepResult:
+        """Measure the full grid for one test."""
+        if not vdd_values or not temperature_values:
+            raise ValueError("both axes need at least one value")
+        parameter = self.ate.chip.parameter
+        runner = MultipleTripPointRunner(
+            self.ate,
+            self.search_range,
+            strategy="sutp",
+            resolution=self.resolution,
+            search_factor=self.search_factor,
+            pass_region=_pass_region_for(parameter),
+        )
+        before = self.ate.measurement_count
+        grid = np.full((len(vdd_values), len(temperature_values)), np.nan)
+        import dataclasses
+
+        for i, vdd in enumerate(vdd_values):
+            for j, temperature in enumerate(temperature_values):
+                condition = dataclasses.replace(
+                    test.condition, vdd=float(vdd), temperature=float(temperature)
+                )
+                entry = runner.measure_one(test.with_condition(condition))
+                if entry.value is not None:
+                    grid[i, j] = entry.value
+        return EnvSweepResult(
+            parameter=parameter,
+            vdd_values=tuple(float(v) for v in vdd_values),
+            temperature_values=tuple(float(t) for t in temperature_values),
+            trip_points=grid,
+            measurements=self.ate.measurement_count - before,
+        )

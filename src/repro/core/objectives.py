@@ -1,0 +1,74 @@
+"""Characterization objectives.
+
+Fig. 5, step 2: "Define the characterization objective: generating a worst
+case test that can provoke the worst case characterization parameter drift,
+such as drift to the maximum value, or drift to the minimum value."
+
+An objective binds a device parameter to a drift direction and supplies the
+GA's scalar fitness (the Worst-Case Ratio, so higher always means *closer
+to the worst case*) plus the classification thresholds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.wcr import WCRClass, WCRClassifier, worst_case_ratio
+from repro.device.parameters import DeviceParameter, SpecDirection
+
+
+class DriftDirection(enum.Enum):
+    """Which drift of the parameter the analysis hunts."""
+
+    TO_MINIMUM = "min"
+    TO_MAXIMUM = "max"
+
+
+@dataclass(frozen=True)
+class CharacterizationObjective:
+    """Parameter + hunted drift direction + classification thresholds."""
+
+    parameter: DeviceParameter
+    direction: DriftDirection
+    classifier: WCRClassifier = field(default_factory=WCRClassifier)
+
+    @classmethod
+    def worst_case_for(
+        cls, parameter: DeviceParameter, classifier: WCRClassifier = None
+    ) -> "CharacterizationObjective":
+        """The natural worst-case objective of a parameter.
+
+        A min-limited parameter's worst case is its minimum drift (the
+        paper's ``T_DQ`` experiment, eq. 6-minimization) and vice versa.
+        """
+        direction = (
+            DriftDirection.TO_MINIMUM
+            if parameter.direction is SpecDirection.MIN_IS_WORST
+            else DriftDirection.TO_MAXIMUM
+        )
+        return cls(
+            parameter=parameter,
+            direction=direction,
+            classifier=classifier if classifier is not None else WCRClassifier(),
+        )
+
+    def fitness(self, measured_value: float) -> float:
+        """GA fitness of a measured parameter value (the WCR; higher = worse)."""
+        return worst_case_ratio(measured_value, self.parameter)
+
+    def classify(self, measured_value: float) -> WCRClass:
+        """Fig. 6 region of a measured value."""
+        return self.classifier.classify(self.fitness(measured_value))
+
+    def is_worse(self, candidate: float, incumbent: float) -> bool:
+        """True when ``candidate`` is a worse case than ``incumbent``."""
+        return self.fitness(candidate) > self.fitness(incumbent)
+
+    def describe(self) -> str:
+        """Human-readable objective statement."""
+        drift = "minimum" if self.direction is DriftDirection.TO_MINIMUM else "maximum"
+        return (
+            f"worst-case drift of {self.parameter.name} toward its {drift} "
+            f"(spec {self.parameter.spec_limit:g} {self.parameter.unit})"
+        )

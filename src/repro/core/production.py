@@ -1,0 +1,169 @@
+"""Production test-program generation.
+
+Section 1 closes the loop: the characterization phase's findings "define
+the final device specification at the end of the characterization phase,
+and develop a production test program in manufacturing test".
+
+:class:`ProductionTestProgram` is that artifact: an ordered list of
+first-fail screening steps — a functional march screen plus parametric
+compare steps at guard-banded levels — compiled from a characterization
+campaign's worst-case database.  Thanks to the CI flow the program screens
+at the *true* worst case instead of at a benign pre-defined pattern, which
+is exactly the escape-prevention the paper promises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ate.tester import ATE
+from repro.core.database import WorstCaseDatabase
+from repro.device.parameters import DeviceParameter, SpecDirection
+from repro.patterns.conditions import NOMINAL_CONDITION, TestCondition
+from repro.patterns.march import compile_march, get_march_test
+from repro.patterns.testcase import TestCase
+
+
+@dataclass(frozen=True)
+class TestStep:
+    """One production-program step.
+
+    ``compare_level`` of ``None`` marks a purely functional step (go/no-go
+    read compare, no parametric strobe).
+    """
+
+    test: TestCase
+    compare_level: Optional[float]
+    bin_on_fail: int
+    label: str
+
+    @property
+    def is_parametric(self) -> bool:
+        """True for strobed parametric steps."""
+        return self.compare_level is not None
+
+
+@dataclass
+class ScreenResult:
+    """Outcome of running the program on one device."""
+
+    passed: bool
+    assigned_bin: int
+    steps_applied: int
+    failing_step: Optional[str] = None
+
+
+@dataclass
+class ProductionTestProgram:
+    """An ordered, first-fail production screen."""
+
+    parameter: DeviceParameter
+    steps: List[TestStep] = field(default_factory=list)
+
+    @property
+    def parametric_step_count(self) -> int:
+        """Number of strobed steps."""
+        return sum(1 for s in self.steps if s.is_parametric)
+
+    def run(self, ate: ATE) -> ScreenResult:
+        """Apply the program to a device with first-fail semantics."""
+        if not self.steps:
+            raise ValueError("empty test program")
+        for index, step in enumerate(self.steps, start=1):
+            if step.is_parametric:
+                ok = ate.apply(step.test, step.compare_level)
+            else:
+                ok = ate.functional_test(step.test).passed
+            if not ok:
+                return ScreenResult(
+                    passed=False,
+                    assigned_bin=step.bin_on_fail,
+                    steps_applied=index,
+                    failing_step=step.label,
+                )
+        return ScreenResult(passed=True, assigned_bin=1, steps_applied=len(self.steps))
+
+    def to_text(self) -> str:
+        """Human-readable program listing (test-plan review document)."""
+        lines = [
+            f"production test program — parameter {self.parameter.name} "
+            f"(spec {self.parameter.spec_limit:g} {self.parameter.unit})"
+        ]
+        for index, step in enumerate(self.steps, start=1):
+            if step.is_parametric:
+                kind = (
+                    f"parametric @ {step.compare_level:.2f} "
+                    f"{self.parameter.unit}"
+                )
+            else:
+                kind = "functional"
+            lines.append(
+                f"  step {index}: {step.label:<28} {kind:<28} "
+                f"cycles={step.test.cycles:<5} fail->bin {step.bin_on_fail}"
+            )
+        return "\n".join(lines)
+
+
+def build_production_program(
+    database: WorstCaseDatabase,
+    parameter: DeviceParameter,
+    guard_band: float = 0.5,
+    worst_case_steps: int = 2,
+    march_name: str = "march_c-",
+    condition: TestCondition = NOMINAL_CONDITION,
+) -> ProductionTestProgram:
+    """Compile a production program from a worst-case database.
+
+    The program is ordered cheapest-screen-first, test-floor style:
+
+    1. a functional march screen (catches gross/structural defects);
+    2. a parametric step with the march pattern at the guard-banded spec
+       limit (the conventional single-point check);
+    3. parametric steps with the ``worst_case_steps`` worst database tests
+       at the same level — the CI flow's contribution: the screen now
+       exercises the stimulus that actually minimizes the margin.
+
+    ``guard_band`` tightens the compare level *into* the pass region:
+    below the limit for max-limited parameters, above it for min-limited
+    ones (a device must beat spec with margin to ship).
+    """
+    if guard_band < 0:
+        raise ValueError("guard band must be non-negative")
+    if worst_case_steps < 0:
+        raise ValueError("worst_case_steps must be non-negative")
+
+    if parameter.direction is SpecDirection.MIN_IS_WORST:
+        compare_level = parameter.spec_limit + guard_band
+    else:
+        compare_level = parameter.spec_limit - guard_band
+
+    march_sequence = compile_march(get_march_test(march_name))
+    march_case = TestCase(
+        march_sequence, condition, name=march_name, origin="deterministic"
+    )
+    steps: List[TestStep] = [
+        TestStep(
+            test=march_case,
+            compare_level=None,
+            bin_on_fail=3,
+            label=f"functional {march_name}",
+        ),
+        TestStep(
+            test=march_case,
+            compare_level=compare_level,
+            bin_on_fail=2,
+            label=f"parametric {march_name}",
+        ),
+    ]
+    top_records = database.top(worst_case_steps) if worst_case_steps else []
+    for rank, record in enumerate(top_records):
+        steps.append(
+            TestStep(
+                test=record.test.with_condition(condition),
+                compare_level=compare_level,
+                bin_on_fail=2,
+                label=f"worst-case #{rank} ({record.test.name})",
+            )
+        )
+    return ProductionTestProgram(parameter=parameter, steps=steps)

@@ -1,0 +1,103 @@
+"""Worst-Case Ratio (eqs. 5/6) and its classification (fig. 6).
+
+For a parameter value ``va`` measured in test ``n``:
+
+* max-limited parameters (eq. 5): ``WCR(n) = |va(n) / vmax|``;
+* min-limited parameters (eq. 6): ``WCR(n) = |vmin / va(n)|``.
+
+Either way a *larger* WCR means *closer to (or beyond) the spec limit* —
+"the worst case tests are given by the largest values of WCR".  Fig. 6
+classifies: pass for ``0 <= WCR <= 0.8``, weakness for ``0.8 < WCR <= 1``,
+fail for ``WCR > 1``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.device.parameters import DeviceParameter, SpecDirection
+
+
+class WCRClass(enum.Enum):
+    """Fig. 6 classification regions."""
+
+    PASS = "pass"
+    WEAKNESS = "weakness"
+    FAIL = "fail"
+
+
+def worst_case_ratio(value: float, parameter: DeviceParameter) -> float:
+    """WCR of one measured value against the parameter's spec limit.
+
+    Raises
+    ------
+    ValueError
+        For a zero measured value of a min-limited parameter (the ratio
+        would be unbounded; a measured 0 means the measurement is broken).
+    """
+    if parameter.direction is SpecDirection.MIN_IS_WORST:
+        if value == 0.0:
+            raise ValueError("measured value of 0 gives an unbounded WCR")
+        return abs(parameter.spec_limit / value)
+    return abs(value / parameter.spec_limit)
+
+
+@dataclass(frozen=True)
+class WCRClassifier:
+    """Configurable fig. 6 region boundaries.
+
+    Attributes
+    ----------
+    weakness_threshold:
+        Upper edge of the pass region (paper: 0.8).
+    fail_threshold:
+        Upper edge of the weakness region (paper: 1.0).
+    """
+
+    weakness_threshold: float = 0.8
+    fail_threshold: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.weakness_threshold < self.fail_threshold:
+            raise ValueError("need 0 < weakness_threshold < fail_threshold")
+
+    def classify(self, wcr: float) -> WCRClass:
+        """Region of one WCR value."""
+        if wcr < 0.0:
+            raise ValueError("WCR is an absolute ratio and cannot be negative")
+        if wcr <= self.weakness_threshold:
+            return WCRClass.PASS
+        if wcr <= self.fail_threshold:
+            return WCRClass.WEAKNESS
+        return WCRClass.FAIL
+
+    def classify_value(
+        self, value: float, parameter: DeviceParameter
+    ) -> Tuple[float, WCRClass]:
+        """WCR and region of a raw measured value."""
+        wcr = worst_case_ratio(value, parameter)
+        return wcr, self.classify(wcr)
+
+
+def batch_wcr(
+    values: Iterable[float], parameter: DeviceParameter
+) -> List[float]:
+    """WCR of each value in a batch."""
+    return [worst_case_ratio(v, parameter) for v in values]
+
+
+def worst_of(
+    values: Sequence[float], parameter: DeviceParameter
+) -> Tuple[int, float]:
+    """Index and WCR of the worst (largest-WCR) value in a batch.
+
+    Implements the outer ``Max`` over tests of eqs. (5)/(6): the worst case
+    over ``N`` tests is the largest per-test ratio.
+    """
+    if not values:
+        raise ValueError("empty batch has no worst case")
+    ratios = batch_wcr(values, parameter)
+    worst_index = max(range(len(ratios)), key=ratios.__getitem__)
+    return worst_index, ratios[worst_index]

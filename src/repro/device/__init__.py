@@ -1,0 +1,53 @@
+"""Behavioural semiconductor device simulator (the paper's 140nm test chip).
+
+The paper characterizes a 140nm memory test chip on industrial ATE.  This
+package substitutes a behavioural model with the properties the paper's
+method depends on:
+
+* a **test-dependent** AC parameter (data output valid time ``T_DQ``,
+  spec 20 ns, smaller = worse) whose response surface is driven by pattern
+  activity features, supply voltage, temperature and process variation
+  (:mod:`~repro.device.timing`, :mod:`~repro.device.sensitivity`);
+* a hidden **worst-case weakness**: a nonlinear interaction of several
+  activity features that degrades ``T_DQ`` far beyond what any single
+  feature explains — rare under random stimulus, invisible to march
+  patterns, learnable from features (the ground truth the NN+GA flow must
+  discover);
+* **Monte-Carlo process variation** and corner models
+  (:mod:`~repro.device.process`);
+* a functional memory array with injectable march-detectable fault models
+  (:mod:`~repro.device.memory_chip`, :mod:`~repro.device.faults`).
+"""
+
+from repro.device.faults import CouplingFault, FaultModel, StuckAtFault, TransitionFault
+from repro.device.memory_chip import FunctionalResult, MemoryTestChip
+from repro.device.parameters import DeviceParameter, SpecDirection, T_DQ_PARAMETER
+from repro.device.process import ProcessCorner, ProcessInstance, ProcessModel
+from repro.device.psn import PSNConfig, SupplyNoiseModel
+from repro.device.sensitivity import SensitivityModel, WeaknessSignature
+from repro.device.timing import SelfHeatingModel, TimingModel
+from repro.device.wafer import DieSite, RadialVariationModel, Wafer
+
+__all__ = [
+    "CouplingFault",
+    "FaultModel",
+    "StuckAtFault",
+    "TransitionFault",
+    "FunctionalResult",
+    "MemoryTestChip",
+    "DeviceParameter",
+    "SpecDirection",
+    "T_DQ_PARAMETER",
+    "ProcessCorner",
+    "ProcessInstance",
+    "ProcessModel",
+    "PSNConfig",
+    "SupplyNoiseModel",
+    "SensitivityModel",
+    "WeaknessSignature",
+    "SelfHeatingModel",
+    "TimingModel",
+    "DieSite",
+    "RadialVariationModel",
+    "Wafer",
+]

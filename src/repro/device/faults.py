@@ -1,0 +1,143 @@
+"""Memory fault models for the functional layer.
+
+The march-test substrate is only a credible Table-1 baseline if march tests
+*mean* something against the simulated chip, so the memory array supports the
+classic static fault models march algorithms are built to detect:
+
+* :class:`StuckAtFault` — a cell bit permanently reads 0 or 1 (SAF);
+* :class:`TransitionFault` — a cell bit cannot make one of the two
+  transitions (TF);
+* :class:`CouplingFault` — a transition of an aggressor bit forces or flips
+  a victim bit (idempotent / inversion CFs).
+
+Faults observe and modify single bit-cells addressed by ``(word, bit)``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class FaultModel(abc.ABC):
+    """A defect attached to the memory array.
+
+    The array calls :meth:`on_write` for every bit-cell write and
+    :meth:`on_read` for every bit-cell read; each hook may override the value
+    actually stored / observed.
+    """
+
+    @abc.abstractmethod
+    def on_write(
+        self, word: int, bit: int, old_value: int, new_value: int
+    ) -> Optional[int]:
+        """Return the value actually stored, or ``None`` to store ``new_value``."""
+
+    @abc.abstractmethod
+    def on_read(self, word: int, bit: int, stored_value: int) -> Optional[int]:
+        """Return the value actually observed, or ``None`` for ``stored_value``."""
+
+    def coupled_update(
+        self, word: int, bit: int, old_value: int, new_value: int
+    ) -> Optional[Tuple[int, int, int]]:
+        """Optional coupling action triggered by a write to ``(word, bit)``.
+
+        Returns ``(victim_word, victim_bit, forced_value)`` or ``None``.
+        ``forced_value`` of ``-1`` means "invert the victim".
+        """
+        return None
+
+
+@dataclass
+class StuckAtFault(FaultModel):
+    """Cell bit permanently stuck at ``stuck_value``."""
+
+    word: int
+    bit: int
+    stuck_value: int
+
+    def __post_init__(self) -> None:
+        if self.stuck_value not in (0, 1):
+            raise ValueError("stuck_value must be 0 or 1")
+
+    def on_write(
+        self, word: int, bit: int, old_value: int, new_value: int
+    ) -> Optional[int]:
+        if (word, bit) == (self.word, self.bit):
+            return self.stuck_value
+        return None
+
+    def on_read(self, word: int, bit: int, stored_value: int) -> Optional[int]:
+        if (word, bit) == (self.word, self.bit):
+            return self.stuck_value
+        return None
+
+
+@dataclass
+class TransitionFault(FaultModel):
+    """Cell bit cannot make the ``rising`` (0→1) or falling (1→0) transition."""
+
+    word: int
+    bit: int
+    rising: bool = True
+
+    def on_write(
+        self, word: int, bit: int, old_value: int, new_value: int
+    ) -> Optional[int]:
+        if (word, bit) != (self.word, self.bit):
+            return None
+        blocked = (old_value, new_value) == ((0, 1) if self.rising else (1, 0))
+        if blocked:
+            return old_value
+        return None
+
+    def on_read(self, word: int, bit: int, stored_value: int) -> Optional[int]:
+        return None
+
+
+@dataclass
+class CouplingFault(FaultModel):
+    """Aggressor transition disturbs a victim bit.
+
+    ``trigger_rising`` selects which aggressor transition couples.  With
+    ``invert_victim`` the victim flips (inversion CF); otherwise the victim
+    is forced to ``forced_value`` (idempotent CF).
+    """
+
+    aggressor_word: int
+    aggressor_bit: int
+    victim_word: int
+    victim_bit: int
+    trigger_rising: bool = True
+    invert_victim: bool = False
+    forced_value: int = 1
+
+    def __post_init__(self) -> None:
+        if (self.aggressor_word, self.aggressor_bit) == (
+            self.victim_word,
+            self.victim_bit,
+        ):
+            raise ValueError("aggressor and victim must be distinct cells")
+        if self.forced_value not in (0, 1):
+            raise ValueError("forced_value must be 0 or 1")
+
+    def on_write(
+        self, word: int, bit: int, old_value: int, new_value: int
+    ) -> Optional[int]:
+        return None
+
+    def on_read(self, word: int, bit: int, stored_value: int) -> Optional[int]:
+        return None
+
+    def coupled_update(
+        self, word: int, bit: int, old_value: int, new_value: int
+    ) -> Optional[Tuple[int, int, int]]:
+        if (word, bit) != (self.aggressor_word, self.aggressor_bit):
+            return None
+        transition = (old_value, new_value)
+        trigger = (0, 1) if self.trigger_rising else (1, 0)
+        if transition != trigger:
+            return None
+        forced = -1 if self.invert_victim else self.forced_value
+        return (self.victim_word, self.victim_bit, forced)

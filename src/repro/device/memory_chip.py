@@ -1,0 +1,233 @@
+"""The device under test: a behavioural memory test chip.
+
+:class:`MemoryTestChip` is the 140nm memory test chip substitute.  It exposes
+exactly the two faces real silicon shows a tester:
+
+* a **functional** face — apply a vector sequence, observe read-back data
+  (wrong data = functional failure; the array supports injected fault models
+  so march tests are meaningful), and
+* a **parametric** face — the *hidden* true ``T_DQ`` for a test, and a
+  strobe-level pass/fail oracle.  Characterization code never reads the true
+  value directly; it only observes pass/fail at a chosen strobe through the
+  ATE, which adds measurement noise on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.device.faults import FaultModel
+from repro.device.parameters import T_DQ_PARAMETER, DeviceParameter, SpecDirection
+from repro.device.process import NOMINAL_DIE, ProcessInstance
+from repro.device.sensitivity import SensitivityModel
+from repro.device.timing import TimingModel
+from repro.patterns.features import PatternFeatures, extract_features
+from repro.patterns.testcase import TestCase
+from repro.patterns.vectors import (
+    DEFAULT_ADDR_BITS,
+    DEFAULT_DATA_BITS,
+    Operation,
+    VectorSequence,
+)
+
+
+@dataclass(frozen=True)
+class FunctionalResult:
+    """Outcome of one functional pattern application.
+
+    ``mismatches`` lists ``(cycle, address, expected, observed)`` for every
+    read whose data differed from the golden (fault-free) model.
+    """
+
+    cycles: int
+    reads: int
+    mismatches: Tuple[Tuple[int, int, int, int], ...]
+
+    @property
+    def passed(self) -> bool:
+        """True when every read returned golden data."""
+        return not self.mismatches
+
+    @property
+    def failure_count(self) -> int:
+        """Number of miscompared reads."""
+        return len(self.mismatches)
+
+
+class _MemoryArray:
+    """Bit-accurate memory array with attached fault models."""
+
+    def __init__(self, words: int, data_bits: int, faults: Sequence[FaultModel]):
+        self.words = words
+        self.data_bits = data_bits
+        self.faults = list(faults)
+        self._cells = np.zeros(words, dtype=np.int64)
+
+    def reset(self) -> None:
+        self._cells.fill(0)
+
+    def write(self, address: int, word: int) -> None:
+        if not self.faults:
+            self._cells[address] = word
+            return
+        old_word = int(self._cells[address])
+        new_word = 0
+        coupling_actions: List[Tuple[int, int, int]] = []
+        for bit in range(self.data_bits):
+            old_bit = (old_word >> bit) & 1
+            requested = (word >> bit) & 1
+            stored = requested
+            for fault in self.faults:
+                override = fault.on_write(address, bit, old_bit, stored)
+                if override is not None:
+                    stored = override
+                action = fault.coupled_update(address, bit, old_bit, requested)
+                if action is not None:
+                    coupling_actions.append(action)
+            new_word |= stored << bit
+        self._cells[address] = new_word
+        for victim_word, victim_bit, forced in coupling_actions:
+            current = int(self._cells[victim_word])
+            current_bit = (current >> victim_bit) & 1
+            value = (1 - current_bit) if forced == -1 else forced
+            current = (current & ~(1 << victim_bit)) | (value << victim_bit)
+            self._cells[victim_word] = current
+
+    def read(self, address: int) -> int:
+        stored_word = int(self._cells[address])
+        if not self.faults:
+            return stored_word
+        observed = 0
+        for bit in range(self.data_bits):
+            stored_bit = (stored_word >> bit) & 1
+            seen = stored_bit
+            for fault in self.faults:
+                override = fault.on_read(address, bit, stored_bit)
+                if override is not None:
+                    seen = override
+            observed |= seen << bit
+        return observed
+
+
+class MemoryTestChip:
+    """One die of the simulated memory test chip.
+
+    Parameters
+    ----------
+    die:
+        Process instance (defaults to the nominal typical die).
+    timing:
+        Timing model; a default-configured model is built when omitted.
+    faults:
+        Injected memory fault models (empty = healthy die).
+    addr_bits, data_bits:
+        Bus geometry.
+    parameter:
+        The AC parameter this chip is characterized for (``T_DQ`` default).
+    """
+
+    def __init__(
+        self,
+        die: ProcessInstance = NOMINAL_DIE,
+        timing: Optional[TimingModel] = None,
+        faults: Sequence[FaultModel] = (),
+        addr_bits: int = DEFAULT_ADDR_BITS,
+        data_bits: int = DEFAULT_DATA_BITS,
+        parameter: DeviceParameter = T_DQ_PARAMETER,
+    ) -> None:
+        self.die = die
+        self.timing = timing if timing is not None else TimingModel(SensitivityModel())
+        self.addr_bits = addr_bits
+        self.data_bits = data_bits
+        self.parameter = parameter
+        self._array = _MemoryArray(1 << addr_bits, data_bits, faults)
+        self._golden = _MemoryArray(1 << addr_bits, data_bits, ())
+        # Feature and functional caches keyed by sequence identity; the
+        # sequence object is pinned in the value so ids cannot be recycled.
+        self._feature_cache: Dict[int, Tuple[VectorSequence, PatternFeatures]] = {}
+        self._functional_cache: Dict[int, Tuple[VectorSequence, FunctionalResult]] = {}
+
+    # -- functional face -------------------------------------------------------
+    def run_functional(self, sequence: VectorSequence) -> FunctionalResult:
+        """Apply a vector sequence and compare reads against the golden model.
+
+        Both the faulty and the golden array start from the all-zero reset
+        state, so the comparison isolates injected faults from data-history
+        effects.  Results are cached per sequence.
+        """
+        cached = self._functional_cache.get(id(sequence))
+        if cached is not None and cached[0] is sequence:
+            return cached[1]
+        self._array.reset()
+        self._golden.reset()
+        mismatches: List[Tuple[int, int, int, int]] = []
+        reads = 0
+        for cycle, vector in enumerate(sequence):
+            if vector.op is Operation.WRITE:
+                self._array.write(vector.address, vector.data)
+                self._golden.write(vector.address, vector.data)
+            elif vector.op is Operation.READ:
+                reads += 1
+                observed = self._array.read(vector.address)
+                expected = self._golden.read(vector.address)
+                if observed != expected:
+                    mismatches.append((cycle, vector.address, expected, observed))
+        result = FunctionalResult(
+            cycles=len(sequence), reads=reads, mismatches=tuple(mismatches)
+        )
+        self._functional_cache[id(sequence)] = (sequence, result)
+        return result
+
+    # -- parametric face ---------------------------------------------------------
+    def features_of(self, sequence: VectorSequence) -> PatternFeatures:
+        """Cached activity features of a sequence."""
+        cached = self._feature_cache.get(id(sequence))
+        if cached is not None and cached[0] is sequence:
+            return cached[1]
+        features = extract_features(sequence)
+        self._feature_cache[id(sequence)] = (sequence, features)
+        return features
+
+    def true_parameter_value(
+        self, test: TestCase, account_heating: bool = True
+    ) -> float:
+        """The hidden true parameter value for one application of ``test``.
+
+        Only the ATE measurement layer should call this; algorithms observe
+        the device exclusively through strobed pass/fail decisions.
+        """
+        features = self.features_of(test.sequence)
+        if self.parameter.name == "idd_peak":
+            return self.timing.idd_peak_ma(features, test.condition)
+        if self.parameter.name == "f_max":
+            return self.timing.f_max_mhz(
+                features, test.condition, self.die,
+                account_heating=account_heating,
+            )
+        return self.timing.t_dq_ns(
+            features, test.condition, self.die, account_heating=account_heating
+        )
+
+    def strobe_passes(self, test: TestCase, strobe_ns: float) -> bool:
+        """Pass/fail of ``test`` with the compare level at ``strobe_ns``.
+
+        For a min-limited parameter the device passes while the strobe still
+        falls inside the valid window (``strobe <= T_DQ``); for a max-limited
+        one, while the measured value stays below the level.  A functional
+        failure fails regardless of level placement.
+        """
+        if not self.run_functional(test.sequence).passed:
+            return False
+        value = self.true_parameter_value(test)
+        if self.parameter.direction is SpecDirection.MIN_IS_WORST:
+            return strobe_ns <= value
+        return value <= strobe_ns
+
+    def reset_state(self) -> None:
+        """Cool the die and clear the array (new characterization insertion)."""
+        self.timing.reset()
+        self._array.reset()
+        self._golden.reset()

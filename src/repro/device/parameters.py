@@ -1,0 +1,152 @@
+"""Device parameter definitions and spec limits.
+
+Characterization measures "the limits of various DC or AC parameters, such as
+supply voltage or clock frequency" (section 1).  A :class:`DeviceParameter`
+names one such parameter, its unit, the spec limit fixed in the design phase,
+and the *direction of badness* — whether drifting toward smaller or larger
+values is the worst case.  The paper's experiment uses the data output valid
+time ``T_DQ`` with spec 20 ns where "the minimum value is the worst case"
+(section 6, fig. 7).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class SpecDirection(enum.Enum):
+    """Which drift direction violates the spec.
+
+    ``MIN_IS_WORST``
+        The parameter has a minimum spec limit ``vmin``; smaller measured
+        values are worse (eq. 6 applies, e.g. ``T_DQ``).
+    ``MAX_IS_WORST``
+        The parameter has a maximum spec limit ``vmax``; larger measured
+        values are worse (eq. 5 applies, e.g. peak supply current).
+    """
+
+    MIN_IS_WORST = "min"
+    MAX_IS_WORST = "max"
+
+
+@dataclass(frozen=True)
+class DeviceParameter:
+    """One characterizable DC or AC parameter.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in datalogs and reports.
+    unit:
+        Physical unit string (e.g. ``"ns"``, ``"V"``, ``"mA"``).
+    direction:
+        Drift direction that violates the spec.
+    spec_limit:
+        The design-phase spec value: ``vmin`` for
+        :attr:`SpecDirection.MIN_IS_WORST`, ``vmax`` otherwise.
+    description:
+        Free-text definition of the parameter.
+    """
+
+    name: str
+    unit: str
+    direction: SpecDirection
+    spec_limit: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.spec_limit <= 0.0:
+            raise ValueError("spec_limit must be positive (WCR is a ratio)")
+
+    @property
+    def vmin(self) -> Optional[float]:
+        """Minimum spec limit, or ``None`` for max-limited parameters."""
+        if self.direction is SpecDirection.MIN_IS_WORST:
+            return self.spec_limit
+        return None
+
+    @property
+    def vmax(self) -> Optional[float]:
+        """Maximum spec limit, or ``None`` for min-limited parameters."""
+        if self.direction is SpecDirection.MAX_IS_WORST:
+            return self.spec_limit
+        return None
+
+    def meets_spec(self, value: float) -> bool:
+        """True if a measured ``value`` satisfies the spec limit."""
+        if self.direction is SpecDirection.MIN_IS_WORST:
+            return value >= self.spec_limit
+        return value <= self.spec_limit
+
+    def margin(self, value: float) -> float:
+        """Signed spec margin in parameter units (negative = violating)."""
+        if self.direction is SpecDirection.MIN_IS_WORST:
+            return value - self.spec_limit
+        return self.spec_limit - value
+
+    def __str__(self) -> str:
+        limit = "vmin" if self.direction is SpecDirection.MIN_IS_WORST else "vmax"
+        return f"{self.name} [{self.unit}] ({limit}={self.spec_limit:g})"
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (NN weight files record their parameter)."""
+        return {
+            "name": self.name,
+            "unit": self.unit,
+            "direction": self.direction.value,
+            "spec_limit": self.spec_limit,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DeviceParameter":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=payload["name"],
+            unit=payload["unit"],
+            direction=SpecDirection(payload["direction"]),
+            spec_limit=float(payload["spec_limit"]),
+            description=payload.get("description", ""),
+        )
+
+
+#: The paper's experimental parameter: "data output valid time T_DQ
+#: (spec = 20ns) ... The smaller the T value, the longer the required data
+#: valid time ... Thus, the minimum value is the worst case" (section 6).
+T_DQ_PARAMETER = DeviceParameter(
+    name="t_dq",
+    unit="ns",
+    direction=SpecDirection.MIN_IS_WORST,
+    spec_limit=20.0,
+    description=(
+        "Data output valid time with respect to address changes; the "
+        "processor must wait longer when the valid window shrinks."
+    ),
+)
+
+#: Maximum operating frequency — the section-4 example axis ("specified
+#: operating frequency of the device is 100MHz and the device will fail if
+#: operating frequency is further increased above 110MHz").  Smaller
+#: measured f_max is worse.
+F_MAX_PARAMETER = DeviceParameter(
+    name="f_max",
+    unit="MHz",
+    direction=SpecDirection.MIN_IS_WORST,
+    spec_limit=100.0,
+    description=(
+        "Maximum functional clock frequency; the trip point of a frequency "
+        "sweep (pass below, fail above)."
+    ),
+)
+
+#: A secondary max-limited parameter used by tests and examples to exercise
+#: eq. (5): peak dynamic supply current.
+IDD_PEAK_PARAMETER = DeviceParameter(
+    name="idd_peak",
+    unit="mA",
+    direction=SpecDirection.MAX_IS_WORST,
+    spec_limit=80.0,
+    description="Peak dynamic supply current during pattern execution.",
+)

@@ -1,0 +1,159 @@
+"""Process variation: corners and Monte-Carlo die sampling.
+
+Characterization selects "a statistically significant sample of devices"
+(section 1) because the exact operating limits vary with the semiconductor
+process.  A :class:`ProcessInstance` is one die: a corner plus within-die
+random offsets.  :class:`ProcessModel` samples instances reproducibly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+class ProcessCorner(enum.Enum):
+    """Classic five-corner model (NMOS/PMOS speed)."""
+
+    TT = "tt"  # typical / typical
+    FF = "ff"  # fast / fast
+    SS = "ss"  # slow / slow
+    FS = "fs"  # fast NMOS / slow PMOS
+    SF = "sf"  # slow NMOS / fast PMOS
+
+
+#: Corner shift of the T_DQ base value in ns (fast silicon has a wider valid
+#: window, slow silicon a narrower one) and of the Vdd sensitivity scale.
+_CORNER_TIMING_SHIFT_NS = {
+    ProcessCorner.TT: 0.0,
+    ProcessCorner.FF: +1.2,
+    ProcessCorner.SS: -1.4,
+    ProcessCorner.FS: -0.3,
+    ProcessCorner.SF: -0.5,
+}
+
+_CORNER_VDD_SENS_SCALE = {
+    ProcessCorner.TT: 1.0,
+    ProcessCorner.FF: 0.85,
+    ProcessCorner.SS: 1.25,
+    ProcessCorner.FS: 1.10,
+    ProcessCorner.SF: 1.05,
+}
+
+
+@dataclass(frozen=True)
+class ProcessInstance:
+    """One sampled die.
+
+    Attributes
+    ----------
+    die_id:
+        Sequential die identifier within its :class:`ProcessModel`.
+    corner:
+        The global process corner of the die's lot.
+    timing_offset_ns:
+        Within-die random offset added to the ``T_DQ`` base value.
+    vdd_sensitivity_scale:
+        Multiplicative factor on the supply-voltage sensitivity.
+    weakness_scale:
+        Multiplicative factor on the hidden weakness amplitude; dies vary in
+        how strongly the design weakness expresses itself.
+    """
+
+    die_id: int
+    corner: ProcessCorner = ProcessCorner.TT
+    timing_offset_ns: float = 0.0
+    vdd_sensitivity_scale: float = 1.0
+    weakness_scale: float = 1.0
+
+    @property
+    def corner_timing_shift_ns(self) -> float:
+        """Corner contribution to the ``T_DQ`` base value."""
+        return _CORNER_TIMING_SHIFT_NS[self.corner]
+
+    @property
+    def total_timing_shift_ns(self) -> float:
+        """Corner shift plus within-die offset."""
+        return self.corner_timing_shift_ns + self.timing_offset_ns
+
+    @property
+    def total_vdd_scale(self) -> float:
+        """Combined corner and within-die Vdd sensitivity scaling."""
+        return _CORNER_VDD_SENS_SCALE[self.corner] * self.vdd_sensitivity_scale
+
+    def __str__(self) -> str:
+        return (
+            f"die#{self.die_id} {self.corner.value.upper()} "
+            f"dT={self.total_timing_shift_ns:+.2f}ns "
+            f"kV={self.total_vdd_scale:.2f} w={self.weakness_scale:.2f}"
+        )
+
+
+#: The reference typical die used when no sampling is requested.
+NOMINAL_DIE = ProcessInstance(die_id=0)
+
+
+class ProcessModel:
+    """Reproducible Monte-Carlo die sampler.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed for the sampler.
+    timing_sigma_ns:
+        Within-die standard deviation of the timing offset.
+    vdd_scale_sigma:
+        Standard deviation of the Vdd-sensitivity scale around 1.0.
+    weakness_sigma:
+        Standard deviation of the weakness-amplitude scale around 1.0.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        timing_sigma_ns: float = 0.35,
+        vdd_scale_sigma: float = 0.05,
+        weakness_sigma: float = 0.10,
+    ) -> None:
+        if timing_sigma_ns < 0 or vdd_scale_sigma < 0 or weakness_sigma < 0:
+            raise ValueError("sigmas must be non-negative")
+        self._rng = np.random.default_rng(seed)
+        self.timing_sigma_ns = timing_sigma_ns
+        self.vdd_scale_sigma = vdd_scale_sigma
+        self.weakness_sigma = weakness_sigma
+        self._next_die_id = 0
+
+    def sample(self, corner: Optional[ProcessCorner] = None) -> ProcessInstance:
+        """Sample one die; corner drawn from a realistic lot mix if not given."""
+        rng = self._rng
+        if corner is None:
+            corner = ProcessCorner(
+                str(
+                    rng.choice(
+                        [c.value for c in ProcessCorner],
+                        p=[0.60, 0.10, 0.10, 0.10, 0.10],
+                    )
+                )
+            )
+        instance = ProcessInstance(
+            die_id=self._next_die_id,
+            corner=corner,
+            timing_offset_ns=float(rng.normal(0.0, self.timing_sigma_ns)),
+            vdd_sensitivity_scale=float(
+                max(0.5, rng.normal(1.0, self.vdd_scale_sigma))
+            ),
+            weakness_scale=float(max(0.0, rng.normal(1.0, self.weakness_sigma))),
+        )
+        self._next_die_id += 1
+        return instance
+
+    def sample_lot(
+        self, count: int, corner: Optional[ProcessCorner] = None
+    ) -> List[ProcessInstance]:
+        """Sample ``count`` dies (a characterization lot)."""
+        if count < 1:
+            raise ValueError("lot must contain at least one die")
+        return [self.sample(corner) for _ in range(count)]

@@ -1,0 +1,191 @@
+"""Timing model: assembles the true ``T_DQ`` of a die for one test.
+
+Combines the base valid-window of the die (process), the environmental
+derating (supply voltage, temperature, cycle time), the pattern-activity
+degradation (:mod:`~repro.device.sensitivity`) and a self-heating drift
+state.  The drift models the paper's observation that "if the specification
+parameter changes over time due to device heating or other factors, an
+inaccurate reading could result" (section 1) — it is what makes
+drift-tolerant search (successive approximation, SUTP re-centering) matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.process import NOMINAL_DIE, ProcessInstance
+from repro.device.sensitivity import SensitivityModel
+from repro.patterns.conditions import TestCondition
+from repro.patterns.features import PatternFeatures
+
+
+@dataclass
+class SelfHeatingModel:
+    """First-order thermal state of the die under test.
+
+    Every applied pattern deposits heat proportional to its switching
+    activity; heat decays geometrically between applications.  The stored
+    temperature rise derates ``T_DQ`` slightly, so long measurement
+    campaigns see a slowly drifting trip point.
+
+    Attributes
+    ----------
+    heating_per_application:
+        Temperature rise (K) per fully-active pattern application.
+    decay:
+        Geometric decay factor applied before each new application.
+    derating_ns_per_kelvin:
+        ``T_DQ`` reduction per kelvin of self-heating.
+    max_rise_kelvin:
+        Saturation of the thermal state.
+    """
+
+    heating_per_application: float = 0.15
+    decay: float = 0.98
+    derating_ns_per_kelvin: float = 0.02
+    max_rise_kelvin: float = 12.0
+    _rise_kelvin: float = 0.0
+
+    def apply(self, activity: float) -> None:
+        """Account one pattern application with ``activity`` in ``[0, 1]``."""
+        self._rise_kelvin = min(
+            self.max_rise_kelvin,
+            self._rise_kelvin * self.decay
+            + self.heating_per_application * activity,
+        )
+
+    @property
+    def rise_kelvin(self) -> float:
+        """Current temperature rise above ambient."""
+        return self._rise_kelvin
+
+    @property
+    def derating_ns(self) -> float:
+        """Current ``T_DQ`` derating caused by self-heating."""
+        return self._rise_kelvin * self.derating_ns_per_kelvin
+
+    def reset(self) -> None:
+        """Cool the die back to ambient (device handler soak)."""
+        self._rise_kelvin = 0.0
+
+
+@dataclass(frozen=True)
+class TimingConfig:
+    """Environmental derating constants of the ``T_DQ`` model."""
+
+    #: Valid window of a typical die at nominal conditions with a perfectly
+    #: quiet pattern, in ns.
+    base_ns: float = 33.2
+    #: Window change per volt of supply deviation from nominal (lower Vdd
+    #: shrinks the window).
+    vdd_slope_ns_per_v: float = 5.0
+    nominal_vdd: float = 1.8
+    #: Window change per kelvin above nominal ambient.
+    temp_slope_ns_per_k: float = -0.012
+    nominal_temperature: float = 25.0
+    #: Mild dependency on cycle time: very short cycles leave less settling
+    #: margin before the next address change.
+    clock_slope_ns_per_ns: float = 0.02
+    nominal_clock_period: float = 40.0
+    #: Weakness amplification per volt of undervoltage (the weakness is a
+    #: marginality, so it worsens as the supply droops).
+    weakness_vdd_gain_per_v: float = 0.5
+    #: Maximum operating frequency of the quiet nominal die (the section-4
+    #: example's "device will fail if operating frequency is further
+    #: increased above 110MHz").
+    f_max_quiet_mhz: float = 110.0
+    #: Frequency headroom lost per nanosecond of valid-window degradation.
+    f_max_slope_mhz_per_ns: float = 0.8
+
+
+class TimingModel:
+    """True (noise-free) ``T_DQ`` of a die for a given pattern and condition."""
+
+    def __init__(
+        self,
+        sensitivity: SensitivityModel,
+        config: TimingConfig = TimingConfig(),
+        heating: SelfHeatingModel | None = None,
+    ) -> None:
+        self.sensitivity = sensitivity
+        self.config = config
+        self.heating = heating if heating is not None else SelfHeatingModel()
+
+    def environmental_shift_ns(
+        self, condition: TestCondition, die: ProcessInstance
+    ) -> float:
+        """Signed window shift from the operating point, in ns."""
+        cfg = self.config
+        vdd_term = (
+            cfg.vdd_slope_ns_per_v
+            * die.total_vdd_scale
+            * (condition.vdd - cfg.nominal_vdd)
+        )
+        temp_term = cfg.temp_slope_ns_per_k * (
+            condition.temperature - cfg.nominal_temperature
+        )
+        clock_term = cfg.clock_slope_ns_per_ns * (
+            condition.clock_period - cfg.nominal_clock_period
+        )
+        return vdd_term + temp_term + clock_term
+
+    def t_dq_ns(
+        self,
+        features: PatternFeatures,
+        condition: TestCondition,
+        die: ProcessInstance = NOMINAL_DIE,
+        account_heating: bool = True,
+    ) -> float:
+        """True data-output-valid time for one test application.
+
+        When ``account_heating`` is set the call also deposits the pattern's
+        heat into the self-heating state (i.e. it models an actual
+        application of the pattern, not a what-if query).
+        """
+        cfg = self.config
+        base = cfg.base_ns + die.total_timing_shift_ns
+        base += self.environmental_shift_ns(condition, die)
+
+        linear = self.sensitivity.linear_drop_ns(features)
+        weakness = self.sensitivity.weakness_drop_ns(features)
+        undervolt = max(0.0, cfg.nominal_vdd - condition.vdd)
+        weakness *= die.weakness_scale * (
+            1.0 + cfg.weakness_vdd_gain_per_v * undervolt
+        )
+
+        if account_heating:
+            self.heating.apply(features["peak_window_activity"])
+        value = base - linear - weakness - self.heating.derating_ns
+        return float(value)
+
+    def idd_peak_ma(
+        self, features: PatternFeatures, condition: TestCondition
+    ) -> float:
+        """Peak supply current for the secondary (max-limited) parameter."""
+        return self.sensitivity.idd_peak_ma(features, condition.vdd)
+
+    def f_max_mhz(
+        self,
+        features: PatternFeatures,
+        condition: TestCondition,
+        die: ProcessInstance = NOMINAL_DIE,
+        account_heating: bool = True,
+    ) -> float:
+        """Maximum operating frequency for one test, in MHz.
+
+        Modelled off the same critical-path physics as ``T_DQ``: the quiet
+        nominal die runs at ~110 MHz (the section-4 example's fail point)
+        and every nanosecond of valid-window degradation costs
+        ``f_max_slope_mhz_per_ns`` of headroom.
+        """
+        t_dq = self.t_dq_ns(
+            features, condition, die, account_heating=account_heating
+        )
+        cfg = self.config
+        return cfg.f_max_quiet_mhz - cfg.f_max_slope_mhz_per_ns * (
+            cfg.base_ns - t_dq
+        )
+
+    def reset(self) -> None:
+        """Reset transient state (self-heating) between characterization runs."""
+        self.heating.reset()

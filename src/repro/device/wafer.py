@@ -1,0 +1,119 @@
+"""Wafer-level probing: spatial process variation and wafer maps.
+
+The paper's final analysis step re-runs worst-case tests "with ATE (e.g.
+wafer probing analysis) to localize the design weakness efficiently".  This
+module supplies the wafer substrate for that step:
+
+* a :class:`Wafer` of die sites on a circular grid;
+* a :class:`RadialVariationModel` — the classic bowl-shaped systematic
+  component (edge dies are slower) on top of the random die-to-die
+  variation of :class:`~repro.device.process.ProcessModel`;
+
+The :class:`~repro.core.wafer_probe.WaferProber` built on top of these
+characterizes every site with a test set and renders the wafer map.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.device.parameters import DeviceParameter, T_DQ_PARAMETER
+from repro.device.process import ProcessInstance, ProcessModel
+
+@dataclass(frozen=True)
+class DieSite:
+    """One probeable die location on the wafer grid."""
+
+    x: int
+    y: int
+    radius_norm: float  # 0 at center, 1 at the wafer edge
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.radius_norm <= 1.0:
+            raise ValueError("radius_norm must lie in [0, 1]")
+
+
+class Wafer:
+    """A circular grid of die sites.
+
+    Parameters
+    ----------
+    grid_diameter:
+        Number of die positions across the wafer diameter (odd keeps a
+        center die).
+    edge_exclusion:
+        Fraction of the radius excluded at the rim (unprobeable partial
+        dies).
+    """
+
+    def __init__(self, grid_diameter: int = 9, edge_exclusion: float = 0.0) -> None:
+        if grid_diameter < 3:
+            raise ValueError("grid_diameter must be >= 3")
+        if not 0.0 <= edge_exclusion < 1.0:
+            raise ValueError("edge_exclusion must be in [0, 1)")
+        self.grid_diameter = grid_diameter
+        self.edge_exclusion = edge_exclusion
+        half = (grid_diameter - 1) / 2.0
+        sites: List[DieSite] = []
+        for y in range(grid_diameter):
+            for x in range(grid_diameter):
+                radius = np.hypot(x - half, y - half) / max(half, 1e-9)
+                if radius <= 1.0 - edge_exclusion:
+                    sites.append(
+                        DieSite(x=x, y=y, radius_norm=float(min(radius, 1.0)))
+                    )
+        self._sites = tuple(sites)
+
+    @property
+    def sites(self) -> Tuple[DieSite, ...]:
+        """All probeable sites, row-major."""
+        return self._sites
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+
+class RadialVariationModel:
+    """Systematic bowl-shaped variation on top of random sampling.
+
+    Edge dies come out slower (smaller ``T_DQ`` base) and slightly more
+    weakness-prone — the classic radial signature of etch/CMP gradients.
+
+    Parameters
+    ----------
+    process:
+        Random die-to-die sampler.
+    edge_slowdown_ns:
+        ``T_DQ`` base reduction at the wafer edge relative to the center.
+    edge_weakness_gain:
+        Multiplicative weakness-amplitude increase at the edge.
+    """
+
+    def __init__(
+        self,
+        process: Optional[ProcessModel] = None,
+        edge_slowdown_ns: float = 1.2,
+        edge_weakness_gain: float = 0.15,
+        seed: int = 0,
+    ) -> None:
+        if edge_slowdown_ns < 0 or edge_weakness_gain < 0:
+            raise ValueError("gradients must be non-negative")
+        self.process = process if process is not None else ProcessModel(seed=seed)
+        self.edge_slowdown_ns = edge_slowdown_ns
+        self.edge_weakness_gain = edge_weakness_gain
+
+    def die_at(self, site: DieSite) -> ProcessInstance:
+        """Sample the die at one site (random part + radial systematic)."""
+        die = self.process.sample()
+        radial = site.radius_norm**2
+        return dataclasses.replace(
+            die,
+            timing_offset_ns=die.timing_offset_ns
+            - self.edge_slowdown_ns * radial,
+            weakness_scale=die.weakness_scale
+            * (1.0 + self.edge_weakness_gain * radial),
+        )

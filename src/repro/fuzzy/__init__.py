@@ -1,0 +1,36 @@
+"""Fuzzy set theory substrate (paper ref [8], Bezdek).
+
+The paper "strongly recommend[s] to use fuzzy variables to encode
+measurement values as fuzzy logic can describe more than one analysis
+parameter; such as if A and B and C, then D is quite close to the limit of
+the target device-spec" (section 5).
+
+This package provides membership functions (:mod:`~repro.fuzzy.membership`),
+linguistic variables (:mod:`~repro.fuzzy.variables`), a small Mamdani
+inference engine (:mod:`~repro.fuzzy.inference`) and — the piece the fig. 4
+learning scheme actually consumes — the trip-point coders
+(:mod:`~repro.fuzzy.coding`): fuzzy and plain-numeric encodings of measured
+trip-point values into NN training targets.
+"""
+
+from repro.fuzzy.coding import NumericTripPointCoder, TripPointFuzzyCoder
+from repro.fuzzy.inference import FuzzyInferenceSystem, FuzzyRule
+from repro.fuzzy.membership import (
+    GaussianMF,
+    MembershipFunction,
+    TrapezoidalMF,
+    TriangularMF,
+)
+from repro.fuzzy.variables import LinguisticVariable
+
+__all__ = [
+    "NumericTripPointCoder",
+    "TripPointFuzzyCoder",
+    "FuzzyInferenceSystem",
+    "FuzzyRule",
+    "GaussianMF",
+    "MembershipFunction",
+    "TrapezoidalMF",
+    "TriangularMF",
+    "LinguisticVariable",
+]

@@ -1,0 +1,123 @@
+"""Minimal Mamdani fuzzy inference.
+
+Supports the paper's motivating rule shape: "if A and B and C, then D is
+quite close to the limit of the target device-spec".  Antecedents combine
+with min (AND), rule activations clip the consequent sets, aggregation is
+max, and defuzzification is the centroid of the aggregated set sampled over
+the output universe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.fuzzy.variables import LinguisticVariable
+
+
+@dataclass(frozen=True)
+class FuzzyRule:
+    """IF (var1 is term1) AND ... THEN (out_var is out_term)."""
+
+    antecedents: Tuple[Tuple[str, str], ...]
+    consequent: Tuple[str, str]
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.antecedents:
+            raise ValueError("a rule needs at least one antecedent")
+        if not 0.0 < self.weight <= 1.0:
+            raise ValueError("rule weight must be in (0, 1]")
+
+
+class FuzzyInferenceSystem:
+    """Mamdani engine over a set of linguistic variables.
+
+    Parameters
+    ----------
+    inputs:
+        Input variables by name.
+    output:
+        The single output variable.
+    rules:
+        Rule base; antecedent variable/term names must exist.
+    samples:
+        Output-universe sampling density for centroid defuzzification.
+    """
+
+    def __init__(
+        self,
+        inputs: Mapping[str, LinguisticVariable],
+        output: LinguisticVariable,
+        rules: Sequence[FuzzyRule],
+        samples: int = 201,
+    ) -> None:
+        if not rules:
+            raise ValueError("rule base is empty")
+        if samples < 3:
+            raise ValueError("need at least 3 defuzzification samples")
+        self.inputs = dict(inputs)
+        self.output = output
+        self.rules = list(rules)
+        self.samples = samples
+        for rule in self.rules:
+            for var_name, term in rule.antecedents:
+                if var_name not in self.inputs:
+                    raise ValueError(f"rule references unknown input {var_name!r}")
+                self.inputs[var_name].term(term)  # raises KeyError if missing
+            out_var, out_term = rule.consequent
+            if out_var != output.name:
+                raise ValueError(
+                    f"rule consequent variable {out_var!r} != output "
+                    f"{output.name!r}"
+                )
+            output.term(out_term)
+
+    def rule_activation(
+        self, rule: FuzzyRule, crisp_inputs: Mapping[str, float]
+    ) -> float:
+        """Min-AND activation of one rule for crisp inputs."""
+        degrees = []
+        for var_name, term in rule.antecedents:
+            if var_name not in crisp_inputs:
+                raise KeyError(f"missing crisp input {var_name!r}")
+            variable = self.inputs[var_name]
+            degrees.append(float(variable.term(term)(crisp_inputs[var_name])))
+        return rule.weight * min(degrees)
+
+    def aggregate(self, crisp_inputs: Mapping[str, float]) -> np.ndarray:
+        """Max-aggregated clipped consequent over the output universe."""
+        low, high = self.output.universe
+        axis = np.linspace(low, high, self.samples)
+        aggregated = np.zeros_like(axis)
+        for rule in self.rules:
+            activation = self.rule_activation(rule, crisp_inputs)
+            if activation <= 0.0:
+                continue
+            _, out_term = rule.consequent
+            clipped = np.minimum(self.output.term(out_term)(axis), activation)
+            aggregated = np.maximum(aggregated, clipped)
+        return aggregated
+
+    def evaluate(self, crisp_inputs: Mapping[str, float]) -> float:
+        """Centroid-defuzzified crisp output.
+
+        When no rule fires, the center of the output universe is returned
+        (the conventional neutral fallback).
+        """
+        low, high = self.output.universe
+        axis = np.linspace(low, high, self.samples)
+        aggregated = self.aggregate(crisp_inputs)
+        mass = aggregated.sum()
+        if mass <= 0.0:
+            return 0.5 * (low + high)
+        return float((axis * aggregated).sum() / mass)
+
+    def activations(self, crisp_inputs: Mapping[str, float]) -> Dict[int, float]:
+        """Per-rule activation levels (diagnostics)."""
+        return {
+            i: self.rule_activation(rule, crisp_inputs)
+            for i, rule in enumerate(self.rules)
+        }

@@ -1,0 +1,116 @@
+"""Linguistic variables.
+
+A :class:`LinguisticVariable` names a crisp axis (a universe interval) and a
+set of linguistic *terms*, each backed by a membership function.
+Fuzzification of a crisp value yields the degree vector over the terms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.fuzzy.membership import MembershipFunction, TriangularMF
+
+
+class LinguisticVariable:
+    """A named fuzzy axis with ordered terms.
+
+    Parameters
+    ----------
+    name:
+        Variable name (e.g. ``"wcr"``).
+    universe:
+        Closed ``(low, high)`` crisp range.
+    terms:
+        Ordered ``(label, membership_function)`` pairs.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        universe: Tuple[float, float],
+        terms: Sequence[Tuple[str, MembershipFunction]],
+    ) -> None:
+        low, high = universe
+        if low >= high:
+            raise ValueError("universe must satisfy low < high")
+        if not terms:
+            raise ValueError("a linguistic variable needs at least one term")
+        labels = [label for label, _ in terms]
+        if len(set(labels)) != len(labels):
+            raise ValueError("term labels must be unique")
+        self.name = name
+        self.universe = (float(low), float(high))
+        self._terms: List[Tuple[str, MembershipFunction]] = list(terms)
+
+    @property
+    def labels(self) -> List[str]:
+        """Ordered term labels."""
+        return [label for label, _ in self._terms]
+
+    def term(self, label: str) -> MembershipFunction:
+        """Membership function of one term."""
+        for name, mf in self._terms:
+            if name == label:
+                return mf
+        raise KeyError(f"variable {self.name!r} has no term {label!r}")
+
+    def fuzzify(self, value: float) -> Dict[str, float]:
+        """Degrees of all terms for a crisp value."""
+        return {label: float(mf(value)) for label, mf in self._terms}
+
+    def membership_vector(self, value: float) -> np.ndarray:
+        """Degrees in term order as an array."""
+        return np.array([float(mf(value)) for _, mf in self._terms])
+
+    def best_term(self, value: float) -> str:
+        """Label of the maximally activated term."""
+        vector = self.membership_vector(value)
+        return self.labels[int(np.argmax(vector))]
+
+    @classmethod
+    def uniform_partition(
+        cls,
+        name: str,
+        universe: Tuple[float, float],
+        labels: Sequence[str],
+    ) -> "LinguisticVariable":
+        """Standard triangular Ruspini partition over the universe.
+
+        Neighbouring triangles cross at degree 0.5 and the degrees sum to 1
+        everywhere inside the universe; the first and last term shoulder
+        out to the universe edges.
+        """
+        return cls.partition_at(name, universe, labels, centers=None)
+
+    @classmethod
+    def partition_at(
+        cls,
+        name: str,
+        universe: Tuple[float, float],
+        labels: Sequence[str],
+        centers: Sequence[float] = None,
+    ) -> "LinguisticVariable":
+        """Triangular partition with explicit (or uniform) term centers."""
+        if len(labels) < 2:
+            raise ValueError("a partition needs at least two terms")
+        low, high = universe
+        if centers is None:
+            centers = list(np.linspace(low, high, len(labels)))
+        centers = [float(c) for c in centers]
+        if len(centers) != len(labels):
+            raise ValueError("need one center per label")
+        if sorted(centers) != centers:
+            raise ValueError("centers must be non-decreasing")
+        terms: List[Tuple[str, MembershipFunction]] = []
+        for i, label in enumerate(labels):
+            left = centers[i - 1] if i > 0 else low - (centers[1] - centers[0])
+            right = (
+                centers[i + 1]
+                if i < len(labels) - 1
+                else high + (centers[-1] - centers[-2])
+            )
+            terms.append((label, TriangularMF(left, centers[i], right)))
+        return cls(name, universe, terms)

@@ -1,0 +1,33 @@
+"""Genetic algorithm substrate.
+
+The fig. 5 optimization scheme evolves tests against ATE-measured fitness.
+"In order to deal with two different types of chromosomes — test sequences
+and test conditions — we have developed a GA method evolving multiple
+populations of different individuals over a number of generations"
+(section 6).
+
+* :mod:`~repro.ga.chromosome` — the two-species individual (vector-sequence
+  chromosome + normalized condition-gene chromosome);
+* :mod:`~repro.ga.operators` — selection, species-specific crossover and
+  mutation (including stimulus *motif* insertion, the structured mutation
+  that lets the GA compose activity blocks);
+* :mod:`~repro.ga.population` — one population with elitism bookkeeping;
+* :mod:`~repro.ga.engine` — the multi-population engine with migration,
+  stagnation restart and the worst-case-ratio stop rule;
+* :mod:`~repro.ga.fitness` — fitness evaluator interfaces and caching.
+"""
+
+from repro.ga.chromosome import TestIndividual
+from repro.ga.engine import GAConfig, GAResult, MultiPopulationGA
+from repro.ga.fitness import CachingFitness, FitnessFunction
+from repro.ga.population import Population
+
+__all__ = [
+    "TestIndividual",
+    "GAConfig",
+    "GAResult",
+    "MultiPopulationGA",
+    "CachingFitness",
+    "FitnessFunction",
+    "Population",
+]

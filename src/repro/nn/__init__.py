@@ -1,0 +1,49 @@
+"""Neural networks from scratch (numpy only).
+
+The learning scheme of fig. 4 trains feed-forward networks to map encoded
+input tests to (fuzzy-coded) trip-point classes, supervised by ATE
+measurements.  This package provides the substrate, following the texts the
+paper cites ([12] Patterson, [14] Masters):
+
+* dense layers, classic activations and losses
+  (:mod:`~repro.nn.layers`, :mod:`~repro.nn.activations`,
+  :mod:`~repro.nn.losses`);
+* a multilayer perceptron with backpropagation (:mod:`~repro.nn.mlp`);
+* a minibatch SGD trainer with momentum and early stopping
+  (:mod:`~repro.nn.trainer`);
+* the paper's **NN voting machine**: "multiple NNs are trained on different
+  subsets of the training input tests, then vote in parallel on unknown
+  input tests" (:mod:`~repro.nn.ensemble`);
+* the iterative "learnability and generalization check" loop
+  (:mod:`~repro.nn.generalization`);
+* the NN weight file produced "at the end of NN learning"
+  (:mod:`~repro.nn.weights_io`).
+"""
+
+from repro.nn.activations import Identity, ReLU, Sigmoid, Softmax, Tanh
+from repro.nn.ensemble import VotingEnsemble
+from repro.nn.ga_training import GAWeightTrainer
+from repro.nn.generalization import GeneralizationChecker, GeneralizationReport
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn.mlp import MLP
+from repro.nn.trainer import Trainer, TrainingHistory
+from repro.nn.weights_io import load_weights, save_weights
+
+__all__ = [
+    "Identity",
+    "ReLU",
+    "Sigmoid",
+    "Softmax",
+    "Tanh",
+    "VotingEnsemble",
+    "GAWeightTrainer",
+    "GeneralizationChecker",
+    "GeneralizationReport",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "MLP",
+    "Trainer",
+    "TrainingHistory",
+    "load_weights",
+    "save_weights",
+]

@@ -1,0 +1,86 @@
+"""Iterative learnability and generalization check.
+
+Fig. 4, step 4: "NN will continue learning with iterative network
+learnability and generalization check until learning and generalization
+error is small enough; otherwise go back to (1)" — i.e. collect more
+measured tests and retrain.
+
+:class:`GeneralizationChecker` encodes that loop's decision logic: given the
+learning curves of a (ensemble) fit it judges *learnability* (did the
+training error come down at all?) and *generalization* (is the validation
+error close to the training error and below threshold?), and recommends one
+of ``accept`` / ``more_data`` / ``retrain``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class LearningVerdict(enum.Enum):
+    """Outcome of one learnability/generalization check."""
+
+    ACCEPT = "accept"  # errors small enough -> write the weight file
+    MORE_DATA = "more_data"  # generalization gap -> "go back to (1)"
+    RETRAIN = "retrain"  # did not learn -> new initialization / capacity
+
+
+@dataclass(frozen=True)
+class GeneralizationReport:
+    """Metrics plus verdict of one check."""
+
+    train_error: float
+    val_error: float
+    generalization_gap: float
+    verdict: LearningVerdict
+
+    @property
+    def accepted(self) -> bool:
+        """True when learning can stop."""
+        return self.verdict is LearningVerdict.ACCEPT
+
+
+class GeneralizationChecker:
+    """Decision thresholds of the fig. 4 learning loop.
+
+    Parameters
+    ----------
+    max_val_error:
+        Acceptable validation (generalization) error.
+    max_gap:
+        Acceptable ``val - train`` error gap; a larger gap means the
+        network memorized its subset and needs more measured tests.
+    learnability_floor:
+        If the training error itself stays above this, the run is judged
+        unlearnable (bad initialization / insufficient capacity) and a
+        retrain is recommended.
+    """
+
+    def __init__(
+        self,
+        max_val_error: float = 0.25,
+        max_gap: float = 0.15,
+        learnability_floor: float = 0.60,
+    ) -> None:
+        if max_val_error <= 0 or max_gap <= 0 or learnability_floor <= 0:
+            raise ValueError("thresholds must be positive")
+        self.max_val_error = max_val_error
+        self.max_gap = max_gap
+        self.learnability_floor = learnability_floor
+
+    def check(self, train_error: float, val_error: float) -> GeneralizationReport:
+        """Judge one fit from its final train/validation errors."""
+        gap = val_error - train_error
+        if train_error > self.learnability_floor:
+            verdict = LearningVerdict.RETRAIN
+        elif val_error <= self.max_val_error and gap <= self.max_gap:
+            verdict = LearningVerdict.ACCEPT
+        else:
+            verdict = LearningVerdict.MORE_DATA
+        return GeneralizationReport(
+            train_error=train_error,
+            val_error=val_error,
+            generalization_gap=gap,
+            verdict=verdict,
+        )

@@ -1,0 +1,91 @@
+"""Dense (fully connected) layers.
+
+A :class:`DenseLayer` owns its weight matrix and bias vector, caches the
+values needed for backprop during ``forward``, and accumulates parameter
+gradients during ``backward`` for the optimizer to consume.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.activations import Activation, Identity
+
+
+class DenseLayer:
+    """``y = activation(x @ W + b)``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Layer geometry.
+    activation:
+        Nonlinearity; :class:`~repro.nn.activations.Identity` by default.
+    rng:
+        Initialization RNG.  Weights use scaled-uniform (Glorot) init,
+        biases start at zero.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        activation: Optional[Activation] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if in_features < 1 or out_features < 1:
+            raise ValueError("layer dimensions must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        limit = np.sqrt(6.0 / (in_features + out_features))
+        self.weights = rng.uniform(-limit, limit, size=(in_features, out_features))
+        self.bias = np.zeros(out_features)
+        self.activation = activation if activation is not None else Identity()
+
+        self.grad_weights = np.zeros_like(self.weights)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._cached_input: Optional[np.ndarray] = None
+        self._cached_output: Optional[np.ndarray] = None
+
+    @property
+    def in_features(self) -> int:
+        """Input dimension."""
+        return self.weights.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        """Output dimension."""
+        return self.weights.shape[1]
+
+    def forward(self, inputs: np.ndarray, train: bool = False) -> np.ndarray:
+        """Compute the layer output for a ``(batch, in_features)`` input.
+
+        With ``train=True`` the input and output are cached for the
+        subsequent :meth:`backward`.
+        """
+        if inputs.ndim != 2 or inputs.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input of shape (batch, {self.in_features}), "
+                f"got {inputs.shape}"
+            )
+        pre_activation = inputs @ self.weights + self.bias
+        output = self.activation.forward(pre_activation)
+        if train:
+            self._cached_input = inputs
+            self._cached_output = output
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate; accumulates parameter grads, returns input grad."""
+        if self._cached_input is None or self._cached_output is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        grad_pre = self.activation.backward(grad_output, self._cached_output)
+        self.grad_weights = self._cached_input.T @ grad_pre
+        self.grad_bias = grad_pre.sum(axis=0)
+        return grad_pre @ self.weights.T
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients."""
+        self.grad_weights.fill(0.0)
+        self.grad_bias.fill(0.0)

@@ -1,0 +1,71 @@
+"""Training losses.
+
+A loss exposes ``value`` (scalar, averaged over the batch) and ``gradient``
+(w.r.t. the network output).  :class:`CrossEntropyLoss` is meant to sit
+behind a softmax output layer and returns the combined
+softmax-cross-entropy gradient ``(p - y) / batch``.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+class Loss(abc.ABC):
+    """Base class of training losses."""
+
+    name: str = "loss"
+
+    @abc.abstractmethod
+    def value(self, predicted: np.ndarray, target: np.ndarray) -> float:
+        """Mean loss over the batch."""
+
+    @abc.abstractmethod
+    def gradient(self, predicted: np.ndarray, target: np.ndarray) -> np.ndarray:
+        """Gradient of :meth:`value` w.r.t. ``predicted``."""
+
+    @staticmethod
+    def _check_shapes(predicted: np.ndarray, target: np.ndarray) -> None:
+        if predicted.shape != target.shape:
+            raise ValueError(
+                f"prediction shape {predicted.shape} != target shape {target.shape}"
+            )
+
+
+class MSELoss(Loss):
+    """Mean squared error (regression / fuzzy membership targets)."""
+
+    name = "mse"
+
+    def value(self, predicted: np.ndarray, target: np.ndarray) -> float:
+        self._check_shapes(predicted, target)
+        return float(np.mean((predicted - target) ** 2))
+
+    def gradient(self, predicted: np.ndarray, target: np.ndarray) -> np.ndarray:
+        self._check_shapes(predicted, target)
+        return 2.0 * (predicted - target) / predicted.size
+
+
+class CrossEntropyLoss(Loss):
+    """Categorical cross-entropy over softmax probabilities.
+
+    ``predicted`` must already be probabilities (the output of a softmax
+    layer); ``target`` is a one-hot or soft-label distribution per row.
+    The returned gradient is the combined softmax+CE gradient, matching the
+    pass-through backward of :class:`~repro.nn.activations.Softmax`.
+    """
+
+    name = "cross_entropy"
+
+    def value(self, predicted: np.ndarray, target: np.ndarray) -> float:
+        self._check_shapes(predicted, target)
+        clipped = np.clip(predicted, _EPS, 1.0)
+        return float(-np.mean(np.sum(target * np.log(clipped), axis=-1)))
+
+    def gradient(self, predicted: np.ndarray, target: np.ndarray) -> np.ndarray:
+        self._check_shapes(predicted, target)
+        return (predicted - target) / predicted.shape[0]

@@ -1,0 +1,150 @@
+"""Multilayer perceptron.
+
+A plain feed-forward stack of dense layers with backpropagation — the
+network class of the paper's refs [12][14].  Construction is by layer
+sizes plus activation names, e.g. ``MLP([21, 24, 12, 4], hidden="tanh",
+output="softmax", seed=7)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.activations import activation_by_name
+from repro.nn.layers import DenseLayer
+from repro.nn.losses import CrossEntropyLoss, Loss
+
+
+class MLP:
+    """Feed-forward network.
+
+    Parameters
+    ----------
+    layer_sizes:
+        ``[input_dim, hidden..., output_dim]`` — at least two entries.
+    hidden:
+        Activation name for all hidden layers.
+    output:
+        Activation name for the output layer (``"softmax"`` for
+        classification, ``"identity"`` for regression).
+    seed:
+        Weight initialization seed.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        hidden: str = "tanh",
+        output: str = "softmax",
+        seed: int = 0,
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least input and output layer sizes")
+        rng = np.random.default_rng(seed)
+        self.layer_sizes = list(layer_sizes)
+        self.hidden_name = hidden
+        self.output_name = output
+        self.layers: List[DenseLayer] = []
+        for i in range(len(layer_sizes) - 1):
+            is_last = i == len(layer_sizes) - 2
+            activation = activation_by_name(output if is_last else hidden)
+            self.layers.append(
+                DenseLayer(layer_sizes[i], layer_sizes[i + 1], activation, rng)
+            )
+
+    @property
+    def input_dim(self) -> int:
+        """Expected input feature count."""
+        return self.layer_sizes[0]
+
+    @property
+    def output_dim(self) -> int:
+        """Output vector size."""
+        return self.layer_sizes[-1]
+
+    # -- inference ---------------------------------------------------------------
+    def forward(self, inputs: np.ndarray, train: bool = False) -> np.ndarray:
+        """Run the network on a ``(batch, input_dim)`` matrix."""
+        out = np.atleast_2d(np.asarray(inputs, dtype=float))
+        for layer in self.layers:
+            out = layer.forward(out, train=train)
+        return out
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Inference-mode forward pass."""
+        return self.forward(inputs, train=False)
+
+    def classify(self, inputs: np.ndarray) -> np.ndarray:
+        """Argmax class index per row."""
+        return np.argmax(self.predict(inputs), axis=-1)
+
+    # -- training ----------------------------------------------------------------
+    def backward(self, grad_output: np.ndarray) -> None:
+        """Backpropagate a loss gradient through all layers."""
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+
+    def train_batch(
+        self, inputs: np.ndarray, targets: np.ndarray, loss: Loss,
+        learning_rate: float, momentum_buffers: Optional[list] = None,
+        momentum: float = 0.0,
+    ) -> float:
+        """One forward/backward/update step; returns the batch loss."""
+        predicted = self.forward(inputs, train=True)
+        batch_loss = loss.value(predicted, targets)
+        self.backward(loss.gradient(predicted, targets))
+        if momentum_buffers is None:
+            for layer in self.layers:
+                layer.weights -= learning_rate * layer.grad_weights
+                layer.bias -= learning_rate * layer.grad_bias
+        else:
+            for layer, (vel_w, vel_b) in zip(self.layers, momentum_buffers):
+                vel_w *= momentum
+                vel_w -= learning_rate * layer.grad_weights
+                layer.weights += vel_w
+                vel_b *= momentum
+                vel_b -= learning_rate * layer.grad_bias
+                layer.bias += vel_b
+        return batch_loss
+
+    def evaluate(self, inputs: np.ndarray, targets: np.ndarray, loss: Loss) -> float:
+        """Mean loss on a dataset without updating weights."""
+        return loss.value(self.predict(inputs), targets)
+
+    def accuracy(self, inputs: np.ndarray, target_classes: np.ndarray) -> float:
+        """Classification accuracy against integer class labels."""
+        return float(np.mean(self.classify(inputs) == target_classes))
+
+    # -- parameter access (weight file, GA-assisted training) ----------------------
+    def get_parameters(self) -> List[np.ndarray]:
+        """Flat list ``[W0, b0, W1, b1, ...]`` of parameter *copies*."""
+        params: List[np.ndarray] = []
+        for layer in self.layers:
+            params.append(layer.weights.copy())
+            params.append(layer.bias.copy())
+        return params
+
+    def set_parameters(self, params: Sequence[np.ndarray]) -> None:
+        """Load parameters produced by :meth:`get_parameters`."""
+        if len(params) != 2 * len(self.layers):
+            raise ValueError(
+                f"expected {2 * len(self.layers)} arrays, got {len(params)}"
+            )
+        for i, layer in enumerate(self.layers):
+            weights, bias = params[2 * i], params[2 * i + 1]
+            if weights.shape != layer.weights.shape or bias.shape != layer.bias.shape:
+                raise ValueError(f"parameter shape mismatch at layer {i}")
+            layer.weights = weights.copy()
+            layer.bias = bias.copy()
+
+    def clone_architecture(self, seed: int) -> "MLP":
+        """Fresh network with the same architecture and new random weights."""
+        return MLP(self.layer_sizes, self.hidden_name, self.output_name, seed=seed)
+
+
+def default_classifier_loss() -> Loss:
+    """The loss matching the default softmax output layer."""
+    return CrossEntropyLoss()

@@ -1,0 +1,88 @@
+"""NN weight file.
+
+"At the end of NN learning, a NN weight file is generated.  This file will
+be used in classification task of worst case test based on only software
+computation without measurement in optimization phase" (fig. 4, step 5).
+
+The format is a single JSON document holding the architecture, the
+activation names, every member's parameters and free-form metadata (feature
+names, fuzzy class labels, training statistics), so a weight file is
+self-describing and loadable years later.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.nn.ensemble import VotingEnsemble
+from repro.nn.mlp import MLP
+
+FORMAT_VERSION = 1
+
+
+def _mlp_to_dict(network: MLP) -> Dict[str, Any]:
+    return {
+        "layer_sizes": network.layer_sizes,
+        "hidden": network.hidden_name,
+        "output": network.output_name,
+        "parameters": [p.tolist() for p in network.get_parameters()],
+    }
+
+
+def _mlp_from_dict(payload: Dict[str, Any]) -> MLP:
+    network = MLP(
+        payload["layer_sizes"], payload["hidden"], payload["output"], seed=0
+    )
+    network.set_parameters([np.asarray(p, dtype=float) for p in payload["parameters"]])
+    return network
+
+
+def save_weights(
+    target: Union[MLP, VotingEnsemble],
+    path: Union[str, Path],
+    metadata: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write a network or a full voting ensemble to a weight file."""
+    if isinstance(target, VotingEnsemble):
+        members = target.members
+        kind = "ensemble"
+    else:
+        members = [target]
+        kind = "mlp"
+    document = {
+        "format_version": FORMAT_VERSION,
+        "kind": kind,
+        "members": [_mlp_to_dict(member) for member in members],
+        "metadata": metadata or {},
+    }
+    Path(path).write_text(json.dumps(document))
+
+
+def load_weights(path: Union[str, Path]) -> tuple:
+    """Load a weight file.
+
+    Returns ``(networks, metadata)`` where ``networks`` is a list of
+    :class:`~repro.nn.mlp.MLP` (length 1 for a single-network file).
+    """
+    document = json.loads(Path(path).read_text())
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported weight file version {version!r}")
+    networks: List[MLP] = [
+        _mlp_from_dict(member) for member in document["members"]
+    ]
+    if not networks:
+        raise ValueError("weight file contains no networks")
+    return networks, document.get("metadata", {})
+
+
+def ensemble_from_weight_file(path: Union[str, Path]) -> VotingEnsemble:
+    """Reconstruct a :class:`VotingEnsemble` from a saved weight file."""
+    networks, _ = load_weights(path)
+    ensemble = VotingEnsemble(networks[0], n_networks=len(networks))
+    ensemble.members = networks
+    return ensemble

@@ -1,0 +1,47 @@
+"""Test stimuli: vector sequences, test conditions, pattern generators.
+
+A *test* in the paper's sense is a pair of
+
+* a short functional **vector sequence** (100-1000 cycles of read/write
+  operations against the device under test), and
+* a set of **test conditions** (supply voltage, temperature, clock period).
+
+This package provides the data model for both (:mod:`~repro.patterns.vectors`,
+:mod:`~repro.patterns.conditions`, :mod:`~repro.patterns.testcase`), the
+deterministic march-test library used as the conventional baseline
+(:mod:`~repro.patterns.march`), the seeded random test generator of the
+paper's refs. [9][10] (:mod:`~repro.patterns.random_gen`), pattern feature
+extraction (:mod:`~repro.patterns.features`) and the codecs that map tests to
+neural-network inputs and GA chromosomes (:mod:`~repro.patterns.encoding`).
+"""
+
+from repro.patterns.classic import (
+    available_classic_patterns,
+    build_classic_pattern,
+)
+from repro.patterns.conditions import ConditionSpace, TestCondition
+from repro.patterns.encoding import TestEncoder
+from repro.patterns.features import FEATURE_NAMES, PatternFeatures, extract_features
+from repro.patterns.march import MarchElement, MarchTest, compile_march
+from repro.patterns.random_gen import RandomTestGenerator
+from repro.patterns.testcase import TestCase
+from repro.patterns.vectors import Operation, TestVector, VectorSequence
+
+__all__ = [
+    "available_classic_patterns",
+    "build_classic_pattern",
+    "ConditionSpace",
+    "TestCondition",
+    "TestEncoder",
+    "FEATURE_NAMES",
+    "PatternFeatures",
+    "extract_features",
+    "MarchElement",
+    "MarchTest",
+    "compile_march",
+    "RandomTestGenerator",
+    "TestCase",
+    "Operation",
+    "TestVector",
+    "VectorSequence",
+]

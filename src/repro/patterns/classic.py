@@ -1,0 +1,191 @@
+"""Classic deterministic memory test patterns beyond march tests.
+
+The paper's "deterministic" technique category (Table 1) is represented by
+march tests, but real characterization decks also carry the older classic
+stimuli.  They are useful here both as additional deterministic baselines
+and as stress generators with known activity profiles:
+
+* **walking ones / zeros** — a single set/cleared bit walks through every
+  data position at every address;
+* **GALPAT** (galloping pattern) — after writing a background, each test
+  cell is toggled and read ping-pong against every other cell of the
+  window (quadratic; windows are kept small);
+* **butterfly** — like GALPAT but the companion cells walk outward in a
+  butterfly pattern around the test cell (linearized cost);
+* **address complement** — alternating accesses to ``addr`` and ``~addr``,
+  maximizing simultaneous address-bus toggles (every access flips *all*
+  address lines).
+
+All builders emit paper-sized sequences (100-1000 cycles by default) and
+share the :class:`~repro.patterns.vectors.VectorSequence` contract of the
+march compiler.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.patterns.vectors import (
+    DEFAULT_ADDR_BITS,
+    DEFAULT_DATA_BITS,
+    MAX_SEQUENCE_CYCLES,
+    Operation,
+    TestVector,
+    VectorSequence,
+)
+
+
+def walking_ones(
+    addresses: Sequence[int] = (),
+    addr_bits: int = DEFAULT_ADDR_BITS,
+    data_bits: int = DEFAULT_DATA_BITS,
+    walking_zero: bool = False,
+    max_cycles: int = MAX_SEQUENCE_CYCLES,
+) -> VectorSequence:
+    """Walk a single one (or zero) bit through the data word.
+
+    Per address: clear (or set) the word, then for each bit position write
+    the walking word and read it back — ``2 + 2*data_bits`` cycles per
+    address.
+    """
+    cost = 1 + 2 * data_bits
+    if not addresses:
+        addresses = range(max(1, max_cycles // cost))
+    vectors: List[TestVector] = []
+    mask = (1 << data_bits) - 1
+    background = mask if walking_zero else 0
+    for address in addresses:
+        vectors.append(TestVector(Operation.WRITE, address, background))
+        for bit in range(data_bits):
+            word = (background ^ (1 << bit)) & mask
+            vectors.append(TestVector(Operation.WRITE, address, word))
+            vectors.append(TestVector(Operation.READ, address, word))
+    name = "walking_zeros" if walking_zero else "walking_ones"
+    return _clamp(vectors, addr_bits, data_bits, name, max_cycles)
+
+
+def galpat(
+    window: Sequence[int] = (),
+    addr_bits: int = DEFAULT_ADDR_BITS,
+    data_bits: int = DEFAULT_DATA_BITS,
+    max_cycles: int = MAX_SEQUENCE_CYCLES,
+) -> VectorSequence:
+    """Galloping pattern over a small address window.
+
+    Background 0 everywhere; for each test cell: write 1, then ping-pong
+    read (other cell, test cell) for every other cell, then restore 0.
+    Quadratic in the window size — the default window keeps the sequence
+    inside the cycle budget.
+    """
+    if not window:
+        # cycles ~= w + w * (1 + 2*(w-1) + 1)  ->  2w^2 + w; w=20 -> 820.
+        window = range(20)
+    window = list(window)
+    mask = (1 << data_bits) - 1
+    vectors: List[TestVector] = []
+    for address in window:
+        vectors.append(TestVector(Operation.WRITE, address, 0))
+    for test_cell in window:
+        vectors.append(TestVector(Operation.WRITE, test_cell, mask))
+        for other in window:
+            if other == test_cell:
+                continue
+            vectors.append(TestVector(Operation.READ, other, 0))
+            vectors.append(TestVector(Operation.READ, test_cell, mask))
+        vectors.append(TestVector(Operation.WRITE, test_cell, 0))
+    return _clamp(vectors, addr_bits, data_bits, "galpat", max_cycles)
+
+
+def butterfly(
+    window: Sequence[int] = (),
+    addr_bits: int = DEFAULT_ADDR_BITS,
+    data_bits: int = DEFAULT_DATA_BITS,
+    max_distance: int = 8,
+    max_cycles: int = MAX_SEQUENCE_CYCLES,
+) -> VectorSequence:
+    """Butterfly pattern: companions at growing ± distances from the cell."""
+    if not window:
+        window = range(16)
+    window = list(window)
+    span = 1 << addr_bits
+    mask = (1 << data_bits) - 1
+    vectors: List[TestVector] = []
+    for address in window:
+        vectors.append(TestVector(Operation.WRITE, address, 0))
+    for test_cell in window:
+        vectors.append(TestVector(Operation.WRITE, test_cell, mask))
+        distance = 1
+        while distance <= max_distance:
+            for companion in (
+                (test_cell - distance) % span,
+                (test_cell + distance) % span,
+            ):
+                vectors.append(TestVector(Operation.READ, companion, 0))
+                vectors.append(TestVector(Operation.READ, test_cell, mask))
+            distance *= 2
+        vectors.append(TestVector(Operation.WRITE, test_cell, 0))
+    return _clamp(vectors, addr_bits, data_bits, "butterfly", max_cycles)
+
+
+def address_complement(
+    addresses: Sequence[int] = (),
+    addr_bits: int = DEFAULT_ADDR_BITS,
+    data_bits: int = DEFAULT_DATA_BITS,
+    max_cycles: int = MAX_SEQUENCE_CYCLES,
+) -> VectorSequence:
+    """Alternate accesses between ``addr`` and its bitwise complement.
+
+    Every transition flips all address lines at once — the worst-case
+    address-bus switching stimulus (decoder/PSN stress).
+    """
+    cost = 4
+    if not addresses:
+        addresses = range(max(1, max_cycles // cost))
+    full = (1 << addr_bits) - 1
+    mask = (1 << data_bits) - 1
+    vectors: List[TestVector] = []
+    for address in addresses:
+        complement = address ^ full
+        vectors.append(TestVector(Operation.WRITE, address, 0x55 & mask))
+        vectors.append(TestVector(Operation.WRITE, complement, 0xAA & mask))
+        vectors.append(TestVector(Operation.READ, address, 0x55 & mask))
+        vectors.append(TestVector(Operation.READ, complement, 0xAA & mask))
+    return _clamp(vectors, addr_bits, data_bits, "address_complement", max_cycles)
+
+
+def _clamp(
+    vectors: List[TestVector],
+    addr_bits: int,
+    data_bits: int,
+    name: str,
+    max_cycles: int,
+) -> VectorSequence:
+    if len(vectors) > max_cycles:
+        vectors = vectors[:max_cycles]
+    return VectorSequence(vectors, addr_bits, data_bits, name=name)
+
+
+#: Builders by name (no-argument defaults), march-library style.
+CLASSIC_LIBRARY: Dict[str, Callable[[], VectorSequence]] = {
+    "walking_ones": walking_ones,
+    "walking_zeros": lambda: walking_ones(walking_zero=True),
+    "galpat": galpat,
+    "butterfly": butterfly,
+    "address_complement": address_complement,
+}
+
+
+def available_classic_patterns() -> tuple:
+    """Names of the bundled classic patterns."""
+    return tuple(sorted(CLASSIC_LIBRARY))
+
+
+def build_classic_pattern(name: str) -> VectorSequence:
+    """Build a bundled classic pattern by name."""
+    try:
+        return CLASSIC_LIBRARY[name]()
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown classic pattern {name!r}; available: "
+            f"{available_classic_patterns()}"
+        ) from exc

@@ -1,0 +1,304 @@
+"""March test library — the deterministic baseline of Table 1.
+
+A march test is a sequence of *march elements*; each element walks the
+address space in a prescribed order (up ``⇑``, down ``⇓`` or either ``⇕``)
+performing a fixed list of read/write operations at every address.  The
+classic algorithms (MATS+, March C-, March B, ...) are provided as data, and
+:func:`compile_march` lowers an algorithm to a concrete
+:class:`~repro.patterns.vectors.VectorSequence` over an address window and a
+data background.
+
+The paper's Table 1 uses "March Test / Deterministic" as the conventional
+characterization stimulus; its perfectly regular address and data activity is
+exactly why it fails to provoke the worst-case parameter drift.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.patterns.vectors import (
+    DEFAULT_ADDR_BITS,
+    DEFAULT_DATA_BITS,
+    MAX_SEQUENCE_CYCLES,
+    Operation,
+    TestVector,
+    VectorSequence,
+    checkerboard_word,
+    solid_word,
+)
+
+
+class AddressOrder(enum.Enum):
+    """March-element addressing order."""
+
+    UP = "up"
+    DOWN = "down"
+    ANY = "any"  # ⇕ — by convention compiled as ascending
+
+
+#: One march operation: ("r" or "w", background bit 0 or 1).
+MarchOp = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class MarchElement:
+    """One march element, e.g. ``⇑(r0, w1)``.
+
+    Attributes
+    ----------
+    order:
+        Address walking order.
+    ops:
+        Operations applied at each address, in order.  ``("r", 0)`` reads and
+        expects background 0; ``("w", 1)`` writes background 1.
+    """
+
+    order: AddressOrder
+    ops: Tuple[MarchOp, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ops:
+            raise ValueError("a march element needs at least one operation")
+        for op, bit in self.ops:
+            if op not in ("r", "w"):
+                raise ValueError(f"march op must be 'r' or 'w', got {op!r}")
+            if bit not in (0, 1):
+                raise ValueError(f"march data bit must be 0 or 1, got {bit!r}")
+
+    @property
+    def cost(self) -> int:
+        """Operations per address."""
+        return len(self.ops)
+
+    def __str__(self) -> str:
+        arrow = {"up": "^", "down": "v", "any": "*"}[self.order.value]
+        body = ",".join(f"{op}{bit}" for op, bit in self.ops)
+        return f"{arrow}({body})"
+
+
+@dataclass(frozen=True)
+class MarchTest:
+    """A named march algorithm: an ordered tuple of elements."""
+
+    name: str
+    elements: Tuple[MarchElement, ...]
+
+    def __post_init__(self) -> None:
+        if not self.elements:
+            raise ValueError("a march test needs at least one element")
+
+    @property
+    def complexity(self) -> int:
+        """Total operations per address (the classic ``kN`` complexity's k)."""
+        return sum(element.cost for element in self.elements)
+
+    def __str__(self) -> str:
+        return f"{self.name}: " + "; ".join(str(e) for e in self.elements)
+
+
+def _element(order: str, *ops: MarchOp) -> MarchElement:
+    return MarchElement(AddressOrder(order), tuple(ops))
+
+
+#: The standard march algorithm library (van de Goor's notation).
+MARCH_LIBRARY: Dict[str, MarchTest] = {
+    "mats": MarchTest(
+        "mats",
+        (
+            _element("any", ("w", 0)),
+            _element("any", ("r", 0), ("w", 1)),
+            _element("any", ("r", 1)),
+        ),
+    ),
+    "mats+": MarchTest(
+        "mats+",
+        (
+            _element("any", ("w", 0)),
+            _element("up", ("r", 0), ("w", 1)),
+            _element("down", ("r", 1), ("w", 0)),
+        ),
+    ),
+    "march_x": MarchTest(
+        "march_x",
+        (
+            _element("any", ("w", 0)),
+            _element("up", ("r", 0), ("w", 1)),
+            _element("down", ("r", 1), ("w", 0)),
+            _element("any", ("r", 0)),
+        ),
+    ),
+    "march_y": MarchTest(
+        "march_y",
+        (
+            _element("any", ("w", 0)),
+            _element("up", ("r", 0), ("w", 1), ("r", 1)),
+            _element("down", ("r", 1), ("w", 0), ("r", 0)),
+            _element("any", ("r", 0)),
+        ),
+    ),
+    "march_c-": MarchTest(
+        "march_c-",
+        (
+            _element("any", ("w", 0)),
+            _element("up", ("r", 0), ("w", 1)),
+            _element("up", ("r", 1), ("w", 0)),
+            _element("down", ("r", 0), ("w", 1)),
+            _element("down", ("r", 1), ("w", 0)),
+            _element("any", ("r", 0)),
+        ),
+    ),
+    "march_b": MarchTest(
+        "march_b",
+        (
+            _element("any", ("w", 0)),
+            _element(
+                "up", ("r", 0), ("w", 1), ("r", 1), ("w", 0), ("r", 0), ("w", 1)
+            ),
+            _element("up", ("r", 1), ("w", 0), ("w", 1)),
+            _element("down", ("r", 1), ("w", 0), ("w", 1), ("w", 0)),
+            _element("down", ("r", 0), ("w", 1), ("w", 0)),
+        ),
+    ),
+    "march_a": MarchTest(
+        "march_a",
+        (
+            _element("any", ("w", 0)),
+            _element("up", ("r", 0), ("w", 1), ("w", 0), ("w", 1)),
+            _element("up", ("r", 1), ("w", 0), ("w", 1)),
+            _element("down", ("r", 1), ("w", 0), ("w", 1), ("w", 0)),
+            _element("down", ("r", 0), ("w", 1), ("w", 0)),
+        ),
+    ),
+    "march_g": MarchTest(
+        "march_g",
+        (
+            _element("any", ("w", 0)),
+            _element(
+                "up", ("r", 0), ("w", 1), ("r", 1), ("w", 0), ("r", 0), ("w", 1)
+            ),
+            _element("up", ("r", 1), ("w", 0), ("w", 1)),
+            _element("down", ("r", 1), ("w", 0), ("w", 1), ("w", 0)),
+            _element("down", ("r", 0), ("w", 1), ("w", 0)),
+            # The canonical March G interposes pause delays before the two
+            # final verify elements (retention); the behavioural model has
+            # no retention faults, so the delays are omitted.
+            _element("any", ("r", 0), ("w", 1), ("r", 1)),
+            _element("any", ("r", 1), ("w", 0), ("r", 0)),
+        ),
+    ),
+    "march_lr": MarchTest(
+        "march_lr",
+        (
+            _element("any", ("w", 0)),
+            _element("down", ("r", 0), ("w", 1)),
+            _element("up", ("r", 1), ("w", 0), ("r", 0), ("w", 1)),
+            _element("up", ("r", 1), ("w", 0)),
+            _element("up", ("r", 0), ("w", 1), ("r", 1), ("w", 0)),
+            _element("up", ("r", 0)),
+        ),
+    ),
+    "march_ss": MarchTest(
+        "march_ss",
+        (
+            _element("any", ("w", 0)),
+            _element("up", ("r", 0), ("r", 0), ("w", 0), ("r", 0), ("w", 1)),
+            _element("up", ("r", 1), ("r", 1), ("w", 1), ("r", 1), ("w", 0)),
+            _element("down", ("r", 0), ("r", 0), ("w", 0), ("r", 0), ("w", 1)),
+            _element("down", ("r", 1), ("r", 1), ("w", 1), ("r", 1), ("w", 0)),
+            _element("any", ("r", 0)),
+        ),
+    ),
+}
+
+
+#: Background generator: (address, bit, data_bits) -> data word.
+BackgroundFn = Callable[[int, int, int], int]
+
+
+def solid_background(address: int, bit: int, data_bits: int) -> int:
+    """Solid 0x00 / 0xFF background (default for march compilation)."""
+    return solid_word(bit, data_bits)
+
+
+def checkerboard_background(address: int, bit: int, data_bits: int) -> int:
+    """Checkerboard background; ``bit == 1`` selects the inverted phase."""
+    return checkerboard_word(address, data_bits, inverted=bool(bit))
+
+
+def compile_march(
+    test: MarchTest,
+    addresses: Sequence[int] = (),
+    addr_bits: int = DEFAULT_ADDR_BITS,
+    data_bits: int = DEFAULT_DATA_BITS,
+    background: BackgroundFn = solid_background,
+    max_cycles: int = MAX_SEQUENCE_CYCLES,
+) -> VectorSequence:
+    """Lower a march algorithm to a concrete vector sequence.
+
+    Parameters
+    ----------
+    test:
+        The march algorithm.
+    addresses:
+        Ascending address window to march over.  Empty selects the largest
+        prefix of the address space whose compiled sequence still fits in
+        ``max_cycles`` (the paper keeps characterization sequences at
+        100-1000 cycles).
+    background:
+        Data background generator; solid by default, checkerboard available.
+    max_cycles:
+        Upper bound on compiled sequence length.
+
+    Raises
+    ------
+    ValueError
+        If even a single-address march exceeds ``max_cycles``.
+    """
+    if not addresses:
+        words = max_cycles // test.complexity
+        if words < 1:
+            raise ValueError(
+                f"march {test.name} ({test.complexity} ops/address) cannot fit "
+                f"in {max_cycles} cycles"
+            )
+        words = min(words, 1 << addr_bits)
+        addresses = range(words)
+    address_list = list(addresses)
+    if len(address_list) * test.complexity > max_cycles:
+        raise ValueError(
+            f"march {test.name} over {len(address_list)} addresses needs "
+            f"{len(address_list) * test.complexity} cycles > max {max_cycles}"
+        )
+
+    vectors: List[TestVector] = []
+    for element in test.elements:
+        if element.order is AddressOrder.DOWN:
+            walk: Iterable[int] = reversed(address_list)
+        else:
+            walk = address_list
+        for address in walk:
+            for op, bit in element.ops:
+                data = background(address, bit, data_bits)
+                if op == "w":
+                    vectors.append(TestVector(Operation.WRITE, address, data))
+                else:
+                    vectors.append(TestVector(Operation.READ, address, data))
+    return VectorSequence(vectors, addr_bits, data_bits, name=test.name)
+
+
+def available_march_tests() -> Tuple[str, ...]:
+    """Names of the bundled march algorithms."""
+    return tuple(sorted(MARCH_LIBRARY))
+
+
+def get_march_test(name: str) -> MarchTest:
+    """Look up a bundled march algorithm by name (case-insensitive)."""
+    key = name.lower()
+    if key not in MARCH_LIBRARY:
+        raise KeyError(
+            f"unknown march test {name!r}; available: {available_march_tests()}"
+        )
+    return MARCH_LIBRARY[key]

@@ -1,0 +1,64 @@
+"""The unit the whole system manipulates: a (sequence, condition) test case.
+
+"Input tests are referred to input test patterns and test conditions"
+(section 1).  Every stage — multiple-trip-point characterization, NN
+learning, GA optimization, shmoo analysis — consumes and produces
+:class:`TestCase` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.patterns.conditions import NOMINAL_CONDITION, TestCondition
+from repro.patterns.vectors import VectorSequence
+
+
+@dataclass(frozen=True)
+class TestCase:
+    """One complete test: a vector sequence applied under a condition.
+
+    Attributes
+    ----------
+    sequence:
+        The functional vector sequence (100-1000 cycles).
+    condition:
+        Environmental operating point.
+    name:
+        Label used in datalogs, Table-1 style reports and the worst-case
+        test database.
+    origin:
+        Which generator produced the test: ``"deterministic"``, ``"random"``,
+        ``"nn"`` (fuzzy-neural test generator) or ``"ga"``.  Mirrors the
+        "Technique" column of Table 1.
+    """
+
+    sequence: VectorSequence
+    condition: TestCondition = NOMINAL_CONDITION
+    name: str = ""
+    origin: str = "random"
+
+    def __post_init__(self) -> None:
+        self.condition.validate()
+
+    @property
+    def cycles(self) -> int:
+        """Number of tester cycles in the sequence."""
+        return len(self.sequence)
+
+    def renamed(self, name: str) -> "TestCase":
+        """Copy with a new label."""
+        return replace(self, name=name)
+
+    def with_condition(self, condition: TestCondition) -> "TestCase":
+        """Copy with a different operating point (used by shmoo sweeps)."""
+        return replace(self, condition=condition)
+
+    def with_origin(self, origin: str) -> "TestCase":
+        """Copy tagged with a different generator origin."""
+        return replace(self, origin=origin)
+
+    def __str__(self) -> str:
+        label = self.name or self.sequence.name or "test"
+        return f"{label}[{self.origin}] {self.cycles}cyc @ {self.condition}"

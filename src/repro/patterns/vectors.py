@@ -1,0 +1,215 @@
+"""Test vector sequences.
+
+A :class:`TestVector` describes one tester cycle applied to the device under
+test: an operation (read / write / nop), an address and — for writes — a data
+word.  A :class:`VectorSequence` is an immutable, validated list of vectors;
+the paper uses short sequences of 100 to 1000 cycles so that a worst-case
+test can be pin-pointed precisely (section 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+#: Default address width of the simulated memory test chip (1024 words).
+DEFAULT_ADDR_BITS = 10
+#: Default data width of the simulated memory test chip.
+DEFAULT_DATA_BITS = 8
+
+#: Sequence-length bounds recommended by the paper (section 3): "we define
+#: small test sequences in between 100 to 1000 vector cycles".
+MIN_SEQUENCE_CYCLES = 100
+MAX_SEQUENCE_CYCLES = 1000
+
+
+class Operation(enum.Enum):
+    """Per-cycle tester operation."""
+
+    READ = "r"
+    WRITE = "w"
+    NOP = "n"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class TestVector:
+    """One tester cycle: ``(operation, address, data)``.
+
+    ``data`` is only meaningful for :attr:`Operation.WRITE`; reads compare
+    against the behavioural memory model inside the device simulator, and
+    NOPs idle the bus for one cycle.
+    """
+
+    op: Operation
+    address: int = 0
+    data: int = 0
+
+    def validate(self, addr_bits: int, data_bits: int) -> None:
+        """Raise :class:`ValueError` if the vector does not fit the DUT bus."""
+        if not 0 <= self.address < (1 << addr_bits):
+            raise ValueError(
+                f"address {self.address} out of range for {addr_bits} address bits"
+            )
+        if not 0 <= self.data < (1 << data_bits):
+            raise ValueError(
+                f"data {self.data:#x} out of range for {data_bits} data bits"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.op.value}@{self.address:04x}:{self.data:02x}"
+
+
+class VectorSequence:
+    """An immutable sequence of :class:`TestVector` cycles.
+
+    Parameters
+    ----------
+    vectors:
+        The per-cycle vectors, in application order.
+    addr_bits, data_bits:
+        Bus geometry used to validate every vector.
+    name:
+        Optional human-readable label (e.g. ``"march_cm"`` or ``"rnd_0042"``).
+    """
+
+    __slots__ = ("_vectors", "addr_bits", "data_bits", "name")
+
+    def __init__(
+        self,
+        vectors: Iterable[TestVector],
+        addr_bits: int = DEFAULT_ADDR_BITS,
+        data_bits: int = DEFAULT_DATA_BITS,
+        name: str = "",
+    ) -> None:
+        vecs: Tuple[TestVector, ...] = tuple(vectors)
+        if not vecs:
+            raise ValueError("a vector sequence must contain at least one cycle")
+        for vec in vecs:
+            vec.validate(addr_bits, data_bits)
+        self._vectors = vecs
+        self.addr_bits = addr_bits
+        self.data_bits = data_bits
+        self.name = name
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def __iter__(self) -> Iterator[TestVector]:
+        return iter(self._vectors)
+
+    def __getitem__(self, index: int) -> TestVector:
+        return self._vectors[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorSequence):
+            return NotImplemented
+        return (
+            self._vectors == other._vectors
+            and self.addr_bits == other.addr_bits
+            and self.data_bits == other.data_bits
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._vectors, self.addr_bits, self.data_bits))
+
+    def __repr__(self) -> str:
+        label = self.name or "unnamed"
+        return f"VectorSequence({label!r}, cycles={len(self)})"
+
+    # -- derived views ------------------------------------------------------
+    @property
+    def vectors(self) -> Tuple[TestVector, ...]:
+        """The underlying immutable vector tuple."""
+        return self._vectors
+
+    def addresses(self) -> List[int]:
+        """Per-cycle address stream."""
+        return [vec.address for vec in self._vectors]
+
+    def data_words(self) -> List[int]:
+        """Per-cycle data stream (zero for reads and NOPs)."""
+        return [vec.data if vec.op is Operation.WRITE else 0 for vec in self._vectors]
+
+    def operations(self) -> List[Operation]:
+        """Per-cycle operation stream."""
+        return [vec.op for vec in self._vectors]
+
+    def count(self, op: Operation) -> int:
+        """Number of cycles performing ``op``."""
+        return sum(1 for vec in self._vectors if vec.op is op)
+
+    def with_name(self, name: str) -> "VectorSequence":
+        """Return a renamed copy sharing the same vectors."""
+        return VectorSequence(
+            self._vectors, self.addr_bits, self.data_bits, name=name
+        )
+
+    def replaced(self, index: int, vector: TestVector) -> "VectorSequence":
+        """Return a copy with the cycle at ``index`` replaced.
+
+        Used by GA mutation operators, which must not modify sequences
+        in place (sequences may be shared between population members).
+        """
+        if not 0 <= index < len(self._vectors):
+            raise IndexError(f"cycle index {index} out of range")
+        vecs = list(self._vectors)
+        vecs[index] = vector
+        return VectorSequence(vecs, self.addr_bits, self.data_bits, name=self.name)
+
+    def spliced(
+        self, other: "VectorSequence", cut_self: int, cut_other: int
+    ) -> "VectorSequence":
+        """Single-point crossover helper: ``self[:cut_self] + other[cut_other:]``.
+
+        The result is clamped to :data:`MAX_SEQUENCE_CYCLES` and validated to
+        contain at least one cycle; bus geometry must match.
+        """
+        if (self.addr_bits, self.data_bits) != (other.addr_bits, other.data_bits):
+            raise ValueError("cannot splice sequences with different bus geometry")
+        vecs = list(self._vectors[:cut_self]) + list(other._vectors[cut_other:])
+        if not vecs:
+            vecs = [self._vectors[0]]
+        return VectorSequence(
+            vecs[:MAX_SEQUENCE_CYCLES], self.addr_bits, self.data_bits, name=self.name
+        )
+
+
+def checkerboard_word(address: int, data_bits: int, inverted: bool = False) -> int:
+    """Checkerboard data background word for ``address``.
+
+    Alternating 0/1 cells in both address and bit dimensions — the classic
+    memory-test background.  ``inverted`` flips every bit.
+    """
+    base = 0
+    for bit in range(data_bits):
+        cell = (address + bit) & 1
+        base |= cell << bit
+    if inverted:
+        base ^= (1 << data_bits) - 1
+    return base
+
+
+def solid_word(value_bit: int, data_bits: int) -> int:
+    """All-zeros (``value_bit == 0``) or all-ones data background word."""
+    if value_bit not in (0, 1):
+        raise ValueError("value_bit must be 0 or 1")
+    return ((1 << data_bits) - 1) if value_bit else 0
+
+
+def sequence_from_ops(
+    ops: Sequence[Tuple[str, int, int]],
+    addr_bits: int = DEFAULT_ADDR_BITS,
+    data_bits: int = DEFAULT_DATA_BITS,
+    name: str = "",
+) -> VectorSequence:
+    """Build a sequence from ``("r"|"w"|"n", address, data)`` triples.
+
+    Convenience constructor for tests and examples.
+    """
+    vectors = [TestVector(Operation(op), addr, data) for op, addr, data in ops]
+    return VectorSequence(vectors, addr_bits, data_bits, name=name)

@@ -1,0 +1,33 @@
+"""Conventional trip-point search methods.
+
+The paper's section 1 surveys the searches industrial ATE offers for finding
+a trip point — linear search, binary search and successive approximation —
+and section 4 builds Search-Until-Trip-Point on top of them.  All searchers
+share one contract (:class:`~repro.search.base.TripPointSearcher`): they
+probe a scalar pass/fail *oracle* over a bracketing range and return a
+:class:`~repro.search.base.SearchOutcome` with the trip point and the exact
+number of oracle measurements spent.
+"""
+
+from repro.search.base import (
+    PassRegion,
+    SearchError,
+    SearchOutcome,
+    TripPointSearcher,
+)
+from repro.search.binary import BinarySearch
+from repro.search.linear import LinearSearch
+from repro.search.oracles import CountingOracle, make_ate_oracle
+from repro.search.successive import SuccessiveApproximation
+
+__all__ = [
+    "PassRegion",
+    "SearchError",
+    "SearchOutcome",
+    "TripPointSearcher",
+    "BinarySearch",
+    "LinearSearch",
+    "CountingOracle",
+    "make_ate_oracle",
+    "SuccessiveApproximation",
+]

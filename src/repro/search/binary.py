@@ -1,0 +1,44 @@
+"""Binary trip-point search.
+
+"A binary search method uses a divide-by-two approach.  The delta between
+the last known true and last known false condition are halved until the trip
+point is found." (section 1.)  Cost is logarithmic in range over resolution,
+but the method assumes the bracket genuinely straddles the boundary and that
+the parameter holds still during the search.
+"""
+
+from __future__ import annotations
+
+from repro.search.base import (
+    SearchOutcome,
+    TripPointSearcher,
+    _ProbeRecorder,
+)
+
+
+class BinarySearch(TripPointSearcher):
+    """Classic bisection between a passing and a failing boundary value.
+
+    The two bracket ends are probed first; if either does not have the
+    expected state the search reports no trip point (the paper's advice:
+    "Very generous starting ranges should be selected").
+    """
+
+    def _run(
+        self, probe: _ProbeRecorder, low: float, high: float
+    ) -> SearchOutcome:
+        pass_side = self._pass_end(low, high)
+        fail_side = self._fail_end(low, high)
+
+        if not probe(pass_side):
+            return probe.outcome(None)
+        if probe(fail_side):
+            return probe.outcome(None)
+
+        while abs(fail_side - pass_side) > self.resolution:
+            middle = 0.5 * (pass_side + fail_side)
+            if probe(middle):
+                pass_side = middle
+            else:
+                fail_side = middle
+        return probe.outcome(pass_side, (pass_side, fail_side))

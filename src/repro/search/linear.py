@@ -1,0 +1,81 @@
+"""Linear trip-point search.
+
+"A linear search starts at one boundary and steps through a specified
+resolution until the stage changes or the end boundary is reached.  The trip
+point is a device pass." (section 1.)  Its cost is proportional to the
+distance from the starting boundary to the trip point divided by the
+resolution — the paper's motivating example of why full-range
+re-characterization per test is too expensive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.search.base import (
+    PassRegion,
+    SearchOutcome,
+    TripPointSearcher,
+    _ProbeRecorder,
+)
+
+
+class LinearSearch(TripPointSearcher):
+    """Step from the pass end toward the fail end at fixed resolution.
+
+    Parameters
+    ----------
+    start_from_pass:
+        When True (default), stepping starts at the expected-pass boundary
+        and walks toward the fail region; the trip point is the last passing
+        step.  When False the walk starts in the fail region and the trip
+        point is the first passing step — both variants exist on real ATE.
+    """
+
+    def __init__(
+        self,
+        resolution: float = 0.1,
+        pass_region: PassRegion = PassRegion.LOW,
+        start_from_pass: bool = True,
+    ) -> None:
+        super().__init__(resolution, pass_region)
+        self.start_from_pass = start_from_pass
+
+    def _run(
+        self, probe: _ProbeRecorder, low: float, high: float
+    ) -> SearchOutcome:
+        direction = self.pass_region.toward_fail()
+        if self.start_from_pass:
+            start, stop = self._pass_end(low, high), self._fail_end(low, high)
+            step = direction * self.resolution
+        else:
+            start, stop = self._fail_end(low, high), self._pass_end(low, high)
+            step = -direction * self.resolution
+
+        value = start
+        last_pass: Optional[float] = None
+        last_state: Optional[bool] = None
+        steps_limit = int(abs(stop - start) / self.resolution) + 2
+        for _ in range(steps_limit):
+            passed = probe(value)
+            if passed:
+                last_pass = value
+            if last_state is not None and passed != last_state:
+                # State changed: boundary crossed between previous and
+                # current step.
+                break
+            last_state = passed
+            next_value = value + step
+            if (step > 0 and next_value > stop) or (step < 0 and next_value < stop):
+                break
+            value = next_value
+
+        saw_pass = any(passed for _, passed in probe.history)
+        saw_fail = any(not passed for _, passed in probe.history)
+        if not (saw_pass and saw_fail) or last_pass is None:
+            # Entire range passed (or failed): the boundary is outside the
+            # bracket and "the entire search must be run for several
+            # different ranges" (section 1).
+            return probe.outcome(None)
+        fail_side = last_pass + direction * self.resolution
+        return probe.outcome(last_pass, (last_pass, fail_side))

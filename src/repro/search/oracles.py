@@ -1,0 +1,72 @@
+"""Oracle adapters: from tester or synthetic models to search oracles.
+
+Searchers probe a plain ``Callable[[float], bool]``.  This module provides
+the adapter that binds an :class:`~repro.ate.tester.ATE` and a test case
+into such an oracle (the production configuration) and a counting wrapper
+for cost studies on synthetic oracles.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.patterns.testcase import TestCase
+from repro.search.base import Oracle
+
+if TYPE_CHECKING:  # avoid a runtime repro.ate <-> repro.search import cycle
+    from repro.ate.tester import ATE
+
+
+def make_ate_oracle(ate: "ATE", test: TestCase) -> Oracle:
+    """Bind a tester and a test case into a strobe pass/fail oracle.
+
+    Probing the oracle at ``x`` applies the pattern with the output strobe at
+    ``x`` ns and returns the tester's decision; every probe is one charged
+    measurement.
+    """
+
+    def oracle(strobe_ns: float) -> bool:
+        return ate.apply(test, strobe_ns)
+
+    return oracle
+
+
+def majority_oracle(oracle: Oracle, votes: int = 3) -> Oracle:
+    """Wrap an oracle with per-point repeated-measurement voting.
+
+    Near a noisy trip point single measurements flicker; deciding each
+    probed value by the majority of ``votes`` repeated measurements trades
+    tester time for boundary stability (the classic "average N strobes"
+    characterization setting).
+
+    Note on accounting: a :class:`~repro.search.base.SearchOutcome` built
+    over a voted oracle counts *decisions*; the tester's own
+    ``measurement_count`` remains the ground truth for cost (it sees every
+    underlying application).
+    """
+    if votes < 1 or votes % 2 == 0:
+        raise ValueError("votes must be a positive odd number")
+    if votes == 1:
+        return oracle
+
+    def voted(value: float) -> bool:
+        passes = sum(1 for _ in range(votes) if oracle(value))
+        return passes * 2 > votes
+
+    return voted
+
+
+class CountingOracle:
+    """Wrap any oracle, counting probes (synthetic cost experiments)."""
+
+    def __init__(self, oracle: Oracle) -> None:
+        self._oracle = oracle
+        self.count = 0
+
+    def __call__(self, value: float) -> bool:
+        self.count += 1
+        return self._oracle(value)
+
+    def reset(self) -> None:
+        """Zero the probe counter."""
+        self.count = 0

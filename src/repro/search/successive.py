@@ -1,0 +1,108 @@
+"""Successive approximation trip-point search.
+
+"The successive approximation searches between two values, using one of the
+boundary values and a value half way in between.  If both produce the same
+results, the search continues to the other end of boundary. ... the
+successive approximation uses an algorithm that can sense a drifting
+specification parameter and make a judgment as to the direction and span of
+the search.  This method is recommended for device performance
+characterization at most of the ATE today." (section 1.)
+
+The drift sensing is what distinguishes it from plain bisection: after
+converging, the pass side is re-verified; a contradiction (the parameter
+moved while we were searching, e.g. from self-heating) re-opens the bracket
+in the drift direction with a doubling span and the refinement continues.
+"""
+
+from __future__ import annotations
+
+from repro.search.base import (
+    PassRegion,
+    SearchOutcome,
+    TripPointSearcher,
+    _ProbeRecorder,
+)
+
+
+class SuccessiveApproximation(TripPointSearcher):
+    """Boundary-and-midpoint bisection with drift re-verification.
+
+    Parameters
+    ----------
+    max_reverifications:
+        How many converge-and-verify rounds to run before accepting the
+        answer (each round costs one extra probe when no drift occurred).
+    """
+
+    def __init__(
+        self,
+        resolution: float = 0.1,
+        pass_region: PassRegion = PassRegion.LOW,
+        max_reverifications: int = 2,
+    ) -> None:
+        super().__init__(resolution, pass_region)
+        if max_reverifications < 0:
+            raise ValueError("max_reverifications must be >= 0")
+        self.max_reverifications = max_reverifications
+
+    def _run(
+        self, probe: _ProbeRecorder, low: float, high: float
+    ) -> SearchOutcome:
+        pass_side = self._pass_end(low, high)
+        fail_side = self._fail_end(low, high)
+        middle = 0.5 * (pass_side + fail_side)
+
+        first = probe(pass_side)
+        second = probe(middle)
+        if not first:
+            # Expected-pass boundary failed: no pass region reachable from
+            # this end of the bracket.
+            return probe.outcome(None)
+        if second:
+            # Both produced the same result: "the search continues to the
+            # other end of boundary".
+            if probe(fail_side):
+                return probe.outcome(None)  # the whole range passes
+            pass_side = middle
+        else:
+            fail_side = middle
+
+        pass_side, fail_side = self._bisect(probe, pass_side, fail_side)
+
+        # Drift sensing: re-verify the converged pass side.  A contradiction
+        # means the parameter moved while we were searching; judge the
+        # direction (toward the pass region) and walk back with a doubling
+        # span until the device passes again, then refine.
+        direction = self.pass_region.toward_fail()
+        range_low, range_high = min(low, high), max(low, high)
+        for _ in range(self.max_reverifications):
+            if probe(pass_side):
+                break
+            fail_side = pass_side
+            span = 4.0 * self.resolution
+            recovered = False
+            while True:
+                candidate = fail_side - direction * span
+                if not range_low <= candidate <= range_high:
+                    break  # drifted out of the characterization range
+                if probe(candidate):
+                    pass_side = candidate
+                    recovered = True
+                    break
+                fail_side = candidate
+                span *= 2.0
+            if not recovered:
+                return probe.outcome(None)
+            pass_side, fail_side = self._bisect(probe, pass_side, fail_side)
+
+        return probe.outcome(pass_side, (pass_side, fail_side))
+
+    def _bisect(self, probe, pass_side: float, fail_side: float):
+        """Halve the pass/fail bracket down to the resolution."""
+        while abs(fail_side - pass_side) > self.resolution:
+            middle = 0.5 * (pass_side + fail_side)
+            if probe(middle):
+                pass_side = middle
+            else:
+                fail_side = middle
+        return pass_side, fail_side

@@ -1,0 +1,159 @@
+"""Tests for statistics, drift analysis and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.drift import DriftAnalysis, TechniqueComparison
+from repro.analysis.reporting import Table1Report, Table1Row, TextTable
+from repro.analysis.statistics import ascii_histogram, summarize
+from repro.core.trip_point import DesignSpecificationValues, TripPointValue
+from repro.core.wcr import WCRClass
+from repro.device.parameters import T_DQ_PARAMETER
+
+
+class TestSummarize:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_basic_moments(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.spread == pytest.approx(3.0)
+        assert stats.p50 == pytest.approx(2.5)
+
+    def test_single_sample(self):
+        stats = summarize([5.0])
+        assert stats.std == 0.0
+        assert stats.ci95 == (5.0, 5.0)
+
+    def test_ci_shrinks_with_n(self):
+        rng = np.random.default_rng(0)
+        small = summarize(rng.normal(size=20))
+        large = summarize(rng.normal(size=2000))
+        assert (large.ci95[1] - large.ci95[0]) < (small.ci95[1] - small.ci95[0])
+
+    def test_describe_mentions_unit(self):
+        assert "ns" in summarize([1.0, 2.0]).describe("ns")
+
+
+class TestHistogram:
+    def test_renders_all_bins(self):
+        text = ascii_histogram([1, 2, 2, 3, 3, 3], bins=3, width=10)
+        assert text.count("\n") == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_histogram([])
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_histogram([1.0], bins=0)
+
+
+class TestDriftAnalysis:
+    def _dsv(self, random_tests, values):
+        entries = [
+            TripPointValue(test=t, value=v, measurements=8)
+            for t, v in zip(random_tests, values)
+        ]
+        return DesignSpecificationValues(T_DQ_PARAMETER, entries)
+
+    def test_from_dsv(self, random_tests):
+        analysis = DriftAnalysis.from_dsv(
+            self._dsv(random_tests, [32.0, 28.0, 22.0])
+        )
+        assert analysis.worst_value == pytest.approx(22.0)
+        assert analysis.worst_wcr == pytest.approx(20.0 / 22.0)
+        assert analysis.class_counts[WCRClass.PASS] == 2
+        assert analysis.class_counts[WCRClass.WEAKNESS] == 1
+        assert analysis.total_measurements == 24
+
+    def test_spec_margin_sign(self, random_tests):
+        analysis = DriftAnalysis.from_dsv(self._dsv(random_tests, [22.0, 30.0]))
+        assert analysis.spec_margin == pytest.approx(2.0)
+
+    def test_describe_contains_key_quantities(self, random_tests):
+        analysis = DriftAnalysis.from_dsv(self._dsv(random_tests, [30.0, 25.0]))
+        text = analysis.describe()
+        assert "worst case" in text
+        assert "25.000" in text
+
+    def test_no_values_raises(self, random_tests):
+        dsv = DesignSpecificationValues(
+            T_DQ_PARAMETER,
+            [TripPointValue(test=random_tests[0], value=None, measurements=3)],
+        )
+        with pytest.raises(ValueError):
+            DriftAnalysis.from_dsv(dsv)
+
+
+class TestTechniqueComparison:
+    def test_ranked_and_winner(self):
+        comparison = TechniqueComparison(
+            T_DQ_PARAMETER,
+            {"march": 32.3, "random": 28.5, "nnga": 22.1},
+        )
+        assert comparison.winner() == "nnga"
+        assert comparison.ranked() == ["nnga", "random", "march"]
+        assert comparison.wcr_of("march") == pytest.approx(0.619, abs=0.001)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TechniqueComparison(T_DQ_PARAMETER, {}).winner()
+
+
+class TestTextTable:
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_row_width_checked(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_render_alignment(self):
+        table = TextTable(["name", "v"])
+        table.add_row("x", 1)
+        table.add_row("longer", 22)
+        lines = table.render().split("\n")
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+        assert "longer" in lines[3]
+
+    def test_markdown(self):
+        table = TextTable(["a", "b"])
+        table.add_row(1, 2)
+        md = table.render_markdown()
+        assert md.startswith("| a | b |")
+        assert "|---|---|" in md
+
+
+class TestTable1Report:
+    def _report(self):
+        report = Table1Report(parameter=T_DQ_PARAMETER, vdd=1.8)
+        report.add(Table1Row("March Test", "Deterministic", 0.619, 32.3))
+        report.add(Table1Row("Random Test", "Random", 0.701, 28.5))
+        report.add(Table1Row("NNGA Test", "Neural & Genetic", 0.904, 22.1))
+        return report
+
+    def test_winner_is_largest_wcr(self):
+        assert self._report().winner().test_name == "NNGA Test"
+
+    def test_empty_winner_raises(self):
+        with pytest.raises(ValueError):
+            Table1Report(parameter=T_DQ_PARAMETER, vdd=1.8).winner()
+
+    def test_to_text_layout(self):
+        text = self._report().to_text()
+        assert "Vdd 1.8V" in text
+        assert "March Test" in text
+        assert "0.904" in text
+
+    def test_to_markdown(self):
+        md = self._report().to_markdown()
+        assert md.count("|") > 10
+        assert "Neural & Genetic" in md

@@ -1,0 +1,132 @@
+"""Tests for post-hoc datalog analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.datalog_tools import (
+    estimate_trip_points,
+    measurements_per_test,
+    per_test_curves,
+    reconstruct_shmoo_counts,
+)
+from repro.ate.datalog import Datalog, DatalogRecord
+from repro.search.base import PassRegion
+
+
+def record(index, name, strobe, passed, vdd=1.8):
+    return DatalogRecord(
+        index=index, test_name=name, vdd=vdd, temperature=25.0,
+        clock_period=40.0, strobe_ns=strobe, passed=passed,
+    )
+
+
+def synthetic_log(trip=30.0, name="t", repeat=1):
+    """Clean log: pass below trip, fail above, levels every 1 ns."""
+    log = Datalog()
+    index = 0
+    for level in np.arange(25.0, 35.0, 1.0):
+        for _ in range(repeat):
+            index += 1
+            log.append(record(index, name, float(level), level <= trip))
+    return log
+
+
+class TestCurves:
+    def test_curve_sorted_and_aggregated(self):
+        log = synthetic_log(repeat=3)
+        curves = per_test_curves(log)
+        curve = curves["t"]
+        levels = [level for level, _, _ in curve]
+        assert levels == sorted(levels)
+        assert all(n == 3 for _, _, n in curve)
+
+    def test_noisy_level_has_fractional_rate(self):
+        log = Datalog()
+        log.append(record(1, "t", 30.0, True))
+        log.append(record(2, "t", 30.0, False))
+        curve = per_test_curves(log)["t"]
+        assert curve[0][1] == pytest.approx(0.5)
+
+
+class TestTripPointEstimates:
+    def test_clean_log_estimate(self):
+        estimates = estimate_trip_points(synthetic_log(trip=30.0))
+        estimate = estimates["t"]
+        assert estimate.found
+        assert estimate.trip_point == pytest.approx(30.5)  # mid(30, 31)
+        assert estimate.last_pass_level == pytest.approx(30.0)
+        assert estimate.first_fail_level == pytest.approx(31.0)
+        assert estimate.ambiguous_levels == 0
+
+    def test_noise_voting(self):
+        """A level measured 3x with 2 passes counts as passing."""
+        log = synthetic_log(trip=30.0, repeat=3)
+        # corrupt level 30.0 with one noisy fail
+        log.append(record(99, "t", 30.0, False))
+        estimate = estimate_trip_points(log)["t"]
+        assert estimate.trip_point == pytest.approx(30.5)
+        assert estimate.ambiguous_levels == 1
+
+    def test_all_pass_log_not_found(self):
+        log = synthetic_log(trip=100.0)
+        estimate = estimate_trip_points(log)["t"]
+        assert not estimate.found
+        assert estimate.first_fail_level is None
+
+    def test_pass_high_orientation(self):
+        log = Datalog()
+        for i, level in enumerate(np.arange(1.4, 2.2, 0.1), start=1):
+            log.append(record(i, "v", float(level), level >= 1.75))
+        estimate = estimate_trip_points(log, pass_region=PassRegion.HIGH)["v"]
+        assert estimate.found
+        assert 1.7 <= estimate.trip_point <= 1.8
+
+    def test_multiple_tests_separated(self):
+        log = synthetic_log(trip=28.0, name="a")
+        for rec in synthetic_log(trip=32.0, name="b"):
+            log.append(rec)
+        estimates = estimate_trip_points(log)
+        assert estimates["a"].trip_point < estimates["b"].trip_point
+
+    def test_real_search_log_reconstructs_boundary(self, quiet_ate, march_test_case):
+        """Estimates from a real binary-search log match the searcher."""
+        from repro.search.binary import BinarySearch
+        from repro.search.oracles import make_ate_oracle
+
+        searcher = BinarySearch(resolution=0.05)
+        outcome = searcher.search(
+            make_ate_oracle(quiet_ate, march_test_case), 15.0, 45.0
+        )
+        estimate = estimate_trip_points(quiet_ate.datalog)["march_c-"]
+        assert estimate.found
+        assert estimate.trip_point == pytest.approx(outcome.trip_point, abs=0.1)
+
+
+class TestAccountingAndShmoo:
+    def test_measurements_per_test(self):
+        log = synthetic_log(name="a")
+        for rec in synthetic_log(name="b", repeat=2):
+            log.append(rec)
+        costs = measurements_per_test(log)
+        assert costs["a"] == 10
+        assert costs["b"] == 20
+
+    def test_reconstruct_shmoo_counts(self):
+        log = Datalog()
+        index = 0
+        for vdd in (1.6, 1.8):
+            for level in (29.0, 31.0):
+                index += 1
+                log.append(
+                    record(index, "s", level, level <= 30.0, vdd=vdd)
+                )
+        counts = reconstruct_shmoo_counts(log, [1.6, 1.8], [29.0, 31.0])
+        assert counts.shape == (2, 2)
+        assert counts[:, 0].tolist() == [1, 1]  # 29 ns passes at both vdds
+        assert counts[:, 1].tolist() == [0, 0]
+
+    def test_off_grid_points_ignored(self):
+        log = Datalog()
+        log.append(record(1, "s", 29.5, True, vdd=1.7))
+        counts = reconstruct_shmoo_counts(log, [1.8], [29.0])
+        assert counts.sum() == 0

@@ -1,0 +1,95 @@
+"""Tests for the fuzzy worst-case assessor."""
+
+import pytest
+
+from repro.analysis.fuzzy_assessment import RISK_LABELS, WorstCaseAssessor
+from repro.device.parameters import T_DQ_PARAMETER
+from repro.patterns.conditions import NOMINAL_CONDITION
+from repro.patterns.march import compile_march, get_march_test
+from repro.patterns.testcase import TestCase
+from repro.patterns.vectors import Operation, TestVector, VectorSequence
+
+
+@pytest.fixture
+def assessor():
+    return WorstCaseAssessor(T_DQ_PARAMETER)
+
+
+class TestCrispAssessment:
+    def test_quiet_safe_test_is_negligible(self, assessor):
+        verdict = assessor.assess_crisp(wcr=0.55, activity=0.1, hazard=0.0)
+        assert verdict.label == "negligible"
+        assert verdict.risk_score < 0.3
+
+    def test_wcr_beyond_limit_is_critical(self, assessor):
+        verdict = assessor.assess_crisp(wcr=1.05, activity=0.2, hazard=0.0)
+        assert verdict.label == "critical"
+        assert verdict.risk_score > 0.8
+
+    def test_marginal_wcr_is_severe(self, assessor):
+        verdict = assessor.assess_crisp(wcr=0.82, activity=0.2, hazard=0.05)
+        assert verdict.label in ("severe", "critical")
+
+    def test_paper_rule_a_and_b_and_c(self, assessor):
+        """Safe WCR but full weakness signature -> 'quite close to the
+        limit' (moderate), not negligible."""
+        flagged = assessor.assess_crisp(wcr=0.68, activity=0.9, hazard=0.6)
+        quiet = assessor.assess_crisp(wcr=0.68, activity=0.1, hazard=0.0)
+        assert flagged.risk_score > quiet.risk_score
+        assert flagged.label == "moderate"
+
+    def test_risk_monotone_in_wcr(self, assessor):
+        scores = [
+            assessor.assess_crisp(wcr=w, activity=0.5, hazard=0.2).risk_score
+            for w in (0.5, 0.7, 0.85, 1.1)
+        ]
+        assert scores == sorted(scores)
+
+    def test_scores_in_unit_interval(self, assessor):
+        for wcr in (0.0, 0.6, 0.8, 1.0, 1.2):
+            for activity in (0.0, 0.5, 1.0):
+                for hazard in (0.0, 0.5, 1.0):
+                    verdict = assessor.assess_crisp(wcr, activity, hazard)
+                    assert 0.0 <= verdict.risk_score <= 1.0
+                    assert verdict.label in RISK_LABELS
+
+    def test_inputs_clamped(self, assessor):
+        verdict = assessor.assess_crisp(wcr=5.0, activity=2.0, hazard=-1.0)
+        assert verdict.label == "critical"
+
+
+class TestTestCaseAssessment:
+    def test_march_assessed_negligible(self, assessor, quiet_ate):
+        sequence = compile_march(get_march_test("march_c-"))
+        test = TestCase(sequence, NOMINAL_CONDITION, name="march_c-")
+        value = quiet_ate.chip.true_parameter_value(test, account_heating=False)
+        verdict = assessor.assess(test, value)
+        assert verdict.label == "negligible"
+
+    def test_weakness_pattern_assessed_high_risk(self, assessor, quiet_ate):
+        vectors = []
+        word, addr = 0, 0
+        for _ in range(120):
+            word ^= 0xFF
+            addr ^= 0x3FF
+            vectors.append(TestVector(Operation.WRITE, addr, word))
+        while len(vectors) < 600:
+            word ^= 0xFF
+            addr ^= 0x200
+            vectors.append(TestVector(Operation.WRITE, addr, word))
+            vectors.append(TestVector(Operation.READ, addr, 0))
+        test = TestCase(VectorSequence(vectors), NOMINAL_CONDITION, name="worst")
+        value = quiet_ate.chip.true_parameter_value(test, account_heating=False)
+        verdict = assessor.assess(test, value)
+        assert verdict.label in ("severe", "critical")
+        assert verdict.wcr > 0.85
+
+    def test_describe_contains_inputs(self, assessor):
+        verdict = assessor.assess_crisp(wcr=0.7, activity=0.4, hazard=0.1)
+        text = verdict.describe()
+        assert "WCR 0.700" in text
+        assert "risk" in text
+
+    def test_rule_activations_exposed(self, assessor):
+        verdict = assessor.assess_crisp(wcr=1.1, activity=0.1, hazard=0.0)
+        assert any(level > 0.5 for level in verdict.rule_activations.values())

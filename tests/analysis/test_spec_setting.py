@@ -1,0 +1,83 @@
+"""Tests for final-spec proposal analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spec_setting import (
+    SpecProposal,
+    propose_spec,
+    violation_fraction,
+)
+from repro.device.parameters import IDD_PEAK_PARAMETER, T_DQ_PARAMETER
+
+
+OBSERVED = [32.3, 31.0, 30.5, 30.2, 29.8, 29.0, 28.5, 27.5, 26.0, 22.1]
+
+
+class TestProposeSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            propose_spec(T_DQ_PARAMETER, OBSERVED, k_sigma=-1.0)
+        with pytest.raises(ValueError):
+            propose_spec(T_DQ_PARAMETER, [30.0])
+
+    def test_anchor_is_worst_observed_min_limited(self):
+        proposal = propose_spec(T_DQ_PARAMETER, OBSERVED, k_sigma=0.0)
+        assert proposal.anchor_value == pytest.approx(22.1)
+        assert proposal.proposed_limit == pytest.approx(22.1)
+
+    def test_anchor_is_worst_observed_max_limited(self):
+        currents = [40.0, 55.0, 62.0, 71.5]
+        proposal = propose_spec(IDD_PEAK_PARAMETER, currents, k_sigma=0.0)
+        assert proposal.anchor_value == pytest.approx(71.5)
+        assert proposal.proposed_limit == pytest.approx(71.5)
+
+    def test_allowance_and_guard_push_outward(self):
+        plain = propose_spec(T_DQ_PARAMETER, OBSERVED, k_sigma=0.0)
+        guarded = propose_spec(
+            T_DQ_PARAMETER, OBSERVED, k_sigma=1.0, guard_band=0.5
+        )
+        assert guarded.proposed_limit < plain.proposed_limit
+        assert guarded.statistical_allowance > 0.0
+
+    def test_margin_against_design_target(self):
+        # Worst observed 22.1 with no allowance: 2.1 ns above the 20 ns
+        # design target -> positive margin, target supported.
+        proposal = propose_spec(T_DQ_PARAMETER, OBSERVED, k_sigma=0.0)
+        assert proposal.design_target_margin == pytest.approx(2.1)
+        assert not proposal.tightens_design_spec
+
+    def test_unsupported_target_flagged(self):
+        # Large tail allowance pushes the supportable limit below 20 ns.
+        proposal = propose_spec(T_DQ_PARAMETER, OBSERVED, k_sigma=3.0)
+        assert proposal.tightens_design_spec
+        assert "review" in proposal.describe()
+
+    def test_describe_mentions_numbers(self):
+        proposal = propose_spec(T_DQ_PARAMETER, OBSERVED, k_sigma=1.0)
+        text = proposal.describe()
+        assert "worst observed case: 22.100" in text
+        assert "proposed limit" in text
+
+
+class TestViolationFraction:
+    def test_min_limited_counts_below(self):
+        fraction = violation_fraction(T_DQ_PARAMETER, OBSERVED, 26.5)
+        assert fraction == pytest.approx(2 / 10)  # 26.0 and 22.1
+
+    def test_max_limited_counts_above(self):
+        fraction = violation_fraction(
+            IDD_PEAK_PARAMETER, [40.0, 70.0, 85.0], 80.0
+        )
+        assert fraction == pytest.approx(1 / 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            violation_fraction(T_DQ_PARAMETER, [], 20.0)
+
+    def test_monotone_in_limit(self):
+        fractions = [
+            violation_fraction(T_DQ_PARAMETER, OBSERVED, limit)
+            for limit in (20.0, 25.0, 30.0, 35.0)
+        ]
+        assert fractions == sorted(fractions)

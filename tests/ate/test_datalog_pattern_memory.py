@@ -1,0 +1,120 @@
+"""Tests for the datalog and the pattern memory."""
+
+import pytest
+
+from repro.ate.datalog import Datalog, DatalogRecord
+from repro.ate.pattern_memory import PatternMemory
+from repro.patterns.vectors import Operation, TestVector, VectorSequence
+
+
+def record(index=1, name="t", passed=True, strobe=20.0):
+    return DatalogRecord(
+        index=index,
+        test_name=name,
+        vdd=1.8,
+        temperature=25.0,
+        clock_period=40.0,
+        strobe_ns=strobe,
+        passed=passed,
+    )
+
+
+def make_sequence(cycles):
+    return VectorSequence([TestVector(Operation.NOP, 0, 0)] * cycles)
+
+
+class TestDatalog:
+    def test_append_and_len(self):
+        log = Datalog()
+        log.append(record(1))
+        log.append(record(2))
+        assert len(log) == 2
+
+    def test_capacity_drops_oldest(self):
+        log = Datalog(capacity=2)
+        for i in range(1, 5):
+            log.append(record(i))
+        assert [r.index for r in log] == [3, 4]
+
+    def test_for_test_filter(self):
+        log = Datalog()
+        log.append(record(1, name="a"))
+        log.append(record(2, name="b"))
+        log.append(record(3, name="a"))
+        assert [r.index for r in log.for_test("a")] == [1, 3]
+
+    def test_pass_fail_counts(self):
+        log = Datalog()
+        log.append(record(1, passed=True))
+        log.append(record(2, passed=False))
+        log.append(record(3, passed=False))
+        assert log.pass_count() == 1
+        assert log.fail_count() == 2
+
+    def test_csv_roundtrip_shape(self):
+        log = Datalog()
+        log.append(record(1))
+        csv = log.to_csv()
+        lines = csv.strip().split("\n")
+        assert lines[0] == DatalogRecord.CSV_HEADER
+        assert len(lines) == 2
+        assert lines[1].split(",")[1] == "t"
+
+    def test_clear(self):
+        log = Datalog()
+        log.append(record(1))
+        log.clear()
+        assert len(log) == 0
+
+
+class TestPatternMemory:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            PatternMemory(capacity_cycles=0)
+
+    def test_load_then_hit(self):
+        memory = PatternMemory()
+        seq = make_sequence(10)
+        assert memory.load(seq) is True
+        assert memory.load(seq) is False
+        assert memory.load_count == 1
+        assert memory.hit_count == 1
+
+    def test_oversized_sequence_rejected(self):
+        memory = PatternMemory(capacity_cycles=5)
+        with pytest.raises(ValueError, match="exceeds"):
+            memory.load(make_sequence(10))
+
+    def test_lru_eviction(self):
+        memory = PatternMemory(capacity_cycles=25)
+        a, b, c = make_sequence(10), make_sequence(10), make_sequence(10)
+        memory.load(a)
+        memory.load(b)
+        memory.load(c)  # evicts a (oldest)
+        assert not memory.is_resident(a)
+        assert memory.is_resident(b)
+        assert memory.is_resident(c)
+        assert memory.used_cycles == 20
+
+    def test_hit_refreshes_lru_order(self):
+        memory = PatternMemory(capacity_cycles=25)
+        a, b, c = make_sequence(10), make_sequence(10), make_sequence(10)
+        memory.load(a)
+        memory.load(b)
+        memory.load(a)  # refresh a; b becomes oldest
+        memory.load(c)
+        assert memory.is_resident(a)
+        assert not memory.is_resident(b)
+
+    def test_loaded_cycles_accounting(self):
+        memory = PatternMemory()
+        memory.load(make_sequence(10))
+        memory.load(make_sequence(20))
+        assert memory.loaded_cycles_total == 30
+
+    def test_clear_keeps_counters(self):
+        memory = PatternMemory()
+        memory.load(make_sequence(10))
+        memory.clear()
+        assert memory.resident_count == 0
+        assert memory.load_count == 1

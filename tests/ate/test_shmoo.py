@@ -1,0 +1,104 @@
+"""Tests for the shmoo plot tool."""
+
+import numpy as np
+import pytest
+
+from repro.ate.shmoo import ShmooPlot, ShmooPlotter
+
+
+class TestShmooPlotValidation:
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ShmooPlot(
+                vdd_values=np.array([1.8]),
+                strobe_values=np.array([20.0, 21.0]),
+                counts=np.zeros((2, 2), dtype=int),
+                total_tests=1,
+            )
+
+
+class TestSingleTestSweep:
+    def test_sweep_monotone_boundary(self, quiet_ate, march_test_case):
+        plotter = ShmooPlotter(quiet_ate)
+        plot = plotter.sweep(
+            march_test_case,
+            vdd_values=[1.5, 1.8, 2.1],
+            strobe_values=np.arange(25.0, 37.0, 1.0),
+        )
+        # Within each Vdd row the pass region is a prefix (low strobes pass).
+        for i in range(3):
+            row = plot.counts[i]
+            assert row[0] == 1
+            first_fail = np.argmin(row) if 0 in row else len(row)
+            assert np.all(row[:first_fail] == 1)
+            assert np.all(row[first_fail:] == 0)
+
+    def test_higher_vdd_extends_pass_region(self, quiet_ate, march_test_case):
+        plotter = ShmooPlotter(quiet_ate)
+        plot = plotter.sweep(
+            march_test_case,
+            vdd_values=[1.5, 2.1],
+            strobe_values=np.arange(25.0, 37.0, 0.5),
+        )
+        assert plot.counts[1].sum() > plot.counts[0].sum()
+
+    def test_render_contains_axes(self, quiet_ate, march_test_case):
+        plotter = ShmooPlotter(quiet_ate)
+        plot = plotter.sweep(
+            march_test_case,
+            vdd_values=[1.6, 1.8],
+            strobe_values=np.arange(30.0, 34.0, 1.0),
+        )
+        text = plot.render()
+        assert "VDD" in text
+        assert "1.80 |" in text
+        assert "1.60 |" in text
+
+
+class TestOverlay:
+    def test_overlay_requires_tests(self, quiet_ate):
+        plotter = ShmooPlotter(quiet_ate)
+        with pytest.raises(ValueError):
+            plotter.overlay([], [1.8], 15.0, 45.0)
+
+    def test_overlay_counts_bounded_by_total(self, quiet_ate, random_tests):
+        plotter = ShmooPlotter(quiet_ate)
+        tests = random_tests[:4]
+        plot = plotter.overlay(
+            tests, vdd_values=[1.6, 1.8], strobe_start=15.0, strobe_stop=45.0,
+            strobe_step=1.0,
+        )
+        assert plot.total_tests == 4
+        assert plot.counts.max() <= 4
+        assert plot.counts.min() >= 0
+
+    def test_overlay_boundaries_per_test(self, quiet_ate, random_tests):
+        plotter = ShmooPlotter(quiet_ate)
+        tests = random_tests[:3]
+        plot = plotter.overlay(
+            tests, vdd_values=[1.8], strobe_start=15.0, strobe_stop=45.0
+        )
+        assert len(plot.boundaries) == 3
+        for name, bounds in plot.boundaries:
+            assert len(bounds) == 1
+            assert bounds[0] is not None
+            assert 15.0 <= bounds[0] <= 45.0
+
+    def test_boundary_spread_visible_across_tests(self, quiet_ate, random_tests):
+        """Fig. 8's message: different tests trip at different strobes."""
+        plotter = ShmooPlotter(quiet_ate)
+        plot = plotter.overlay(
+            random_tests[:8], vdd_values=[1.8], strobe_start=15.0, strobe_stop=45.0
+        )
+        spread = plot.boundary_spread_ns(1.8)
+        assert spread is not None
+        assert spread > 0.5
+
+    def test_pass_fraction(self, quiet_ate, random_tests):
+        plotter = ShmooPlotter(quiet_ate)
+        plot = plotter.overlay(
+            random_tests[:2], vdd_values=[1.8], strobe_start=15.0,
+            strobe_stop=45.0, strobe_step=1.0,
+        )
+        # At the lowest strobe every located test passes.
+        assert plot.pass_fraction(0, 0) == pytest.approx(1.0)

@@ -1,0 +1,79 @@
+"""Tests for tester-time estimation."""
+
+import pytest
+
+from repro.ate.test_time import TestTimeModel
+
+
+class TestModelValidation:
+    def test_negative_constants_rejected(self):
+        with pytest.raises(ValueError):
+            TestTimeModel(setup_overhead_s=-1.0)
+
+
+class TestCycleAccounting:
+    def test_apply_counts_cycles(self, quiet_ate, march_test_case):
+        assert quiet_ate.executed_cycles_total == 0
+        quiet_ate.apply(march_test_case, 20.0)
+        assert quiet_ate.executed_cycles_total == march_test_case.cycles
+        quiet_ate.apply(march_test_case, 25.0)
+        assert quiet_ate.executed_cycles_total == 2 * march_test_case.cycles
+
+    def test_functional_counts_cycles(self, quiet_ate, march_test_case):
+        quiet_ate.functional_test(march_test_case)
+        assert quiet_ate.executed_cycles_total == march_test_case.cycles
+
+    def test_reset_counters_zeroes_cycles(self, quiet_ate, march_test_case):
+        quiet_ate.apply(march_test_case, 20.0)
+        quiet_ate.reset_counters()
+        assert quiet_ate.executed_cycles_total == 0
+
+
+class TestTimeEstimates:
+    def test_session_time_composition(self, quiet_ate, march_test_case):
+        model = TestTimeModel(
+            setup_overhead_s=1e-3,
+            cycle_period_s=40e-9,
+            load_time_per_cycle_s=2e-6,
+        )
+        quiet_ate.apply(march_test_case, 20.0)
+        expected_measure = 1e-3 + march_test_case.cycles * 40e-9
+        expected_load = march_test_case.cycles * 2e-6
+        assert model.measurement_time_s(quiet_ate) == pytest.approx(
+            expected_measure
+        )
+        assert model.load_time_s(quiet_ate) == pytest.approx(expected_load)
+        assert model.session_time_s(quiet_ate) == pytest.approx(
+            expected_measure + expected_load
+        )
+
+    def test_pattern_reuse_avoids_reload_time(self, quiet_ate, march_test_case):
+        model = TestTimeModel()
+        quiet_ate.apply(march_test_case, 20.0)
+        after_first = model.load_time_s(quiet_ate)
+        quiet_ate.apply(march_test_case, 25.0)
+        assert model.load_time_s(quiet_ate) == pytest.approx(after_first)
+
+    def test_describe(self, quiet_ate, march_test_case):
+        quiet_ate.apply(march_test_case, 20.0)
+        text = TestTimeModel().describe(quiet_ate)
+        assert "1 measurements" in text
+        assert "tester time" in text
+
+    def test_sutp_saves_tester_time(self, random_tests):
+        """The paper's claim in its own currency: seconds, not counts."""
+        from repro.ate.measurement import MeasurementModel
+        from repro.ate.tester import ATE
+        from repro.core.trip_point import MultipleTripPointRunner
+        from repro.device.memory_chip import MemoryTestChip
+
+        model = TestTimeModel()
+        times = {}
+        for strategy in ("full", "sutp"):
+            ate = ATE(MemoryTestChip(), measurement=MeasurementModel(0.0))
+            runner = MultipleTripPointRunner(
+                ate, (15.0, 45.0), strategy=strategy, resolution=0.05
+            )
+            runner.run(random_tests[:10])
+            times[strategy] = model.session_time_s(ate)
+        assert times["sutp"] < times["full"]

@@ -1,0 +1,90 @@
+"""Tests for the ATE core: apply(), counters, datalog, noise, insertion."""
+
+import pytest
+
+from repro.ate.measurement import MeasurementModel
+from repro.ate.tester import ATE
+from repro.device.faults import StuckAtFault
+from repro.device.memory_chip import MemoryTestChip
+from repro.patterns.testcase import TestCase
+from repro.patterns.vectors import sequence_from_ops
+
+
+class TestApply:
+    def test_pass_below_fail_above_trip(self, quiet_ate, march_test_case):
+        true_value = quiet_ate.chip.true_parameter_value(
+            march_test_case, account_heating=False
+        )
+        assert quiet_ate.apply(march_test_case, true_value - 2.0)
+        assert not quiet_ate.apply(march_test_case, true_value + 2.0)
+
+    def test_measurement_counter_increments(self, quiet_ate, march_test_case):
+        assert quiet_ate.measurement_count == 0
+        quiet_ate.apply(march_test_case, 20.0)
+        quiet_ate.apply(march_test_case, 25.0)
+        assert quiet_ate.measurement_count == 2
+
+    def test_datalog_records_every_measurement(self, quiet_ate, march_test_case):
+        quiet_ate.apply(march_test_case, 20.0)
+        quiet_ate.apply(march_test_case, 40.0)
+        assert len(quiet_ate.datalog) == 2
+        record = quiet_ate.datalog[0]
+        assert record.test_name == "march_c-"
+        assert record.strobe_ns == pytest.approx(20.0)
+        assert record.passed
+        assert not quiet_ate.datalog[1].passed
+
+    def test_strobe_quantized_in_datalog(self, quiet_ate, march_test_case):
+        quiet_ate.apply(march_test_case, 20.013)
+        assert quiet_ate.datalog[0].strobe_ns == pytest.approx(20.0)
+
+    def test_functional_failure_fails_measurement(self, march_test_case):
+        chip = MemoryTestChip(faults=[StuckAtFault(word=0, bit=0, stuck_value=1)])
+        ate = ATE(chip, measurement=MeasurementModel(0.0))
+        assert not ate.apply(march_test_case, 0.0)
+
+    def test_pattern_memory_loaded_once_per_sequence(
+        self, quiet_ate, march_test_case
+    ):
+        for strobe in (20.0, 25.0, 30.0):
+            quiet_ate.apply(march_test_case, strobe)
+        assert quiet_ate.pattern_memory.load_count == 1
+        assert quiet_ate.pattern_memory.hit_count == 2
+
+
+class TestNoise:
+    def test_noise_flips_decisions_near_trip(self, chip, march_test_case):
+        ate = ATE(chip, measurement=MeasurementModel(noise_sigma_ns=0.2, seed=3))
+        true_value = chip.true_parameter_value(march_test_case, account_heating=False)
+        decisions = {ate.apply(march_test_case, true_value) for _ in range(40)}
+        assert decisions == {True, False}
+
+    def test_no_noise_is_deterministic_far_from_trip(
+        self, quiet_ate, march_test_case
+    ):
+        results = {quiet_ate.apply(march_test_case, 20.0) for _ in range(10)}
+        assert results == {True}
+
+
+class TestSession:
+    def test_reset_counters(self, quiet_ate, march_test_case):
+        quiet_ate.apply(march_test_case, 20.0)
+        quiet_ate.reset_counters()
+        assert quiet_ate.measurement_count == 0
+
+    def test_functional_test_counts_separately(self, quiet_ate, march_test_case):
+        quiet_ate.functional_test(march_test_case)
+        assert quiet_ate.functional_count == 1
+        assert quiet_ate.measurement_count == 0
+
+    def test_new_insertion_cools_die_and_keeps_log(
+        self, quiet_ate, random_tests
+    ):
+        busy = random_tests[0]
+        for _ in range(50):
+            quiet_ate.apply(busy, 20.0)
+        assert quiet_ate.chip.timing.heating.rise_kelvin > 0.0
+        log_length = len(quiet_ate.datalog)
+        quiet_ate.new_insertion(noise_seed=1)
+        assert quiet_ate.chip.timing.heating.rise_kelvin == pytest.approx(0.0)
+        assert len(quiet_ate.datalog) == log_length

@@ -1,0 +1,63 @@
+"""Tests for the timing generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ate.timing_generator import TimingGenerator
+
+
+class TestConstruction:
+    def test_rejects_zero_resolution(self):
+        with pytest.raises(ValueError):
+            TimingGenerator(resolution_ns=0.0)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            TimingGenerator(min_edge_ns=10.0, max_edge_ns=5.0)
+
+
+class TestQuantize:
+    def test_on_grid_unchanged(self):
+        tg = TimingGenerator(resolution_ns=0.05)
+        assert tg.quantize(20.05) == pytest.approx(20.05)
+
+    def test_rounds_to_nearest(self):
+        tg = TimingGenerator(resolution_ns=0.05)
+        assert tg.quantize(20.02) == pytest.approx(20.0)
+        assert tg.quantize(20.03) == pytest.approx(20.05)
+
+    def test_clamps_to_range(self):
+        tg = TimingGenerator(min_edge_ns=5.0, max_edge_ns=10.0)
+        assert tg.quantize(-3.0) == pytest.approx(5.0)
+        assert tg.quantize(99.0) == pytest.approx(10.0)
+
+    @given(x=st.floats(-50.0, 250.0, allow_nan=False))
+    def test_quantize_idempotent(self, x):
+        tg = TimingGenerator(resolution_ns=0.05)
+        once = tg.quantize(x)
+        assert tg.quantize(once) == pytest.approx(once)
+
+    @given(x=st.floats(0.0, 200.0, allow_nan=False))
+    def test_quantize_error_bounded_by_half_step(self, x):
+        tg = TimingGenerator(resolution_ns=0.05)
+        assert abs(tg.quantize(x) - x) <= 0.025 + 1e-9
+
+
+class TestGrid:
+    def test_grid_spacing(self):
+        tg = TimingGenerator(resolution_ns=0.5)
+        grid = tg.grid(10.0, 12.0)
+        assert np.allclose(np.diff(grid), 0.5)
+        assert grid[0] == pytest.approx(10.0)
+        assert grid[-1] == pytest.approx(12.0)
+
+    def test_grid_rejects_inverted(self):
+        tg = TimingGenerator()
+        with pytest.raises(ValueError):
+            tg.grid(12.0, 10.0)
+
+    def test_is_programmable(self):
+        tg = TimingGenerator(min_edge_ns=0.0, max_edge_ns=100.0)
+        assert tg.is_programmable(50.0)
+        assert not tg.is_programmable(150.0)

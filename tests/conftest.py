@@ -1,0 +1,65 @@
+"""Shared fixtures.
+
+Everything is seeded; fixtures that carry mutable state (chip, ATE) are
+function-scoped so tests cannot leak self-heating or datalog entries into
+each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ate.measurement import MeasurementModel
+from repro.ate.tester import ATE
+from repro.device.memory_chip import MemoryTestChip
+from repro.patterns.conditions import ConditionSpace, NOMINAL_CONDITION
+from repro.patterns.march import compile_march, get_march_test
+from repro.patterns.random_gen import RandomTestGenerator
+from repro.patterns.testcase import TestCase
+
+
+@pytest.fixture
+def rng():
+    """Deterministic numpy RNG."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def chip():
+    """Healthy nominal-die chip."""
+    return MemoryTestChip()
+
+
+@pytest.fixture
+def quiet_ate(chip):
+    """Tester with measurement noise disabled (exact oracles)."""
+    return ATE(chip, measurement=MeasurementModel(noise_sigma_ns=0.0, seed=0))
+
+
+@pytest.fixture
+def noisy_ate(chip):
+    """Tester with the default 40 ps noise."""
+    return ATE(chip, measurement=MeasurementModel(noise_sigma_ns=0.04, seed=7))
+
+
+@pytest.fixture
+def march_test_case():
+    """March C- at nominal conditions."""
+    sequence = compile_march(get_march_test("march_c-"))
+    return TestCase(
+        sequence, NOMINAL_CONDITION, name="march_c-", origin="deterministic"
+    )
+
+
+@pytest.fixture
+def random_tests():
+    """A reproducible batch of 20 random tests at nominal conditions."""
+    generator = RandomTestGenerator(seed=99)
+    return [t.with_condition(NOMINAL_CONDITION) for t in generator.batch(20)]
+
+
+@pytest.fixture
+def condition_space():
+    """Default condition space."""
+    return ConditionSpace()

@@ -1,0 +1,91 @@
+"""Direct unit tests of the DeviceCharacterizer façade."""
+
+import pytest
+
+from repro.ate.measurement import MeasurementModel
+from repro.ate.tester import ATE
+from repro.core.characterizer import DEFAULT_SEARCH_RANGE, DeviceCharacterizer
+from repro.device.memory_chip import MemoryTestChip
+from repro.device.parameters import IDD_PEAK_PARAMETER, T_DQ_PARAMETER
+from repro.device.process import ProcessCorner, ProcessInstance
+from repro.patterns.conditions import NOMINAL_CONDITION
+from repro.search.base import PassRegion
+
+
+class TestConstruction:
+    def test_default_setup_builds_nominal_chip(self):
+        characterizer = DeviceCharacterizer.with_default_setup(seed=1)
+        assert characterizer.ate.chip.parameter is T_DQ_PARAMETER
+        assert characterizer.search_range == DEFAULT_SEARCH_RANGE
+        assert characterizer.pass_region is PassRegion.LOW
+
+    def test_default_setup_with_die(self):
+        die = ProcessInstance(die_id=9, corner=ProcessCorner.SS)
+        characterizer = DeviceCharacterizer.with_default_setup(die=die)
+        assert characterizer.ate.chip.die is die
+
+    def test_default_setup_with_parameter(self):
+        characterizer = DeviceCharacterizer.with_default_setup(
+            parameter=IDD_PEAK_PARAMETER, search_range=(20.0, 120.0)
+        )
+        assert characterizer.pass_region is PassRegion.HIGH
+        assert characterizer.objective.parameter is IDD_PEAK_PARAMETER
+
+    def test_objective_derived_from_parameter(self):
+        characterizer = DeviceCharacterizer.with_default_setup()
+        assert "minimum" in characterizer.objective.describe()
+
+
+class TestRunners:
+    def test_new_runner_strategies(self, quiet_ate):
+        characterizer = DeviceCharacterizer(quiet_ate)
+        assert characterizer.new_runner("full").strategy == "full"
+        assert characterizer.new_runner().strategy == "sutp"
+
+    def test_each_runner_has_fresh_rtp(self, quiet_ate, random_tests):
+        characterizer = DeviceCharacterizer(quiet_ate)
+        first = characterizer.new_runner()
+        first.run(random_tests[:2])
+        second = characterizer.new_runner()
+        entry = second.measure_one(random_tests[3])
+        assert entry.used_full_search
+
+    def test_measure_single_overrides_condition(self, quiet_ate, march_test_case):
+        characterizer = DeviceCharacterizer(quiet_ate)
+        low_vdd = NOMINAL_CONDITION.with_vdd(1.5)
+        nominal = characterizer.measure_single(march_test_case)
+        lowered = characterizer.measure_single(march_test_case, condition=low_vdd)
+        assert lowered.value < nominal.value
+
+
+class TestMarchBaseline:
+    def test_march_error_when_out_of_range(self, quiet_ate):
+        characterizer = DeviceCharacterizer(quiet_ate, search_range=(1.0, 5.0))
+        with pytest.raises(RuntimeError, match="search_range"):
+            characterizer.run_table1_comparison(random_tests=5)
+
+    def test_march_choice_matters(self, quiet_ate):
+        characterizer = DeviceCharacterizer(quiet_ate)
+        _, c_minus = characterizer.characterize_march("march_c-")
+        _, march_b = characterizer.characterize_march("march_b")
+        # March B's six-operation elements switch the data bus much harder
+        # than March C-, so it sees a smaller valid window.
+        assert march_b.value < c_minus.value - 0.5
+
+
+class TestRandomBaseline:
+    def test_condition_none_samples_space(self, quiet_ate):
+        characterizer = DeviceCharacterizer(quiet_ate, seed=4)
+        dsv = characterizer.characterize_random(n_tests=10, condition=None)
+        vdds = {e.test.condition.vdd for e in dsv}
+        assert len(vdds) > 1
+
+    def test_condition_pinned_by_default(self, quiet_ate):
+        characterizer = DeviceCharacterizer(quiet_ate, seed=4)
+        dsv = characterizer.characterize_random(n_tests=5)
+        assert all(e.test.condition == NOMINAL_CONDITION for e in dsv)
+
+    def test_full_strategy_available(self, quiet_ate):
+        characterizer = DeviceCharacterizer(quiet_ate, seed=4)
+        dsv = characterizer.characterize_random(n_tests=4, strategy="full")
+        assert all(e.used_full_search for e in dsv)

@@ -1,0 +1,165 @@
+"""Tests for the fig. 4 learning scheme and the NN test generator.
+
+Configs are deliberately small; the full-sized pipeline runs in
+tests/integration/ and benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.learning import (
+    FuzzyNeuralTestGenerator,
+    LearningConfig,
+    LearningScheme,
+)
+from repro.core.trip_point import MultipleTripPointRunner
+from repro.patterns.conditions import ConditionSpace, NOMINAL_CONDITION
+
+
+SMALL = dict(
+    tests_per_round=60,
+    max_rounds=2,
+    max_epochs=40,
+    n_networks=3,
+    seed=5,
+)
+
+
+@pytest.fixture
+def runner(quiet_ate):
+    return MultipleTripPointRunner(
+        quiet_ate, (15.0, 45.0), strategy="sutp", resolution=0.05
+    )
+
+
+@pytest.fixture
+def learning_result(runner, condition_space):
+    scheme = LearningScheme(
+        runner, condition_space, LearningConfig(**SMALL)
+    )
+    return scheme.run()
+
+
+class TestLearningConfig:
+    def test_coding_validated(self):
+        with pytest.raises(ValueError):
+            LearningConfig(coding="binary")
+
+    def test_val_fraction_validated(self):
+        with pytest.raises(ValueError):
+            LearningConfig(val_fraction=0.95)
+
+    def test_minimum_tests(self):
+        with pytest.raises(ValueError):
+            LearningConfig(tests_per_round=5)
+
+
+class TestLearningScheme:
+    def test_produces_trained_ensemble(self, learning_result):
+        assert learning_result.ensemble is not None
+        assert learning_result.rounds_run >= 1
+        assert len(learning_result.tests) == len(learning_result.trip_values)
+        assert learning_result.ate_measurements > 0
+
+    def test_learns_the_severity_mapping(self, learning_result):
+        """Validation accuracy must beat the trivial majority baseline."""
+        assert learning_result.val_accuracy > 0.6
+
+    def test_trip_values_plausible(self, learning_result):
+        values = np.array(learning_result.trip_values)
+        assert np.all(values > 15.0) and np.all(values < 45.0)
+
+    def test_weight_file_roundtrip(self, learning_result, tmp_path):
+        from repro.nn.weights_io import load_weights
+
+        path = tmp_path / "weights.json"
+        learning_result.save_weight_file(path)
+        networks, metadata = load_weights(path)
+        assert len(networks) == SMALL["n_networks"]
+        assert metadata["class_labels"] == list(learning_result.coder.labels)
+        assert metadata["ate_measurements"] == learning_result.ate_measurements
+
+    def test_numeric_coding_mode(self, runner, condition_space):
+        scheme = LearningScheme(
+            runner,
+            condition_space,
+            LearningConfig(**{**SMALL, "coding": "numeric"}),
+        )
+        result = scheme.run()
+        assert type(result.coder).__name__ == "NumericTripPointCoder"
+        assert result.val_accuracy > 0.4
+
+    def test_pinned_condition_mode(self, runner, condition_space):
+        scheme = LearningScheme(
+            runner,
+            condition_space,
+            LearningConfig(**{**SMALL, "pin_condition": NOMINAL_CONDITION}),
+        )
+        result = scheme.run()
+        assert all(
+            t.condition == NOMINAL_CONDITION for t in result.tests
+        )
+
+
+class TestFuzzyNeuralTestGenerator:
+    def test_scores_in_unit_interval(self, learning_result, condition_space):
+        generator = FuzzyNeuralTestGenerator(
+            learning_result, condition_space, seed=1
+        )
+        tests = generator.propose(5, pool_size=40)
+        scores = generator.score(tests)
+        assert np.all(scores >= 0.0) and np.all(scores <= 1.0)
+
+    def test_propose_returns_requested_count(self, learning_result, condition_space):
+        generator = FuzzyNeuralTestGenerator(
+            learning_result, condition_space, seed=1
+        )
+        assert len(generator.propose(7, pool_size=50)) == 7
+
+    def test_propose_validates_args(self, learning_result, condition_space):
+        generator = FuzzyNeuralTestGenerator(
+            learning_result, condition_space, seed=1
+        )
+        with pytest.raises(ValueError):
+            generator.propose(10, pool_size=5)
+
+    def test_proposals_tagged_nn(self, learning_result, condition_space):
+        generator = FuzzyNeuralTestGenerator(
+            learning_result, condition_space, seed=1
+        )
+        assert all(t.origin == "nn" for t in generator.propose(3, 30))
+
+    def test_proposals_score_above_pool_average(
+        self, learning_result, condition_space, quiet_ate
+    ):
+        """The NN screen must actually enrich: proposed tests measure worse
+        (lower T_DQ) on the device than the random pool average."""
+        generator = FuzzyNeuralTestGenerator(
+            learning_result, condition_space, seed=2
+        )
+        proposed = generator.propose(8, pool_size=200)
+        chip = quiet_ate.chip
+        proposed_values = [
+            chip.true_parameter_value(
+                t.with_condition(NOMINAL_CONDITION), account_heating=False
+            )
+            for t in proposed
+        ]
+        from repro.patterns.random_gen import RandomTestGenerator
+
+        pool = RandomTestGenerator(seed=77).batch(50)
+        pool_values = [
+            chip.true_parameter_value(
+                t.with_condition(NOMINAL_CONDITION), account_heating=False
+            )
+            for t in pool
+        ]
+        assert np.mean(proposed_values) < np.mean(pool_values)
+
+    def test_fresh_individual_for_restarts(self, learning_result, condition_space):
+        generator = FuzzyNeuralTestGenerator(
+            learning_result, condition_space, seed=3
+        )
+        individual = generator.fresh_individual(pool_size=16)
+        assert individual.origin == "nn"
+        assert not individual.evaluated

@@ -1,0 +1,95 @@
+"""Tests for the ATE measurement budget on the GA optimization."""
+
+import pytest
+
+from repro.ate.measurement import MeasurementModel
+from repro.ate.tester import ATE
+from repro.core.learning import LearningConfig, LearningScheme
+from repro.core.objectives import CharacterizationObjective
+from repro.core.optimization import OptimizationConfig, OptimizationScheme
+from repro.core.trip_point import MultipleTripPointRunner
+from repro.device.memory_chip import MemoryTestChip
+from repro.device.parameters import T_DQ_PARAMETER
+from repro.ga.chromosome import TestIndividual
+from repro.ga.engine import GAConfig, MultiPopulationGA
+from repro.patterns.conditions import ConditionSpace
+from repro.patterns.random_gen import RandomTestGenerator
+
+
+class TestEngineBudgetHook:
+    def test_budget_callable_stops_run(self, condition_space):
+        calls = []
+
+        def fitness(test):
+            calls.append(test)
+            return 0.1
+
+        def exhausted():
+            return len(calls) >= 30
+
+        config = GAConfig(
+            population_size=8, n_populations=1, max_generations=50,
+            stagnation_patience=100,
+        )
+        engine = MultiPopulationGA(config, condition_space, fitness, seed=0)
+        seeds = [
+            TestIndividual.from_test_case(t, condition_space)
+            for t in RandomTestGenerator(seed=0).batch(4)
+        ]
+        result = engine.run(seeds, budget_exhausted=exhausted)
+        assert result.stopped_by_budget
+        assert result.generations_run < 50
+
+    def test_no_budget_runs_to_generation_cap(self, condition_space):
+        config = GAConfig(
+            population_size=8, n_populations=1, max_generations=4,
+            stagnation_patience=100, stop_fitness=99.0,
+        )
+        engine = MultiPopulationGA(
+            config, condition_space, lambda t: 0.1, seed=0
+        )
+        seeds = [
+            TestIndividual.from_test_case(t, condition_space)
+            for t in RandomTestGenerator(seed=0).batch(4)
+        ]
+        result = engine.run(seeds)
+        assert not result.stopped_by_budget
+        assert result.generations_run == 4
+
+
+class TestOptimizationBudget:
+    def test_ate_budget_respected(self):
+        ate = ATE(MemoryTestChip(), measurement=MeasurementModel(0.0, seed=0))
+        runner = MultipleTripPointRunner(ate, (15.0, 45.0), resolution=0.05)
+        space = ConditionSpace()
+        learning = LearningScheme(
+            runner,
+            space,
+            LearningConfig(
+                tests_per_round=60, max_rounds=1, max_epochs=30,
+                n_networks=2, seed=5,
+            ),
+        ).run()
+        budget = 400
+        scheme = OptimizationScheme(
+            runner,
+            space,
+            learning,
+            CharacterizationObjective.worst_case_for(T_DQ_PARAMETER),
+            OptimizationConfig(
+                ga=GAConfig(
+                    population_size=10, n_populations=2, max_generations=50,
+                    stop_fitness=99.0,
+                ),
+                n_seeds=6,
+                seed_pool_size=40,
+                max_ate_measurements=budget,
+                seed=1,
+            ),
+        )
+        result = scheme.run()
+        assert result.ga_result.stopped_by_budget
+        # Budget is checked at generation boundaries, so allow one
+        # generation of overshoot plus the final database re-measurement.
+        per_generation = 10 * 2 * 10  # population x pops x ~meas/eval
+        assert result.ate_measurements < budget + per_generation

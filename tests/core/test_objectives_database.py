@@ -1,0 +1,118 @@
+"""Tests for characterization objectives and the worst-case database."""
+
+import json
+
+import pytest
+
+from repro.core.database import WorstCaseDatabase, WorstCaseRecord
+from repro.core.objectives import CharacterizationObjective, DriftDirection
+from repro.core.wcr import WCRClass, WCRClassifier
+from repro.device.parameters import IDD_PEAK_PARAMETER, T_DQ_PARAMETER
+
+
+class TestObjectives:
+    def test_natural_direction_min_limited(self):
+        objective = CharacterizationObjective.worst_case_for(T_DQ_PARAMETER)
+        assert objective.direction is DriftDirection.TO_MINIMUM
+
+    def test_natural_direction_max_limited(self):
+        objective = CharacterizationObjective.worst_case_for(IDD_PEAK_PARAMETER)
+        assert objective.direction is DriftDirection.TO_MAXIMUM
+
+    def test_fitness_is_wcr(self):
+        objective = CharacterizationObjective.worst_case_for(T_DQ_PARAMETER)
+        assert objective.fitness(22.1) == pytest.approx(0.905, abs=0.001)
+
+    def test_is_worse_min_limited(self):
+        objective = CharacterizationObjective.worst_case_for(T_DQ_PARAMETER)
+        assert objective.is_worse(22.0, 30.0)
+        assert not objective.is_worse(30.0, 22.0)
+
+    def test_is_worse_max_limited(self):
+        objective = CharacterizationObjective.worst_case_for(IDD_PEAK_PARAMETER)
+        assert objective.is_worse(75.0, 50.0)
+
+    def test_classify(self):
+        objective = CharacterizationObjective.worst_case_for(T_DQ_PARAMETER)
+        assert objective.classify(32.3) is WCRClass.PASS
+        assert objective.classify(22.1) is WCRClass.WEAKNESS
+        assert objective.classify(19.0) is WCRClass.FAIL
+
+    def test_describe_mentions_direction(self):
+        objective = CharacterizationObjective.worst_case_for(T_DQ_PARAMETER)
+        assert "minimum" in objective.describe()
+
+
+class TestDatabase:
+    def _record(self, test, value=25.0, technique="nn+ga", failure=False):
+        classifier = WCRClassifier()
+        if failure:
+            return WorstCaseRecord(
+                test=test, measured_value=None, wcr=None, wcr_class=None,
+                technique=technique, functional_failure=True,
+            )
+        wcr = 20.0 / value
+        return WorstCaseRecord(
+            test=test, measured_value=value, wcr=wcr,
+            wcr_class=classifier.classify(wcr), technique=technique,
+        )
+
+    def test_add_and_rank(self, random_tests):
+        db = WorstCaseDatabase()
+        db.add(self._record(random_tests[0], 30.0))
+        db.add(self._record(random_tests[1], 22.0))
+        db.add(self._record(random_tests[2], 26.0))
+        ranked = db.ranked()
+        assert [r.measured_value for r in ranked] == [22.0, 26.0, 30.0]
+        assert db.worst().measured_value == pytest.approx(22.0)
+
+    def test_nonfailure_requires_wcr(self, random_tests):
+        db = WorstCaseDatabase()
+        with pytest.raises(ValueError):
+            db.add(
+                WorstCaseRecord(
+                    test=random_tests[0], measured_value=25.0, wcr=None,
+                    wcr_class=None, technique="x",
+                )
+            )
+
+    def test_failures_stored_separately(self, random_tests):
+        """'Functional failure patterns (if any) are stored separately.'"""
+        db = WorstCaseDatabase()
+        db.add(self._record(random_tests[0], 25.0))
+        db.add(self._record(random_tests[1], failure=True))
+        assert len(db) == 1
+        assert db.failure_count == 1
+        assert db.failures()[0].functional_failure
+
+    def test_top_and_by_class(self, random_tests):
+        db = WorstCaseDatabase()
+        db.add(self._record(random_tests[0], 32.0))  # pass region
+        db.add(self._record(random_tests[1], 22.0))  # weakness region
+        assert len(db.top(1)) == 1
+        assert db.top(1)[0].measured_value == pytest.approx(22.0)
+        assert len(db.by_class(WCRClass.WEAKNESS)) == 1
+        assert len(db.by_class(WCRClass.FAIL)) == 0
+
+    def test_by_technique(self, random_tests):
+        db = WorstCaseDatabase()
+        db.add(self._record(random_tests[0], 30.0, technique="random"))
+        db.add(self._record(random_tests[1], 25.0, technique="nn+ga"))
+        assert len(db.by_technique("nn+ga")) == 1
+
+    def test_worst_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            WorstCaseDatabase().worst()
+
+    def test_export_json(self, tmp_path, random_tests):
+        db = WorstCaseDatabase()
+        db.add(self._record(random_tests[0], 24.0))
+        db.add(self._record(random_tests[1], failure=True))
+        path = tmp_path / "db.json"
+        db.export_json(path)
+        payload = json.loads(path.read_text())
+        assert len(payload["records"]) == 1
+        assert len(payload["functional_failures"]) == 1
+        record = payload["records"][0]
+        assert record["wcr"] == pytest.approx(20.0 / 24.0)
+        assert record["condition"]["vdd"] == pytest.approx(1.8)

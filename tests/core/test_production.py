@@ -1,0 +1,139 @@
+"""Tests for production test-program generation."""
+
+import pytest
+
+from repro.ate.measurement import MeasurementModel
+from repro.ate.tester import ATE
+from repro.core.database import WorstCaseDatabase, WorstCaseRecord
+from repro.core.production import (
+    ProductionTestProgram,
+    build_production_program,
+)
+from repro.core.wcr import WCRClass
+from repro.device.faults import StuckAtFault
+from repro.device.memory_chip import MemoryTestChip
+from repro.device.parameters import T_DQ_PARAMETER
+from repro.device.process import ProcessInstance
+from repro.patterns.conditions import NOMINAL_CONDITION
+from repro.patterns.testcase import TestCase
+from repro.patterns.vectors import Operation, TestVector, VectorSequence
+
+
+def crafted_worst_sequence():
+    vectors = []
+    word, addr = 0, 0
+    for _ in range(120):
+        word ^= 0xFF
+        addr ^= 0x3FF
+        vectors.append(TestVector(Operation.WRITE, addr, word))
+    while len(vectors) < 600:
+        word ^= 0xFF
+        addr ^= 0x200
+        vectors.append(TestVector(Operation.WRITE, addr, word))
+        vectors.append(TestVector(Operation.READ, addr, 0))
+    return VectorSequence(vectors, name="wc_pattern")
+
+
+@pytest.fixture
+def database():
+    db = WorstCaseDatabase()
+    worst = TestCase(crafted_worst_sequence(), NOMINAL_CONDITION, name="wc0")
+    db.add(
+        WorstCaseRecord(
+            test=worst, measured_value=22.0, wcr=0.909,
+            wcr_class=WCRClass.WEAKNESS, technique="nn+ga",
+        )
+    )
+    return db
+
+
+def fresh_ate(faults=(), die=None):
+    kwargs = {"faults": list(faults)}
+    if die is not None:
+        kwargs["die"] = die
+    chip = MemoryTestChip(**kwargs)
+    return ATE(chip, measurement=MeasurementModel(0.0, seed=0))
+
+
+class TestProgramConstruction:
+    def test_structure(self, database):
+        program = build_production_program(database, T_DQ_PARAMETER)
+        assert len(program.steps) == 3  # functional + parametric + 1 wc
+        assert not program.steps[0].is_parametric
+        assert program.steps[1].is_parametric
+        assert program.parametric_step_count == 2
+
+    def test_guard_band_direction_min_limited(self, database):
+        program = build_production_program(
+            database, T_DQ_PARAMETER, guard_band=0.5
+        )
+        # Min-limited: compare level sits above the limit (tighter).
+        assert program.steps[1].compare_level == pytest.approx(20.5)
+
+    def test_guard_band_direction_max_limited(self, database):
+        from repro.device.parameters import IDD_PEAK_PARAMETER
+
+        program = build_production_program(
+            database, IDD_PEAK_PARAMETER, guard_band=2.0
+        )
+        assert program.steps[1].compare_level == pytest.approx(78.0)
+
+    def test_validation(self, database):
+        with pytest.raises(ValueError):
+            build_production_program(database, T_DQ_PARAMETER, guard_band=-1.0)
+        with pytest.raises(ValueError):
+            build_production_program(
+                database, T_DQ_PARAMETER, worst_case_steps=-1
+            )
+
+    def test_to_text(self, database):
+        text = build_production_program(database, T_DQ_PARAMETER).to_text()
+        assert "functional march_c-" in text
+        assert "worst-case #0" in text
+        assert "bin 2" in text
+
+
+class TestScreening:
+    def test_healthy_die_ships(self, database):
+        program = build_production_program(database, T_DQ_PARAMETER)
+        result = program.run(fresh_ate())
+        assert result.passed
+        assert result.assigned_bin == 1
+        assert result.steps_applied == 3
+
+    def test_empty_program_rejected(self):
+        program = ProductionTestProgram(parameter=T_DQ_PARAMETER)
+        with pytest.raises(ValueError):
+            program.run(fresh_ate())
+
+    def test_functional_defect_bins_3_first_fail(self, database):
+        program = build_production_program(database, T_DQ_PARAMETER)
+        result = program.run(
+            fresh_ate(faults=[StuckAtFault(word=3, bit=1, stuck_value=1)])
+        )
+        assert not result.passed
+        assert result.assigned_bin == 3
+        assert result.steps_applied == 1
+        assert "functional" in result.failing_step
+
+    def test_slow_die_caught_only_by_worst_case_step(self, database):
+        """The CI contribution: a die whose weakness-region margin has
+        eroded passes the march steps but fails the worst-case step."""
+        slow_die = ProcessInstance(die_id=1, timing_offset_ns=-1.8)
+        program = build_production_program(
+            database, T_DQ_PARAMETER, guard_band=0.5
+        )
+        result = program.run(fresh_ate(die=slow_die))
+        assert not result.passed
+        assert result.assigned_bin == 2
+        assert "worst-case" in result.failing_step
+
+    def test_march_only_program_ships_the_marginal_die(self, database):
+        """Without the worst-case steps the same die escapes — the paper's
+        motivating failure mode, quantified."""
+        slow_die = ProcessInstance(die_id=1, timing_offset_ns=-1.8)
+        program = build_production_program(
+            database, T_DQ_PARAMETER, guard_band=0.5, worst_case_steps=0
+        )
+        result = program.run(fresh_ate(die=slow_die))
+        assert result.passed  # the escape

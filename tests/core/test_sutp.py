@@ -1,0 +1,148 @@
+"""Tests for the Search-Until-Trip-Point algorithm (section 4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sutp import SearchUntilTripPoint
+from repro.search.base import PassRegion
+from repro.search.oracles import CountingOracle
+
+
+def pass_low(trip):
+    return lambda x: x <= trip
+
+
+def pass_high(trip):
+    return lambda x: x >= trip
+
+
+class TestConstruction:
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            SearchUntilTripPoint((45.0, 15.0))
+
+    def test_factor_validation(self):
+        with pytest.raises(ValueError):
+            SearchUntilTripPoint((15.0, 45.0), search_factor=0.0)
+
+    def test_resolution_validation(self):
+        with pytest.raises(ValueError):
+            SearchUntilTripPoint((15.0, 45.0), resolution=-1.0)
+
+
+class TestBootstrap:
+    def test_first_measurement_is_full_search(self):
+        sutp = SearchUntilTripPoint((15.0, 45.0), resolution=0.05)
+        result = sutp.measure(pass_low(30.0))
+        assert result.used_full_search
+        assert result.iterations == 0
+        assert result.trip_point == pytest.approx(30.0, abs=0.06)
+        assert sutp.reference_trip_point == pytest.approx(30.0, abs=0.06)
+
+    def test_reset_forgets_rtp(self):
+        sutp = SearchUntilTripPoint((15.0, 45.0))
+        sutp.measure(pass_low(30.0))
+        sutp.reset()
+        assert sutp.reference_trip_point is None
+        assert sutp.measure(pass_low(25.0)).used_full_search
+
+
+class TestIncremental:
+    def test_subsequent_measurements_incremental(self):
+        sutp = SearchUntilTripPoint((15.0, 45.0), search_factor=0.5, resolution=0.05)
+        sutp.measure(pass_low(30.0))
+        result = sutp.measure(pass_low(31.0))
+        assert not result.used_full_search
+        assert result.iterations >= 1
+        assert result.trip_point == pytest.approx(31.0, abs=0.06)
+
+    def test_walk_down_when_rtp_fails(self):
+        sutp = SearchUntilTripPoint((15.0, 45.0), search_factor=0.5, resolution=0.05)
+        sutp.measure(pass_low(30.0))
+        result = sutp.measure(pass_low(27.5))
+        assert not result.used_full_search
+        assert result.trip_point == pytest.approx(27.5, abs=0.06)
+
+    def test_nearby_trips_cost_far_less_than_full_search(self):
+        """The paper's headline claim: SF(IT) steps << CR-wide searches."""
+        sutp = SearchUntilTripPoint((15.0, 45.0), search_factor=0.5, resolution=0.05)
+        first = sutp.measure(pass_low(30.0))
+        costs = []
+        for trip in (30.2, 29.9, 30.4, 29.7, 30.1):
+            oracle = CountingOracle(pass_low(trip))
+            result = sutp.measure(oracle)
+            assert result.trip_point == pytest.approx(trip, abs=0.06)
+            costs.append(result.measurements)
+        assert max(costs) < first.measurements
+        assert sum(costs) / len(costs) < first.measurements / 2
+
+    def test_eq4_pass_high_orientation(self):
+        sutp = SearchUntilTripPoint(
+            (1.0, 2.2), search_factor=0.02, resolution=0.005,
+            pass_region=PassRegion.HIGH,
+        )
+        first = sutp.measure(pass_high(1.60))
+        assert first.trip_point == pytest.approx(1.60, abs=0.006)
+        result = sutp.measure(pass_high(1.63))
+        assert not result.used_full_search
+        assert result.trip_point == pytest.approx(1.63, abs=0.006)
+
+    def test_growing_step_covers_large_drift(self):
+        """SF(IT) = SF*IT accelerates: an 8 ns drift is still caught."""
+        sutp = SearchUntilTripPoint((15.0, 45.0), search_factor=0.5, resolution=0.05)
+        sutp.measure(pass_low(30.0))
+        oracle = CountingOracle(pass_low(22.0))
+        result = sutp.measure(oracle)
+        assert result.trip_point == pytest.approx(22.0, abs=0.06)
+        # Quadratic walk positions: 0.5, 1.5, 3.0, 5.0, 7.5, 10.5 -> 6 steps
+        # + refinement; far fewer than a 30 ns / 0.05 ns linear search.
+        assert result.measurements < 20
+
+    def test_reference_not_updated_by_default(self):
+        sutp = SearchUntilTripPoint((15.0, 45.0), resolution=0.05)
+        sutp.measure(pass_low(30.0))
+        rtp = sutp.reference_trip_point
+        sutp.measure(pass_low(35.0))
+        assert sutp.reference_trip_point == rtp
+
+    def test_reference_follows_when_requested(self):
+        sutp = SearchUntilTripPoint(
+            (15.0, 45.0), resolution=0.05, update_reference=True
+        )
+        sutp.measure(pass_low(30.0))
+        sutp.measure(pass_low(35.0))
+        assert sutp.reference_trip_point == pytest.approx(35.0, abs=0.06)
+
+
+class TestFallback:
+    def test_walk_off_range_falls_back_to_full_search(self):
+        """A drift beyond the range re-runs the generous full search."""
+        sutp = SearchUntilTripPoint((15.0, 45.0), search_factor=2.0, resolution=0.05)
+        sutp.measure(pass_low(44.0))  # RTP near the top
+        # New trip far below: the downward walk exits at 15 and falls back.
+        result = sutp.measure(pass_low(16.0))
+        assert result.trip_point == pytest.approx(16.0, abs=0.06)
+
+    def test_convergence_guaranteed_anywhere_in_range(self):
+        sutp = SearchUntilTripPoint((15.0, 45.0), search_factor=0.5, resolution=0.05)
+        sutp.measure(pass_low(30.0))
+        for trip in (16.0, 44.0, 20.0, 43.0, 15.5):
+            result = sutp.measure(pass_low(trip))
+            assert result.found
+            assert result.trip_point == pytest.approx(trip, abs=0.06)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rtp_trip=st.floats(16.0, 44.0),
+        next_trip=st.floats(16.0, 44.0),
+    )
+    def test_property_accuracy_matches_full_search(self, rtp_trip, next_trip):
+        """SUTP's answer equals the truth within resolution regardless of
+        where the next trip point lands relative to the RTP."""
+        sutp = SearchUntilTripPoint(
+            (15.0, 45.0), search_factor=0.5, resolution=0.05
+        )
+        sutp.measure(pass_low(rtp_trip))
+        result = sutp.measure(pass_low(next_trip))
+        assert result.found
+        assert result.trip_point == pytest.approx(next_trip, abs=0.06)

@@ -1,0 +1,145 @@
+"""Tests for the multiple-trip-point concept (eq. 1, figs. 1/2)."""
+
+import pytest
+
+from repro.core.trip_point import (
+    DesignSpecificationValues,
+    MultipleTripPointRunner,
+    TripPointValue,
+)
+from repro.device.parameters import IDD_PEAK_PARAMETER, T_DQ_PARAMETER
+from repro.patterns.conditions import NOMINAL_CONDITION
+
+
+def entry(test, value, measurements=10, full=True):
+    return TripPointValue(
+        test=test, value=value, measurements=measurements, used_full_search=full
+    )
+
+
+class TestDesignSpecificationValues:
+    def test_needs_entries(self):
+        with pytest.raises(ValueError):
+            DesignSpecificationValues(T_DQ_PARAMETER, [])
+
+    def test_values_skip_missing(self, random_tests):
+        entries = [
+            entry(random_tests[0], 30.0),
+            entry(random_tests[1], None),
+            entry(random_tests[2], 28.0),
+        ]
+        dsv = DesignSpecificationValues(T_DQ_PARAMETER, entries)
+        assert dsv.values() == [30.0, 28.0]
+        assert dsv.found_count == 2
+        assert len(dsv) == 3
+
+    def test_worst_min_limited_is_minimum(self, random_tests):
+        entries = [entry(t, v) for t, v in zip(random_tests, [30.0, 24.5, 28.0])]
+        dsv = DesignSpecificationValues(T_DQ_PARAMETER, entries)
+        assert dsv.worst().value == pytest.approx(24.5)
+
+    def test_worst_max_limited_is_maximum(self, random_tests):
+        entries = [entry(t, v) for t, v in zip(random_tests, [40.0, 72.0, 55.0])]
+        dsv = DesignSpecificationValues(IDD_PEAK_PARAMETER, entries)
+        assert dsv.worst().value == pytest.approx(72.0)
+
+    def test_worst_with_no_located_trips_raises(self, random_tests):
+        dsv = DesignSpecificationValues(
+            T_DQ_PARAMETER, [entry(random_tests[0], None)]
+        )
+        with pytest.raises(ValueError):
+            dsv.worst()
+
+    def test_spread_and_stats(self, random_tests):
+        entries = [entry(t, v) for t, v in zip(random_tests, [30.0, 25.0, 28.0])]
+        dsv = DesignSpecificationValues(T_DQ_PARAMETER, entries)
+        assert dsv.spread() == pytest.approx(5.0)
+        assert dsv.mean() == pytest.approx(27.6667, abs=1e-3)
+        assert dsv.std() > 0.0
+
+    def test_total_measurements(self, random_tests):
+        entries = [
+            entry(random_tests[0], 30.0, measurements=7),
+            entry(random_tests[1], 29.0, measurements=5),
+        ]
+        dsv = DesignSpecificationValues(T_DQ_PARAMETER, entries)
+        assert dsv.total_measurements == 12
+
+
+class TestMultipleTripPointRunner:
+    def test_strategy_validation(self, quiet_ate):
+        with pytest.raises(ValueError):
+            MultipleTripPointRunner(quiet_ate, (15.0, 45.0), strategy="magic")
+
+    def test_run_needs_tests(self, quiet_ate):
+        runner = MultipleTripPointRunner(quiet_ate, (15.0, 45.0))
+        with pytest.raises(ValueError):
+            runner.run([])
+
+    def test_full_strategy_measures_each_test_fully(
+        self, quiet_ate, random_tests
+    ):
+        runner = MultipleTripPointRunner(
+            quiet_ate, (15.0, 45.0), strategy="full", resolution=0.05
+        )
+        dsv = runner.run(random_tests[:5])
+        assert all(e.used_full_search for e in dsv)
+        assert dsv.found_count == 5
+
+    def test_sutp_strategy_bootstrap_then_incremental(
+        self, quiet_ate, random_tests
+    ):
+        runner = MultipleTripPointRunner(
+            quiet_ate, (15.0, 45.0), strategy="sutp", resolution=0.05
+        )
+        dsv = runner.run(random_tests[:6])
+        entries = list(dsv)
+        assert entries[0].used_full_search
+        assert sum(1 for e in entries[1:] if not e.used_full_search) >= 4
+
+    def test_sutp_matches_full_trip_points(self, quiet_ate, random_tests):
+        """Both strategies locate the same boundaries within resolution."""
+        tests = random_tests[:6]
+        full_runner = MultipleTripPointRunner(
+            quiet_ate, (15.0, 45.0), strategy="full", resolution=0.05
+        )
+        full_dsv = full_runner.run(tests)
+        quiet_ate.new_insertion()
+        sutp_runner = MultipleTripPointRunner(
+            quiet_ate, (15.0, 45.0), strategy="sutp", resolution=0.05
+        )
+        sutp_dsv = sutp_runner.run(tests)
+        for a, b in zip(full_dsv.values(), sutp_dsv.values()):
+            assert a == pytest.approx(b, abs=0.25)
+
+    def test_sutp_costs_less(self, quiet_ate, random_tests):
+        tests = random_tests[:8]
+        full_runner = MultipleTripPointRunner(
+            quiet_ate, (15.0, 45.0), strategy="full", resolution=0.05
+        )
+        full_cost = full_runner.run(tests).total_measurements
+        sutp_runner = MultipleTripPointRunner(
+            quiet_ate, (15.0, 45.0), strategy="sutp", resolution=0.05
+        )
+        sutp_cost = sutp_runner.run(tests).total_measurements
+        assert sutp_cost < full_cost
+
+    def test_progress_callback(self, quiet_ate, random_tests):
+        seen = []
+        runner = MultipleTripPointRunner(quiet_ate, (15.0, 45.0))
+        runner.run(random_tests[:3], progress=lambda i, e: seen.append(i))
+        assert seen == [0, 1, 2]
+
+    def test_trip_points_are_test_dependent(self, quiet_ate, random_tests):
+        """The premise of the whole paper (fig. 2): different tests trip
+        at different values."""
+        runner = MultipleTripPointRunner(quiet_ate, (15.0, 45.0))
+        dsv = runner.run(random_tests[:10])
+        assert dsv.spread() > 0.5
+
+    def test_reset_restarts_rtp(self, quiet_ate, random_tests):
+        runner = MultipleTripPointRunner(quiet_ate, (15.0, 45.0))
+        runner.run(random_tests[:2])
+        runner.reset()
+        entry = runner.measure_one(random_tests[3])
+        assert entry.used_full_search

@@ -1,0 +1,98 @@
+"""Tests for the Worst-Case Ratio (eqs. 5/6) and fig. 6 classification."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.wcr import (
+    WCRClass,
+    WCRClassifier,
+    batch_wcr,
+    worst_case_ratio,
+    worst_of,
+)
+from repro.device.parameters import IDD_PEAK_PARAMETER, T_DQ_PARAMETER
+
+
+class TestWorstCaseRatio:
+    def test_paper_table1_values(self):
+        """The exact WCR arithmetic of Table 1: vmin/va for T_DQ."""
+        assert worst_case_ratio(32.3, T_DQ_PARAMETER) == pytest.approx(0.619, abs=0.001)
+        assert worst_case_ratio(28.5, T_DQ_PARAMETER) == pytest.approx(0.702, abs=0.001)
+        assert worst_case_ratio(22.1, T_DQ_PARAMETER) == pytest.approx(0.905, abs=0.001)
+
+    def test_eq5_max_limited(self):
+        assert worst_case_ratio(40.0, IDD_PEAK_PARAMETER) == pytest.approx(0.5)
+        assert worst_case_ratio(88.0, IDD_PEAK_PARAMETER) == pytest.approx(1.1)
+
+    def test_zero_value_min_limited_raises(self):
+        with pytest.raises(ValueError):
+            worst_case_ratio(0.0, T_DQ_PARAMETER)
+
+    def test_absolute_value_semantics(self):
+        assert worst_case_ratio(-40.0, IDD_PEAK_PARAMETER) == pytest.approx(0.5)
+
+    @given(value=st.floats(0.1, 1000.0))
+    def test_spec_violation_iff_wcr_above_one(self, value):
+        """WCR > 1 exactly when the value violates the spec (both eqs.)."""
+        for parameter in (T_DQ_PARAMETER, IDD_PEAK_PARAMETER):
+            wcr = worst_case_ratio(value, parameter)
+            assert (wcr > 1.0) == (not parameter.meets_spec(value))
+
+
+class TestClassifier:
+    def test_paper_regions(self):
+        classifier = WCRClassifier()
+        assert classifier.classify(0.0) is WCRClass.PASS
+        assert classifier.classify(0.8) is WCRClass.PASS
+        assert classifier.classify(0.81) is WCRClass.WEAKNESS
+        assert classifier.classify(1.0) is WCRClass.WEAKNESS
+        assert classifier.classify(1.01) is WCRClass.FAIL
+
+    def test_negative_wcr_rejected(self):
+        with pytest.raises(ValueError):
+            WCRClassifier().classify(-0.1)
+
+    def test_boundary_validation(self):
+        with pytest.raises(ValueError):
+            WCRClassifier(weakness_threshold=1.2, fail_threshold=1.0)
+        with pytest.raises(ValueError):
+            WCRClassifier(weakness_threshold=0.0)
+
+    def test_classify_value_composes(self):
+        wcr, region = WCRClassifier().classify_value(22.1, T_DQ_PARAMETER)
+        assert wcr == pytest.approx(0.905, abs=0.001)
+        assert region is WCRClass.WEAKNESS
+
+    def test_custom_boundaries(self):
+        strict = WCRClassifier(weakness_threshold=0.6, fail_threshold=0.9)
+        assert strict.classify(0.7) is WCRClass.WEAKNESS
+        assert strict.classify(0.95) is WCRClass.FAIL
+
+
+class TestBatchHelpers:
+    def test_batch_wcr(self):
+        ratios = batch_wcr([40.0, 25.0, 20.0], T_DQ_PARAMETER)
+        assert ratios == pytest.approx([0.5, 0.8, 1.0])
+
+    def test_worst_of_min_limited(self):
+        """The outer Max over tests: smallest T_DQ has the largest WCR."""
+        index, wcr = worst_of([32.3, 28.5, 22.1], T_DQ_PARAMETER)
+        assert index == 2
+        assert wcr == pytest.approx(0.905, abs=0.001)
+
+    def test_worst_of_max_limited(self):
+        index, wcr = worst_of([40.0, 75.0, 60.0], IDD_PEAK_PARAMETER)
+        assert index == 1
+
+    def test_worst_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            worst_of([], T_DQ_PARAMETER)
+
+    @given(
+        values=st.lists(st.floats(1.0, 100.0), min_size=1, max_size=20)
+    )
+    def test_worst_of_is_argmax_property(self, values):
+        index, wcr = worst_of(values, T_DQ_PARAMETER)
+        ratios = batch_wcr(values, T_DQ_PARAMETER)
+        assert wcr == pytest.approx(max(ratios))
+        assert ratios[index] == pytest.approx(wcr)

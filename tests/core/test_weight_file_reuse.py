@@ -1,0 +1,107 @@
+"""Tests for cross-session weight-file reuse (fig. 4 -> fig. 5 handoff)."""
+
+import numpy as np
+import pytest
+
+from repro.core.learning import (
+    FuzzyNeuralTestGenerator,
+    LearningConfig,
+    LearningScheme,
+)
+from repro.core.trip_point import MultipleTripPointRunner
+from repro.device.parameters import T_DQ_PARAMETER
+from repro.fuzzy.coding import (
+    NumericTripPointCoder,
+    TripPointFuzzyCoder,
+    coder_from_dict,
+)
+from repro.patterns.conditions import ConditionSpace
+
+
+CALIBRATION = [32.3, 31.0, 30.5, 30.2, 29.8, 29.0, 28.5, 27.5, 26.0, 23.0]
+
+
+class TestCoderSerialization:
+    def test_fuzzy_roundtrip(self):
+        coder = TripPointFuzzyCoder.from_samples(T_DQ_PARAMETER, CALIBRATION)
+        restored = coder_from_dict(coder.to_dict())
+        for value in CALIBRATION:
+            assert np.allclose(restored.encode(value), coder.encode(value))
+        assert restored.labels == coder.labels
+
+    def test_numeric_roundtrip(self):
+        coder = NumericTripPointCoder.from_samples(T_DQ_PARAMETER, CALIBRATION)
+        restored = coder_from_dict(coder.to_dict())
+        for value in CALIBRATION:
+            assert restored.class_index(value) == coder.class_index(value)
+
+    def test_parameter_travels_with_coder(self):
+        coder = TripPointFuzzyCoder.from_samples(T_DQ_PARAMETER, CALIBRATION)
+        restored = coder_from_dict(coder.to_dict())
+        assert restored.parameter == T_DQ_PARAMETER
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            coder_from_dict({"kind": "mystery"})
+
+
+class TestGeneratorFromWeightFile:
+    @pytest.fixture(scope="class")
+    def trained(self, tmp_path_factory):
+        from repro.ate.measurement import MeasurementModel
+        from repro.ate.tester import ATE
+        from repro.device.memory_chip import MemoryTestChip
+
+        ate = ATE(MemoryTestChip(), measurement=MeasurementModel(0.0, seed=0))
+        runner = MultipleTripPointRunner(ate, (15.0, 45.0), resolution=0.05)
+        space = ConditionSpace()
+        result = LearningScheme(
+            runner,
+            space,
+            LearningConfig(
+                tests_per_round=60, max_rounds=1, max_epochs=40,
+                n_networks=3, seed=9,
+            ),
+        ).run()
+        path = tmp_path_factory.mktemp("weights") / "nn_weights.json"
+        result.save_weight_file(path)
+        return result, space, path
+
+    def test_scores_identical_after_reload(self, trained):
+        result, space, path = trained
+        original = FuzzyNeuralTestGenerator(result, space, seed=4)
+        restored = FuzzyNeuralTestGenerator.from_weight_file(
+            path, space, seed=4
+        )
+        from repro.patterns.random_gen import RandomTestGenerator
+
+        probe = RandomTestGenerator(seed=88, condition_space=space).batch(20)
+        assert np.allclose(original.score(probe), restored.score(probe))
+
+    def test_proposals_identical_after_reload(self, trained):
+        result, space, path = trained
+        original = FuzzyNeuralTestGenerator(result, space, seed=4)
+        restored = FuzzyNeuralTestGenerator.from_weight_file(
+            path, space, seed=4
+        )
+        tests_a = original.propose(5, pool_size=60)
+        tests_b = restored.propose(5, pool_size=60)
+        for a, b in zip(tests_a, tests_b):
+            assert a.sequence == b.sequence
+
+    def test_metadata_preserved(self, trained):
+        result, space, path = trained
+        restored = FuzzyNeuralTestGenerator.from_weight_file(path, space)
+        assert restored.learning.ate_measurements == result.ate_measurements
+        assert restored.learning.val_accuracy == pytest.approx(
+            result.val_accuracy
+        )
+
+    def test_legacy_file_without_coder_rejected(self, trained, tmp_path):
+        result, space, _ = trained
+        from repro.nn.weights_io import save_weights
+
+        legacy = tmp_path / "legacy.json"
+        save_weights(result.ensemble, legacy, metadata={"note": "no coder"})
+        with pytest.raises(ValueError, match="coder"):
+            FuzzyNeuralTestGenerator.from_weight_file(legacy, space)

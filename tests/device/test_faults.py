@@ -1,0 +1,83 @@
+"""Tests for the memory fault models."""
+
+import pytest
+
+from repro.device.faults import CouplingFault, StuckAtFault, TransitionFault
+
+
+class TestStuckAtFault:
+    def test_rejects_bad_value(self):
+        with pytest.raises(ValueError):
+            StuckAtFault(0, 0, 2)
+
+    def test_write_forced_to_stuck_value(self):
+        fault = StuckAtFault(word=3, bit=1, stuck_value=0)
+        assert fault.on_write(3, 1, old_value=0, new_value=1) == 0
+
+    def test_read_forced_to_stuck_value(self):
+        fault = StuckAtFault(word=3, bit=1, stuck_value=1)
+        assert fault.on_read(3, 1, stored_value=0) == 1
+
+    def test_other_cells_untouched(self):
+        fault = StuckAtFault(word=3, bit=1, stuck_value=0)
+        assert fault.on_write(3, 0, 0, 1) is None
+        assert fault.on_read(4, 1, 1) is None
+
+
+class TestTransitionFault:
+    def test_rising_transition_blocked(self):
+        fault = TransitionFault(word=2, bit=0, rising=True)
+        assert fault.on_write(2, 0, old_value=0, new_value=1) == 0
+
+    def test_falling_allowed_for_rising_fault(self):
+        fault = TransitionFault(word=2, bit=0, rising=True)
+        assert fault.on_write(2, 0, old_value=1, new_value=0) is None
+
+    def test_falling_transition_blocked(self):
+        fault = TransitionFault(word=2, bit=0, rising=False)
+        assert fault.on_write(2, 0, old_value=1, new_value=0) == 1
+
+    def test_same_value_write_unaffected(self):
+        fault = TransitionFault(word=2, bit=0, rising=True)
+        assert fault.on_write(2, 0, old_value=1, new_value=1) is None
+
+    def test_reads_transparent(self):
+        fault = TransitionFault(word=2, bit=0)
+        assert fault.on_read(2, 0, 1) is None
+
+
+class TestCouplingFault:
+    def test_rejects_self_coupling(self):
+        with pytest.raises(ValueError):
+            CouplingFault(1, 0, 1, 0)
+
+    def test_rejects_bad_forced_value(self):
+        with pytest.raises(ValueError):
+            CouplingFault(1, 0, 2, 0, forced_value=3)
+
+    def test_rising_trigger_forces_victim(self):
+        fault = CouplingFault(
+            aggressor_word=1, aggressor_bit=0,
+            victim_word=2, victim_bit=3,
+            trigger_rising=True, forced_value=1,
+        )
+        action = fault.coupled_update(1, 0, old_value=0, new_value=1)
+        assert action == (2, 3, 1)
+
+    def test_falling_edge_does_not_trigger_rising_fault(self):
+        fault = CouplingFault(1, 0, 2, 3, trigger_rising=True)
+        assert fault.coupled_update(1, 0, old_value=1, new_value=0) is None
+
+    def test_inversion_fault_returns_sentinel(self):
+        fault = CouplingFault(1, 0, 2, 3, invert_victim=True)
+        action = fault.coupled_update(1, 0, 0, 1)
+        assert action == (2, 3, -1)
+
+    def test_other_cells_do_not_trigger(self):
+        fault = CouplingFault(1, 0, 2, 3)
+        assert fault.coupled_update(5, 0, 0, 1) is None
+
+    def test_direct_hooks_transparent(self):
+        fault = CouplingFault(1, 0, 2, 3)
+        assert fault.on_write(1, 0, 0, 1) is None
+        assert fault.on_read(2, 3, 0) is None

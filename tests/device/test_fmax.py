@@ -1,0 +1,76 @@
+"""Tests for the f_max (operating frequency) parameter."""
+
+import pytest
+
+from repro.ate.measurement import MeasurementModel
+from repro.ate.tester import ATE
+from repro.device.memory_chip import MemoryTestChip
+from repro.device.parameters import F_MAX_PARAMETER
+from repro.patterns.conditions import NOMINAL_CONDITION
+from repro.patterns.march import compile_march, get_march_test
+from repro.patterns.random_gen import RandomTestGenerator
+from repro.patterns.testcase import TestCase
+
+
+@pytest.fixture
+def fmax_chip():
+    return MemoryTestChip(parameter=F_MAX_PARAMETER)
+
+
+@pytest.fixture
+def march_case():
+    return TestCase(
+        compile_march(get_march_test("march_c-")),
+        NOMINAL_CONDITION,
+        name="march_c-",
+    )
+
+
+class TestFmaxModel:
+    def test_spec_is_paper_example(self):
+        assert F_MAX_PARAMETER.spec_limit == pytest.approx(100.0)
+        assert F_MAX_PARAMETER.unit == "MHz"
+
+    def test_quiet_die_near_110(self, fmax_chip, march_case):
+        value = fmax_chip.true_parameter_value(march_case, account_heating=False)
+        # Section 4: "the device will fail if operating frequency is
+        # further increased above 110MHz".
+        assert 105.0 < value < 111.0
+
+    def test_busy_pattern_lowers_fmax(self, fmax_chip, march_case):
+        toggle = RandomTestGenerator(seed=5).generate(style="toggle")
+        toggle = toggle.with_condition(NOMINAL_CONDITION)
+        march_fmax = fmax_chip.true_parameter_value(
+            march_case, account_heating=False
+        )
+        toggle_fmax = fmax_chip.true_parameter_value(
+            toggle, account_heating=False
+        )
+        assert toggle_fmax < march_fmax
+
+    def test_low_vdd_lowers_fmax(self, fmax_chip, march_case):
+        low = march_case.with_condition(NOMINAL_CONDITION.with_vdd(1.5))
+        assert fmax_chip.true_parameter_value(
+            low, account_heating=False
+        ) < fmax_chip.true_parameter_value(march_case, account_heating=False)
+
+    def test_strobe_semantics_frequency_axis(self, fmax_chip, march_case):
+        """Running below f_max passes, above fails (eq. 3's P < F)."""
+        fmax = fmax_chip.true_parameter_value(march_case, account_heating=False)
+        assert fmax_chip.strobe_passes(march_case, fmax - 5.0)
+        assert not fmax_chip.strobe_passes(march_case, fmax + 5.0)
+
+    def test_ate_frequency_search(self, fmax_chip, march_case):
+        """Binary search over 80-130 MHz finds the fail point."""
+        from repro.search.binary import BinarySearch
+        from repro.search.oracles import make_ate_oracle
+
+        ate = ATE(fmax_chip, measurement=MeasurementModel(0.0, seed=0))
+        outcome = BinarySearch(resolution=0.25).search(
+            make_ate_oracle(ate, march_case), 80.0, 130.0
+        )
+        true_fmax = fmax_chip.true_parameter_value(
+            march_case, account_heating=False
+        )
+        assert outcome.found
+        assert outcome.trip_point == pytest.approx(true_fmax, abs=0.3)

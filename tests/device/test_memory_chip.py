@@ -1,0 +1,110 @@
+"""Tests for the memory test chip (functional + parametric faces)."""
+
+import numpy as np
+import pytest
+
+from repro.device.faults import CouplingFault, StuckAtFault
+from repro.device.memory_chip import MemoryTestChip
+from repro.device.parameters import IDD_PEAK_PARAMETER
+from repro.patterns.conditions import NOMINAL_CONDITION
+from repro.patterns.testcase import TestCase
+from repro.patterns.vectors import sequence_from_ops
+
+
+def wr_sequence(pairs):
+    """Build a write-then-read-back sequence over (addr, data) pairs."""
+    ops = []
+    for addr, data in pairs:
+        ops.append(("w", addr, data))
+    for addr, data in pairs:
+        ops.append(("r", addr, data))
+    return sequence_from_ops(ops)
+
+
+class TestFunctionalFace:
+    def test_healthy_chip_reads_back_writes(self, chip):
+        seq = wr_sequence([(0, 0xAA), (5, 0x55), (1023, 0xFF)])
+        result = chip.run_functional(seq)
+        assert result.passed
+        assert result.reads == 3
+        assert result.cycles == 6
+
+    def test_stuck_at_fault_miscompares(self):
+        chip = MemoryTestChip(faults=[StuckAtFault(word=5, bit=0, stuck_value=0)])
+        seq = wr_sequence([(5, 0x01)])
+        result = chip.run_functional(seq)
+        assert not result.passed
+        cycle, address, expected, observed = result.mismatches[0]
+        assert address == 5
+        assert expected == 0x01
+        assert observed == 0x00
+
+    def test_coupling_fault_disturbs_victim(self):
+        chip = MemoryTestChip(
+            faults=[
+                CouplingFault(
+                    aggressor_word=1, aggressor_bit=0,
+                    victim_word=2, victim_bit=0,
+                    trigger_rising=True, invert_victim=True,
+                )
+            ]
+        )
+        seq = sequence_from_ops(
+            [
+                ("w", 2, 0x00),  # victim holds 0
+                ("w", 1, 0x01),  # aggressor rising edge flips victim
+                ("r", 2, 0x00),
+            ]
+        )
+        result = chip.run_functional(seq)
+        assert not result.passed
+        assert result.mismatches[0][1] == 2
+
+    def test_functional_result_cached_per_sequence(self, chip):
+        seq = wr_sequence([(1, 2)])
+        assert chip.run_functional(seq) is chip.run_functional(seq)
+
+    def test_reset_state_clears_array(self, chip):
+        chip.run_functional(sequence_from_ops([("w", 0, 0xFF)]))
+        chip.reset_state()
+        result = chip.run_functional(sequence_from_ops([("r", 0, 0)]))
+        assert result.passed  # golden model also starts from zero
+
+
+class TestParametricFace:
+    def test_true_value_matches_timing_model(self, chip, march_test_case):
+        value = chip.true_parameter_value(march_test_case, account_heating=False)
+        assert 31.5 < value < 33.0
+
+    def test_features_cached_per_sequence(self, chip, march_test_case):
+        a = chip.features_of(march_test_case.sequence)
+        b = chip.features_of(march_test_case.sequence)
+        assert a is b
+
+    def test_strobe_pass_fail_brackets_true_value(self, chip, march_test_case):
+        true_value = chip.true_parameter_value(
+            march_test_case, account_heating=False
+        )
+        assert chip.strobe_passes(march_test_case, true_value - 1.0)
+        assert not chip.strobe_passes(march_test_case, true_value + 1.0)
+
+    def test_functional_failure_fails_any_strobe(self, march_test_case):
+        chip = MemoryTestChip(faults=[StuckAtFault(word=0, bit=0, stuck_value=1)])
+        assert not chip.strobe_passes(march_test_case, strobe_ns=0.0)
+
+    def test_idd_parameter_routing(self, march_test_case):
+        chip = MemoryTestChip(parameter=IDD_PEAK_PARAMETER)
+        value = chip.true_parameter_value(march_test_case, account_heating=False)
+        assert 25.0 < value < 90.0  # a current in mA, not a time in ns
+
+    def test_lower_vdd_lowers_value(self, chip, march_test_case):
+        low = march_test_case.with_condition(NOMINAL_CONDITION.with_vdd(1.5))
+        assert chip.true_parameter_value(
+            low, account_heating=False
+        ) < chip.true_parameter_value(march_test_case, account_heating=False)
+
+    def test_heating_accounted_on_application(self, chip, random_tests):
+        busy = random_tests[0]
+        for _ in range(100):
+            chip.true_parameter_value(busy)
+        assert chip.timing.heating.rise_kelvin > 0.0

@@ -1,0 +1,84 @@
+"""Property-based tests of the memory array semantics."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.device.faults import StuckAtFault, TransitionFault
+from repro.device.memory_chip import MemoryTestChip
+from repro.patterns.vectors import Operation, TestVector, VectorSequence
+
+
+op_strategy = st.tuples(
+    st.sampled_from(["w", "r"]),
+    st.integers(0, 63),  # small address window keeps collisions frequent
+    st.integers(0, 255),
+)
+
+
+def to_sequence(ops):
+    vectors = [
+        TestVector(
+            Operation.WRITE if op == "w" else Operation.READ, addr, data
+        )
+        for op, addr, data in ops
+    ]
+    return VectorSequence(vectors)
+
+
+class TestGoldenSemantics:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=st.lists(op_strategy, min_size=1, max_size=120))
+    def test_healthy_chip_never_miscompares(self, ops):
+        """Invariant: with no injected faults, the DUT array and the golden
+        model agree on every read, for any operation sequence."""
+        chip = MemoryTestChip()
+        result = chip.run_functional(to_sequence(ops))
+        assert result.passed
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=st.lists(op_strategy, min_size=1, max_size=120))
+    def test_reads_return_last_written_word(self, ops):
+        """Cross-check the array against a dict reference model."""
+        chip = MemoryTestChip()
+        sequence = to_sequence(ops)
+        chip.run_functional(sequence)  # healthy: passes
+        # Replay with an explicit reference model and compare final state
+        # through read-back vectors appended per touched address.
+        reference = {}
+        for op, addr, data in ops:
+            if op == "w":
+                reference[addr] = data
+        touched = sorted(reference)
+        if not touched:
+            return
+        readback = to_sequence(ops + [("r", addr, 0) for addr in touched])
+        result = chip.run_functional(readback)
+        assert result.passed  # golden and DUT still agree
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=st.lists(op_strategy, min_size=1, max_size=80),
+        word=st.integers(0, 63),
+        bit=st.integers(0, 7),
+    )
+    def test_stuck_at_only_affects_its_cell(self, ops, word, bit):
+        """A stuck-at fault never corrupts reads of *other* addresses."""
+        chip = MemoryTestChip(faults=[StuckAtFault(word, bit, 1)])
+        result = chip.run_functional(to_sequence(ops))
+        for _, address, _, _ in result.mismatches:
+            assert address == word
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=st.lists(op_strategy, min_size=1, max_size=80))
+    def test_transition_fault_weaker_than_stuck_at(self, ops):
+        """A transition fault can only miscompare where the matching
+        stuck-at fault would (TF failures are a subset of SAF failures
+        for the same cell and polarity)."""
+        sequence = to_sequence(ops)
+        tf_chip = MemoryTestChip(
+            faults=[TransitionFault(word=5, bit=2, rising=True)]
+        )
+        saf_chip = MemoryTestChip(faults=[StuckAtFault(word=5, bit=2, stuck_value=0)])
+        tf_fail_cycles = {c for c, _, _, _ in tf_chip.run_functional(sequence).mismatches}
+        saf_fail_cycles = {c for c, _, _, _ in saf_chip.run_functional(sequence).mismatches}
+        assert tf_fail_cycles <= saf_fail_cycles

@@ -1,0 +1,49 @@
+"""Tests for device parameter definitions."""
+
+import pytest
+
+from repro.device.parameters import (
+    IDD_PEAK_PARAMETER,
+    T_DQ_PARAMETER,
+    DeviceParameter,
+    SpecDirection,
+)
+
+
+class TestTdqParameter:
+    def test_paper_spec_limit(self):
+        assert T_DQ_PARAMETER.spec_limit == pytest.approx(20.0)
+        assert T_DQ_PARAMETER.direction is SpecDirection.MIN_IS_WORST
+
+    def test_vmin_vmax_views(self):
+        assert T_DQ_PARAMETER.vmin == pytest.approx(20.0)
+        assert T_DQ_PARAMETER.vmax is None
+        assert IDD_PEAK_PARAMETER.vmax == pytest.approx(80.0)
+        assert IDD_PEAK_PARAMETER.vmin is None
+
+
+class TestSpecSemantics:
+    def test_min_limited_meets_spec(self):
+        assert T_DQ_PARAMETER.meets_spec(25.0)
+        assert T_DQ_PARAMETER.meets_spec(20.0)
+        assert not T_DQ_PARAMETER.meets_spec(19.9)
+
+    def test_max_limited_meets_spec(self):
+        assert IDD_PEAK_PARAMETER.meets_spec(50.0)
+        assert not IDD_PEAK_PARAMETER.meets_spec(80.1)
+
+    def test_margin_sign_min_limited(self):
+        assert T_DQ_PARAMETER.margin(25.0) == pytest.approx(5.0)
+        assert T_DQ_PARAMETER.margin(18.0) == pytest.approx(-2.0)
+
+    def test_margin_sign_max_limited(self):
+        assert IDD_PEAK_PARAMETER.margin(70.0) == pytest.approx(10.0)
+        assert IDD_PEAK_PARAMETER.margin(90.0) == pytest.approx(-10.0)
+
+    def test_rejects_nonpositive_spec(self):
+        with pytest.raises(ValueError):
+            DeviceParameter("x", "ns", SpecDirection.MIN_IS_WORST, 0.0)
+
+    def test_str_mentions_limit_kind(self):
+        assert "vmin" in str(T_DQ_PARAMETER)
+        assert "vmax" in str(IDD_PEAK_PARAMETER)

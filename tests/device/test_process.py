@@ -1,0 +1,81 @@
+"""Tests for process variation models."""
+
+import numpy as np
+import pytest
+
+from repro.device.process import (
+    NOMINAL_DIE,
+    ProcessCorner,
+    ProcessInstance,
+    ProcessModel,
+)
+
+
+class TestProcessInstance:
+    def test_nominal_die_is_neutral(self):
+        assert NOMINAL_DIE.total_timing_shift_ns == pytest.approx(0.0)
+        assert NOMINAL_DIE.total_vdd_scale == pytest.approx(1.0)
+        assert NOMINAL_DIE.weakness_scale == pytest.approx(1.0)
+
+    def test_corner_shifts_ordering(self):
+        """Fast silicon has a wider window, slow a narrower one."""
+        ff = ProcessInstance(die_id=1, corner=ProcessCorner.FF)
+        ss = ProcessInstance(die_id=2, corner=ProcessCorner.SS)
+        assert ff.corner_timing_shift_ns > 0 > ss.corner_timing_shift_ns
+
+    def test_slow_corner_more_vdd_sensitive(self):
+        ss = ProcessInstance(die_id=1, corner=ProcessCorner.SS)
+        ff = ProcessInstance(die_id=2, corner=ProcessCorner.FF)
+        assert ss.total_vdd_scale > ff.total_vdd_scale
+
+    def test_within_die_offset_adds(self):
+        die = ProcessInstance(
+            die_id=1, corner=ProcessCorner.FF, timing_offset_ns=0.5
+        )
+        assert die.total_timing_shift_ns == pytest.approx(
+            die.corner_timing_shift_ns + 0.5
+        )
+
+
+class TestProcessModel:
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            ProcessModel(timing_sigma_ns=-0.1)
+
+    def test_reproducible_sampling(self):
+        a = ProcessModel(seed=9).sample_lot(5)
+        b = ProcessModel(seed=9).sample_lot(5)
+        for x, y in zip(a, b):
+            assert x.corner == y.corner
+            assert x.timing_offset_ns == pytest.approx(y.timing_offset_ns)
+
+    def test_die_ids_sequential(self):
+        model = ProcessModel(seed=0)
+        lot = model.sample_lot(4)
+        assert [d.die_id for d in lot] == [0, 1, 2, 3]
+
+    def test_forced_corner(self):
+        model = ProcessModel(seed=0)
+        lot = model.sample_lot(10, corner=ProcessCorner.SS)
+        assert all(d.corner is ProcessCorner.SS for d in lot)
+
+    def test_corner_mix_dominated_by_typical(self):
+        model = ProcessModel(seed=123)
+        lot = model.sample_lot(500)
+        typical = sum(1 for d in lot if d.corner is ProcessCorner.TT)
+        assert 0.5 < typical / len(lot) < 0.7
+
+    def test_offsets_have_requested_scale(self):
+        model = ProcessModel(seed=7, timing_sigma_ns=0.35)
+        offsets = [d.timing_offset_ns for d in model.sample_lot(400)]
+        assert 0.25 < np.std(offsets) < 0.45
+
+    def test_scales_stay_positive(self):
+        model = ProcessModel(seed=5, vdd_scale_sigma=0.5, weakness_sigma=0.8)
+        for die in model.sample_lot(200):
+            assert die.vdd_sensitivity_scale > 0.0
+            assert die.weakness_scale >= 0.0
+
+    def test_empty_lot_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessModel(seed=0).sample_lot(0)

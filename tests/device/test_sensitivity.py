@@ -1,0 +1,143 @@
+"""Tests for the sensitivity model (the hidden response surface)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device.sensitivity import (
+    DEFAULT_SIGNATURES,
+    SensitivityConfig,
+    SensitivityModel,
+    WeaknessSignature,
+)
+from repro.patterns.features import FEATURE_NAMES, PatternFeatures
+
+
+def features_with(**kwargs):
+    values = np.zeros(len(FEATURE_NAMES))
+    for name, value in kwargs.items():
+        values[FEATURE_NAMES.index(name)] = value
+    return PatternFeatures(values)
+
+
+class TestWeaknessSignature:
+    def test_rejects_unknown_feature(self):
+        with pytest.raises(ValueError):
+            WeaknessSignature("not_a_feature", 0.5)
+
+    def test_rejects_boundary_thresholds(self):
+        with pytest.raises(ValueError):
+            WeaknessSignature("peak_window_activity", 0.0)
+        with pytest.raises(ValueError):
+            WeaknessSignature("peak_window_activity", 1.0)
+
+    def test_activation_is_soft_threshold(self):
+        sig = WeaknessSignature("peak_window_activity", 0.5, slope=10.0)
+        below = sig.activation(features_with(peak_window_activity=0.2))
+        at = sig.activation(features_with(peak_window_activity=0.5))
+        above = sig.activation(features_with(peak_window_activity=0.9))
+        assert below < 0.1
+        assert at == pytest.approx(0.5)
+        assert above > 0.9
+
+    @given(x=st.floats(0.0, 1.0))
+    def test_activation_in_unit_interval(self, x):
+        sig = WeaknessSignature("data_toggle_density", 0.5, slope=12.0)
+        act = sig.activation(features_with(data_toggle_density=x))
+        assert 0.0 <= act <= 1.0
+
+
+class TestSensitivityModel:
+    def test_requires_conjunction(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            SensitivityModel(signatures=DEFAULT_SIGNATURES[:1])
+
+    def test_rejects_unknown_linear_coefficient(self):
+        with pytest.raises(ValueError):
+            SensitivityModel(
+                config=SensitivityConfig(linear_coefficients={"bogus": 1.0})
+            )
+
+    def test_quiet_pattern_has_no_drop(self):
+        model = SensitivityModel()
+        quiet = features_with()
+        assert model.linear_drop_ns(quiet) == pytest.approx(0.0)
+        assert model.weakness_drop_ns(quiet) < 0.05
+
+    def test_linear_drop_monotone_in_activity(self):
+        model = SensitivityModel()
+        low = features_with(peak_window_activity=0.2)
+        high = features_with(peak_window_activity=0.8)
+        assert model.linear_drop_ns(high) > model.linear_drop_ns(low)
+
+    def test_weakness_requires_conjunction_not_single_feature(self):
+        """One saturated conjunct alone must contribute very little."""
+        model = SensitivityModel()
+        single = features_with(peak_window_activity=1.0)
+        all_three = features_with(
+            peak_window_activity=1.0,
+            read_after_write_rate=1.0,
+            addr_msb_toggle_rate=1.0,
+        )
+        assert model.weakness_drop_ns(single) < 0.5
+        assert model.weakness_drop_ns(all_three) > 7.0
+
+    def test_weakness_bounded_by_amplitudes(self):
+        model = SensitivityModel()
+        maximal = features_with(
+            peak_window_activity=1.0,
+            read_after_write_rate=1.0,
+            addr_msb_toggle_rate=1.0,
+        )
+        bound = (
+            model.config.weakness_triple_ns + model.config.weakness_pair_ns
+        )
+        assert model.weakness_drop_ns(maximal) <= bound
+
+    def test_weakness_activations_diagnostic_order(self):
+        model = SensitivityModel()
+        features = features_with(peak_window_activity=1.0)
+        acts = model.weakness_activations(features)
+        assert len(acts) == len(DEFAULT_SIGNATURES)
+        assert acts[0] > 0.99  # peak conjunct saturated
+        assert acts[1] < 0.1  # raw conjunct off
+
+    @settings(max_examples=50)
+    @given(
+        peak=st.floats(0.0, 1.0),
+        raw=st.floats(0.0, 1.0),
+        msb=st.floats(0.0, 1.0),
+    )
+    def test_total_drop_nonnegative_and_bounded(self, peak, raw, msb):
+        model = SensitivityModel()
+        features = features_with(
+            peak_window_activity=peak,
+            read_after_write_rate=raw,
+            addr_msb_toggle_rate=msb,
+        )
+        drop = model.total_drop_ns(features)
+        ceiling = (
+            sum(model.config.linear_coefficients.values())
+            + model.config.weakness_triple_ns
+            + model.config.weakness_pair_ns
+        )
+        assert 0.0 <= drop <= ceiling
+
+
+class TestIddModel:
+    def test_idd_grows_with_activity(self):
+        model = SensitivityModel()
+        quiet = features_with()
+        busy = features_with(peak_window_activity=1.0, data_toggle_density=1.0)
+        assert model.idd_peak_ma(busy, 1.8) > model.idd_peak_ma(quiet, 1.8)
+
+    def test_idd_grows_with_vdd(self):
+        model = SensitivityModel()
+        busy = features_with(peak_window_activity=0.8)
+        assert model.idd_peak_ma(busy, 2.0) > model.idd_peak_ma(busy, 1.6)
+
+    def test_idd_baseline(self):
+        model = SensitivityModel()
+        assert model.idd_peak_ma(features_with(), 1.8) == pytest.approx(
+            model.config.idd_base_ma
+        )

@@ -1,0 +1,120 @@
+"""Tests for wafer-level probing."""
+
+import numpy as np
+import pytest
+
+from repro.device.process import ProcessCorner, ProcessModel
+from repro.core.wafer_probe import WaferProber, WaferProbeReport
+from repro.device.wafer import DieSite, RadialVariationModel, Wafer
+from repro.device.parameters import T_DQ_PARAMETER
+from repro.patterns.conditions import NOMINAL_CONDITION
+from repro.patterns.random_gen import RandomTestGenerator
+
+
+@pytest.fixture
+def small_tests():
+    generator = RandomTestGenerator(seed=81)
+    return [t.with_condition(NOMINAL_CONDITION) for t in generator.batch(4)]
+
+
+class TestWaferGeometry:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Wafer(grid_diameter=2)
+        with pytest.raises(ValueError):
+            Wafer(edge_exclusion=1.0)
+
+    def test_site_count_within_grid(self):
+        wafer = Wafer(grid_diameter=7)
+        assert 0 < len(wafer) <= 49
+        # Circle: corners excluded.
+        positions = {(s.x, s.y) for s in wafer.sites}
+        assert (0, 0) not in positions
+
+    def test_center_die_present_with_radius_zero(self):
+        wafer = Wafer(grid_diameter=7)
+        center = [s for s in wafer.sites if (s.x, s.y) == (3, 3)]
+        assert center and center[0].radius_norm == pytest.approx(0.0)
+
+    def test_edge_exclusion_removes_rim(self):
+        full = Wafer(grid_diameter=9, edge_exclusion=0.0)
+        excluded = Wafer(grid_diameter=9, edge_exclusion=0.3)
+        assert len(excluded) < len(full)
+        assert all(s.radius_norm <= 0.7 for s in excluded.sites)
+
+    def test_die_site_validation(self):
+        with pytest.raises(ValueError):
+            DieSite(0, 0, radius_norm=1.5)
+
+
+class TestRadialVariation:
+    def test_gradient_validation(self):
+        with pytest.raises(ValueError):
+            RadialVariationModel(edge_slowdown_ns=-1.0)
+
+    def test_edge_dies_slower_on_average(self):
+        model = RadialVariationModel(
+            ProcessModel(seed=1, timing_sigma_ns=0.05), edge_slowdown_ns=1.5
+        )
+        center = DieSite(4, 4, 0.0)
+        edge = DieSite(0, 4, 1.0)
+        center_offsets = [
+            model.die_at(center).timing_offset_ns for _ in range(30)
+        ]
+        edge_offsets = [model.die_at(edge).timing_offset_ns for _ in range(30)]
+        assert np.mean(edge_offsets) < np.mean(center_offsets) - 1.0
+
+    def test_edge_dies_more_weakness_prone(self):
+        model = RadialVariationModel(
+            ProcessModel(seed=1, weakness_sigma=0.0), edge_weakness_gain=0.2
+        )
+        edge_die = model.die_at(DieSite(0, 4, 1.0))
+        center_die = model.die_at(DieSite(4, 4, 0.0))
+        assert edge_die.weakness_scale > center_die.weakness_scale
+
+
+class TestWaferProber:
+    def _probe(self, small_tests, grid=5):
+        wafer = Wafer(grid_diameter=grid)
+        variation = RadialVariationModel(
+            ProcessModel(seed=7, timing_sigma_ns=0.1), edge_slowdown_ns=1.2
+        )
+        prober = WaferProber(
+            wafer, variation, search_range=(15.0, 45.0), seed=7
+        )
+        return prober.probe(small_tests)
+
+    def test_probe_requires_tests(self, small_tests):
+        wafer = Wafer(grid_diameter=5)
+        prober = WaferProber(
+            wafer, RadialVariationModel(seed=1), search_range=(15.0, 45.0)
+        )
+        with pytest.raises(ValueError):
+            prober.probe([])
+
+    def test_every_site_probed(self, small_tests):
+        report = self._probe(small_tests)
+        assert len(report.results) == len(Wafer(grid_diameter=5))
+
+    def test_edge_worse_than_center(self, small_tests):
+        report = self._probe(small_tests, grid=7)
+        center_mean, edge_mean = report.center_vs_edge()
+        assert edge_mean < center_mean  # smaller T_DQ = worse at the edge
+
+    def test_worst_site_consistency(self, small_tests):
+        report = self._probe(small_tests)
+        site, result = report.worst_site()
+        assert result.worst_wcr == max(
+            r.worst_wcr for r in report.results.values()
+        )
+
+    def test_map_renders_all_rows(self, small_tests):
+        report = self._probe(small_tests)
+        text = report.render_map()
+        assert text.count("\n") == 5  # header + 5 grid rows
+        assert "WCR" in text
+
+    def test_empty_report_raises(self):
+        report = WaferProbeReport(parameter=T_DQ_PARAMETER, grid_diameter=5)
+        with pytest.raises(ValueError):
+            report.worst_site()

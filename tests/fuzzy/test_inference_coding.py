@@ -1,0 +1,229 @@
+"""Tests for the Mamdani engine and the trip-point coders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device.parameters import IDD_PEAK_PARAMETER, T_DQ_PARAMETER
+from repro.fuzzy.coding import NumericTripPointCoder, TripPointFuzzyCoder
+from repro.fuzzy.inference import FuzzyInferenceSystem, FuzzyRule
+from repro.fuzzy.membership import TriangularMF
+from repro.fuzzy.variables import LinguisticVariable
+
+
+def activity_variable():
+    return LinguisticVariable.uniform_partition(
+        "activity", (0.0, 1.0), ["low", "high"]
+    )
+
+
+def margin_variable():
+    return LinguisticVariable.uniform_partition(
+        "margin", (0.0, 1.0), ["tight", "wide"]
+    )
+
+
+def severity_variable():
+    return LinguisticVariable.uniform_partition(
+        "severity", (0.0, 1.0), ["safe", "close_to_limit"]
+    )
+
+
+class TestFuzzyInference:
+    def _system(self):
+        rules = [
+            FuzzyRule(
+                antecedents=(("activity", "high"), ("margin", "tight")),
+                consequent=("severity", "close_to_limit"),
+            ),
+            FuzzyRule(
+                antecedents=(("activity", "low"),),
+                consequent=("severity", "safe"),
+            ),
+        ]
+        return FuzzyInferenceSystem(
+            {"activity": activity_variable(), "margin": margin_variable()},
+            severity_variable(),
+            rules,
+        )
+
+    def test_rule_validation(self):
+        with pytest.raises(ValueError):
+            FuzzyRule(antecedents=(), consequent=("severity", "safe"))
+        with pytest.raises(ValueError):
+            FuzzyRule(
+                antecedents=(("a", "b"),), consequent=("s", "x"), weight=0.0
+            )
+
+    def test_unknown_input_variable_rejected(self):
+        with pytest.raises(ValueError, match="unknown input"):
+            FuzzyInferenceSystem(
+                {"activity": activity_variable()},
+                severity_variable(),
+                [
+                    FuzzyRule(
+                        antecedents=(("bogus", "high"),),
+                        consequent=("severity", "safe"),
+                    )
+                ],
+            )
+
+    def test_consequent_must_match_output(self):
+        with pytest.raises(ValueError, match="consequent"):
+            FuzzyInferenceSystem(
+                {"activity": activity_variable()},
+                severity_variable(),
+                [
+                    FuzzyRule(
+                        antecedents=(("activity", "high"),),
+                        consequent=("other", "safe"),
+                    )
+                ],
+            )
+
+    def test_paper_rule_shape(self):
+        """'if A and B then D is quite close to the limit' behaves."""
+        system = self._system()
+        severe = system.evaluate({"activity": 0.95, "margin": 0.05})
+        safe = system.evaluate({"activity": 0.05, "margin": 0.9})
+        assert severe > 0.6
+        assert safe < 0.4
+
+    def test_min_and_semantics(self):
+        system = self._system()
+        # The AND rule is limited by its weakest antecedent.
+        act = system.rule_activation(
+            system.rules[0], {"activity": 1.0, "margin": 0.5}
+        )
+        assert act == pytest.approx(
+            min(
+                activity_variable().fuzzify(1.0)["high"],
+                margin_variable().fuzzify(0.5)["tight"],
+            )
+        )
+
+    def test_missing_input_raises(self):
+        with pytest.raises(KeyError):
+            self._system().evaluate({"activity": 0.5})
+
+    def test_no_rule_fires_returns_universe_center(self):
+        system = FuzzyInferenceSystem(
+            {"activity": activity_variable()},
+            severity_variable(),
+            [
+                FuzzyRule(
+                    antecedents=(("activity", "high"),),
+                    consequent=("severity", "close_to_limit"),
+                    weight=1.0,
+                )
+            ],
+        )
+        assert system.evaluate({"activity": 0.0}) == pytest.approx(0.5)
+
+    def test_output_within_universe(self):
+        system = self._system()
+        for a in np.linspace(0, 1, 7):
+            for m in np.linspace(0, 1, 7):
+                out = system.evaluate({"activity": float(a), "margin": float(m)})
+                assert 0.0 <= out <= 1.0
+
+
+CALIBRATION_VALUES = [32.3, 31.0, 30.5, 30.2, 29.8, 29.0, 28.5, 27.5, 26.0, 23.0]
+
+
+class TestTripPointFuzzyCoder:
+    def test_from_samples_needs_enough(self):
+        with pytest.raises(ValueError):
+            TripPointFuzzyCoder.from_samples(T_DQ_PARAMETER, [30.0] * 3)
+
+    def test_encode_is_normalized_distribution(self):
+        coder = TripPointFuzzyCoder.from_samples(T_DQ_PARAMETER, CALIBRATION_VALUES)
+        for value in CALIBRATION_VALUES:
+            target = coder.encode(value)
+            assert target.shape == (coder.n_classes,)
+            assert target.sum() == pytest.approx(1.0)
+            assert np.all(target >= 0.0)
+
+    def test_severity_ordering(self):
+        """A worse (smaller T_DQ) value maps to a higher class index."""
+        coder = TripPointFuzzyCoder.from_samples(T_DQ_PARAMETER, CALIBRATION_VALUES)
+        benign = coder.class_index(32.0)
+        severe = coder.class_index(23.0)
+        assert severe > benign
+
+    def test_soft_labels_near_boundary(self):
+        """Fuzzy coding spreads mass over neighbouring classes — the point
+        of the fuzzy encoding versus hard bins."""
+        coder = TripPointFuzzyCoder.from_samples(T_DQ_PARAMETER, CALIBRATION_VALUES)
+        soft_count = 0
+        for value in np.linspace(24.0, 32.0, 30):
+            if np.count_nonzero(coder.encode(float(value)) > 0.05) >= 2:
+                soft_count += 1
+        assert soft_count > 5
+
+    def test_out_of_universe_attributes_to_edge(self):
+        coder = TripPointFuzzyCoder.from_samples(T_DQ_PARAMETER, CALIBRATION_VALUES)
+        # Absurdly good value -> lowest class; absurdly bad -> highest.
+        assert coder.class_index(60.0) == 0
+        assert coder.class_index(15.0) == coder.n_classes - 1
+
+    def test_wcr_axis_for_max_limited_parameter(self):
+        values = [40.0, 50.0, 55.0, 60.0, 62.0, 65.0, 70.0, 75.0]
+        coder = TripPointFuzzyCoder.from_samples(IDD_PEAK_PARAMETER, values)
+        assert coder.class_index(75.0) > coder.class_index(40.0)
+
+    def test_severity_score_monotone_in_class_mass(self):
+        coder = TripPointFuzzyCoder.from_samples(T_DQ_PARAMETER, CALIBRATION_VALUES)
+        low = np.zeros(coder.n_classes)
+        low[0] = 1.0
+        high = np.zeros(coder.n_classes)
+        high[-1] = 1.0
+        scores = coder.severity_score(np.stack([low, high]))
+        assert scores[0] == pytest.approx(0.0)
+        assert scores[1] == pytest.approx(1.0)
+
+    @settings(max_examples=40)
+    @given(value=st.floats(20.0, 35.0))
+    def test_encode_always_valid(self, value):
+        coder = TripPointFuzzyCoder.from_samples(T_DQ_PARAMETER, CALIBRATION_VALUES)
+        target = coder.encode(value)
+        assert target.sum() == pytest.approx(1.0)
+
+
+class TestNumericTripPointCoder:
+    def test_one_hot_targets(self):
+        coder = NumericTripPointCoder.from_samples(
+            T_DQ_PARAMETER, CALIBRATION_VALUES
+        )
+        for value in CALIBRATION_VALUES:
+            target = coder.encode(value)
+            assert target.sum() == pytest.approx(1.0)
+            assert np.count_nonzero(target) == 1
+
+    def test_class_clipping_at_edges(self):
+        coder = NumericTripPointCoder.from_samples(
+            T_DQ_PARAMETER, CALIBRATION_VALUES
+        )
+        assert coder.class_index(60.0) == 0
+        assert coder.class_index(10.0) == coder.n_classes - 1
+
+    def test_interface_compatibility_with_fuzzy(self):
+        """Drop-in interchange contract used by the A1 ablation."""
+        fuzzy = TripPointFuzzyCoder.from_samples(T_DQ_PARAMETER, CALIBRATION_VALUES)
+        numeric = NumericTripPointCoder.from_samples(
+            T_DQ_PARAMETER, CALIBRATION_VALUES
+        )
+        for coder in (fuzzy, numeric):
+            assert hasattr(coder, "labels")
+            assert coder.encode_batch(CALIBRATION_VALUES).shape == (
+                len(CALIBRATION_VALUES),
+                coder.n_classes,
+            )
+            score = coder.severity_score(np.eye(coder.n_classes))
+            assert score[0] < score[-1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NumericTripPointCoder(T_DQ_PARAMETER, n_classes=1)
+        with pytest.raises(ValueError):
+            NumericTripPointCoder(T_DQ_PARAMETER, wcr_range=(1.0, 0.5))

@@ -1,0 +1,151 @@
+"""Tests for membership functions and linguistic variables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fuzzy.membership import GaussianMF, TrapezoidalMF, TriangularMF
+from repro.fuzzy.variables import LinguisticVariable
+
+
+class TestTriangular:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            TriangularMF(3, 2, 4)
+        with pytest.raises(ValueError):
+            TriangularMF(2, 2, 2)
+
+    def test_peak_and_feet(self):
+        mf = TriangularMF(0, 1, 3)
+        assert mf(1) == pytest.approx(1.0)
+        assert mf(0) == pytest.approx(0.0)
+        assert mf(3) == pytest.approx(0.0)
+        assert mf(0.5) == pytest.approx(0.5)
+        assert mf(2) == pytest.approx(0.5)
+
+    def test_degenerate_left_shoulder(self):
+        mf = TriangularMF(1, 1, 3)
+        assert mf(1) == pytest.approx(1.0)
+        assert mf(0.5) == pytest.approx(0.0)
+
+    def test_degenerate_right_shoulder(self):
+        mf = TriangularMF(0, 2, 2)
+        assert mf(2) == pytest.approx(1.0)
+        assert mf(2.5) == pytest.approx(0.0)
+
+    def test_vectorized(self):
+        mf = TriangularMF(0, 1, 2)
+        out = mf(np.array([0.0, 0.5, 1.0, 1.5, 2.0]))
+        assert np.allclose(out, [0, 0.5, 1, 0.5, 0])
+
+    @given(x=st.floats(-100, 100, allow_nan=False))
+    def test_range_invariant(self, x):
+        mf = TriangularMF(-1.0, 0.5, 2.0)
+        assert 0.0 <= float(mf(x)) <= 1.0
+
+    def test_center(self):
+        assert TriangularMF(0, 1, 3).center == 1
+
+
+class TestTrapezoidal:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            TrapezoidalMF(0, 2, 1, 3)
+
+    def test_plateau(self):
+        mf = TrapezoidalMF(0, 1, 2, 3)
+        assert mf(1.5) == pytest.approx(1.0)
+        assert mf(1.0) == pytest.approx(1.0)
+        assert mf(0.5) == pytest.approx(0.5)
+        assert mf(2.5) == pytest.approx(0.5)
+
+    def test_center_is_plateau_middle(self):
+        assert TrapezoidalMF(0, 1, 3, 4).center == pytest.approx(2.0)
+
+
+class TestGaussian:
+    def test_sigma_validation(self):
+        with pytest.raises(ValueError):
+            GaussianMF(0.0, 0.0)
+
+    def test_peak_at_mean(self):
+        mf = GaussianMF(2.0, 0.5)
+        assert mf(2.0) == pytest.approx(1.0)
+        assert mf(2.5) == pytest.approx(np.exp(-0.5))
+
+    @given(x=st.floats(-50, 50, allow_nan=False))
+    def test_range_invariant(self, x):
+        assert 0.0 <= float(GaussianMF(0.0, 1.0)(x)) <= 1.0
+
+
+class TestLinguisticVariable:
+    def _variable(self):
+        return LinguisticVariable(
+            "wcr",
+            (0.0, 1.2),
+            [
+                ("low", TriangularMF(0.0, 0.0, 0.6)),
+                ("mid", TriangularMF(0.2, 0.6, 1.0)),
+                ("high", TriangularMF(0.6, 1.2, 1.2)),
+            ],
+        )
+
+    def test_universe_validation(self):
+        with pytest.raises(ValueError):
+            LinguisticVariable("x", (1.0, 0.0), [("a", TriangularMF(0, 1, 2))])
+
+    def test_duplicate_labels_rejected(self):
+        mf = TriangularMF(0, 1, 2)
+        with pytest.raises(ValueError):
+            LinguisticVariable("x", (0, 2), [("a", mf), ("a", mf)])
+
+    def test_fuzzify_and_best_term(self):
+        var = self._variable()
+        degrees = var.fuzzify(0.6)
+        assert degrees["mid"] == pytest.approx(1.0)
+        assert var.best_term(0.05) == "low"
+        assert var.best_term(1.15) == "high"
+
+    def test_membership_vector_order(self):
+        var = self._variable()
+        vec = var.membership_vector(0.6)
+        assert vec.shape == (3,)
+        assert vec[1] == pytest.approx(1.0)
+
+    def test_unknown_term_raises(self):
+        with pytest.raises(KeyError):
+            self._variable().term("nope")
+
+
+class TestPartitions:
+    def test_uniform_partition_sums_to_one(self):
+        var = LinguisticVariable.uniform_partition(
+            "x", (0.0, 1.0), ["a", "b", "c", "d"]
+        )
+        for value in np.linspace(0.0, 1.0, 33):
+            assert var.membership_vector(float(value)).sum() == pytest.approx(
+                1.0, abs=1e-9
+            )
+
+    def test_uniform_partition_neighbours_cross_at_half(self):
+        var = LinguisticVariable.uniform_partition("x", (0.0, 3.0), ["a", "b", "c", "d"])
+        mid = 0.5  # halfway between centers 0 and 1
+        degrees = var.fuzzify(mid)
+        assert degrees["a"] == pytest.approx(0.5)
+        assert degrees["b"] == pytest.approx(0.5)
+
+    def test_partition_at_explicit_centers(self):
+        var = LinguisticVariable.partition_at(
+            "x", (0.0, 1.0), ["a", "b", "c"], centers=[0.1, 0.5, 0.9]
+        )
+        assert var.fuzzify(0.5)["b"] == pytest.approx(1.0)
+
+    def test_partition_rejects_unsorted_centers(self):
+        with pytest.raises(ValueError):
+            LinguisticVariable.partition_at(
+                "x", (0.0, 1.0), ["a", "b"], centers=[0.9, 0.1]
+            )
+
+    def test_partition_needs_two_terms(self):
+        with pytest.raises(ValueError):
+            LinguisticVariable.partition_at("x", (0.0, 1.0), ["only"])

@@ -1,0 +1,100 @@
+"""Integration tests for the full campaign report."""
+
+import pytest
+
+from repro.core.campaign import CampaignReport, run_campaign
+from repro.core.characterizer import DeviceCharacterizer
+from repro.core.learning import LearningConfig
+from repro.core.optimization import OptimizationConfig
+from repro.ga.engine import GAConfig
+from repro.patterns.conditions import NOMINAL_CONDITION
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    characterizer = DeviceCharacterizer.with_default_setup(seed=13)
+    return run_campaign(
+        characterizer,
+        random_tests=80,
+        shmoo_tests=8,
+        vdd_values=(1.6, 1.8, 2.0),
+        learning_config=LearningConfig(
+            tests_per_round=80,
+            max_rounds=1,
+            max_epochs=50,
+            n_networks=3,
+            pin_condition=NOMINAL_CONDITION,
+            seed=13,
+        ),
+        optimization_config=OptimizationConfig(
+            ga=GAConfig(population_size=12, n_populations=2, max_generations=12),
+            n_seeds=8,
+            seed_pool_size=100,
+            pin_condition=NOMINAL_CONDITION,
+            seed=13,
+        ),
+    )
+
+
+class TestCampaignContents:
+    def test_table1_present_with_three_rows(self, campaign):
+        assert len(campaign.table1.rows) == 3
+        assert campaign.table1.winner().test_name == "NNGA Test"
+
+    def test_drift_from_random_dsv(self, campaign):
+        assert campaign.drift.stats.count == 80
+        assert campaign.drift.stats.spread > 1.0
+
+    def test_spec_proposal_anchored_by_nnga(self, campaign):
+        nnga_value = campaign.table1.rows[-1].value
+        assert campaign.spec_proposal.anchor_value == pytest.approx(nnga_value)
+        # With a 1-sigma allowance over the (benign-dominated) spread the
+        # proposal sits below the anchor.
+        assert campaign.spec_proposal.proposed_limit < nnga_value
+
+    def test_shmoo_includes_worst_case_boundary(self, campaign):
+        names = [name for name, _ in campaign.shmoo.boundaries]
+        assert "nnga_worst" in names
+        # The worst case trips earlier than everyone else at nominal Vdd.
+        nominal_index = 1  # vdd_values = (1.6, 1.8, 2.0)
+        trips = {
+            name: bounds[nominal_index]
+            for name, bounds in campaign.shmoo.boundaries
+            if bounds[nominal_index] is not None
+        }
+        assert trips["nnga_worst"] == min(trips.values())
+
+    def test_database_has_worst_cases(self, campaign):
+        assert len(campaign.database) >= 1
+
+    def test_measurements_accounted(self, campaign):
+        assert campaign.total_measurements > 1000
+
+
+class TestCampaignRendering:
+    def test_markdown_sections(self, campaign):
+        text = campaign.to_markdown()
+        for heading in (
+            "# Characterization campaign report",
+            "## Technique comparison",
+            "## Parameter variation",
+            "## Final specification proposal",
+            "## Shmoo overlay",
+            "## Worst-case test database",
+        ):
+            assert heading in text
+
+    def test_save_writes_artifacts(self, campaign, tmp_path):
+        target = campaign.save(tmp_path / "campaign")
+        assert (target / "report.md").exists()
+        assert (target / "worst_case_db.json").exists()
+        pattern_files = list((target / "patterns").glob("*.pat"))
+        assert pattern_files
+
+    def test_saved_patterns_reload(self, campaign, tmp_path):
+        from repro.patterns.io import load_test_file
+
+        target = campaign.save(tmp_path / "campaign2")
+        pattern = next((target / "patterns").glob("*.pat"))
+        restored = load_test_file(pattern)
+        assert restored.cycles >= 100

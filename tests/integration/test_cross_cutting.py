@@ -1,0 +1,129 @@
+"""Cross-cutting behaviour tests spanning several subsystems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ate.datalog import Datalog, DatalogRecord
+from repro.device.faults import CouplingFault
+from repro.device.memory_chip import MemoryTestChip
+from repro.patterns.march import (
+    checkerboard_background,
+    compile_march,
+    get_march_test,
+    solid_background,
+)
+
+
+class TestDatalogCsvRoundTrip:
+    def _log(self):
+        log = Datalog()
+        for i in range(1, 6):
+            log.append(
+                DatalogRecord(
+                    index=i, test_name=f"t{i % 2}", vdd=1.8, temperature=25.0,
+                    clock_period=40.0, strobe_ns=20.0 + i, passed=i % 2 == 0,
+                )
+            )
+        return log
+
+    def test_roundtrip(self):
+        original = self._log()
+        restored = Datalog.from_csv(original.to_csv())
+        assert len(restored) == len(original)
+        for a, b in zip(original, restored):
+            assert a == b
+
+    def test_rejects_foreign_csv(self):
+        with pytest.raises(ValueError, match="header"):
+            Datalog.from_csv("a,b,c\n1,2,3\n")
+
+    def test_rejects_malformed_row(self):
+        text = DatalogRecord.CSV_HEADER + "\n1,t,1.8\n"
+        with pytest.raises(ValueError, match="7 fields"):
+            Datalog.from_csv(text)
+
+    def test_datalog_analysis_survives_roundtrip(self, quiet_ate, march_test_case):
+        """Search -> CSV -> parse -> reconstruct the same trip point."""
+        from repro.analysis.datalog_tools import estimate_trip_points
+        from repro.search.binary import BinarySearch
+        from repro.search.oracles import make_ate_oracle
+
+        outcome = BinarySearch(resolution=0.05).search(
+            make_ate_oracle(quiet_ate, march_test_case), 15.0, 45.0
+        )
+        restored = Datalog.from_csv(quiet_ate.datalog.to_csv())
+        estimate = estimate_trip_points(restored)["march_c-"]
+        assert estimate.trip_point == pytest.approx(outcome.trip_point, abs=0.1)
+
+
+class TestBackgroundSensitivity:
+    """Data-background choice changes what a march test can see —
+    the classic reason characterization sweeps backgrounds."""
+
+    def _bit_coupled_chip(self):
+        # Aggressor bit 2 rising forces victim bit 3 of the same word to 1.
+        return MemoryTestChip(
+            faults=[
+                CouplingFault(
+                    aggressor_word=4, aggressor_bit=2,
+                    victim_word=4, victim_bit=3,
+                    trigger_rising=True, forced_value=1,
+                )
+            ]
+        )
+
+    def test_solid_background_misses_intra_word_cf(self):
+        """With solid data, aggressor and victim always switch together to
+        the same value, so the forced victim value matches the expectation."""
+        chip = self._bit_coupled_chip()
+        seq = compile_march(
+            get_march_test("march_c-"), addresses=range(16),
+            background=solid_background,
+        )
+        assert chip.run_functional(seq).passed
+
+    def test_checkerboard_background_catches_intra_word_cf(self):
+        """Checkerboard puts opposite values on adjacent bits: the rising
+        aggressor now forces the victim against its expected 0."""
+        chip = self._bit_coupled_chip()
+        seq = compile_march(
+            get_march_test("march_c-"), addresses=range(16),
+            background=checkerboard_background,
+        )
+        result = chip.run_functional(seq)
+        assert not result.passed
+        assert all(address == 4 for _, address, _, _ in result.mismatches)
+
+
+class TestFuzzyInferenceProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        activity=st.floats(0.0, 1.0),
+        hazard=st.floats(0.0, 1.0),
+        wcr=st.floats(0.0, 1.2),
+    )
+    def test_assessor_output_always_in_unit_interval(self, activity, hazard, wcr):
+        from repro.analysis.fuzzy_assessment import WorstCaseAssessor
+        from repro.device.parameters import T_DQ_PARAMETER
+
+        assessor = WorstCaseAssessor(T_DQ_PARAMETER)
+        verdict = assessor.assess_crisp(wcr, activity, hazard)
+        assert 0.0 <= verdict.risk_score <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        activity=st.floats(0.0, 1.0),
+        hazard=st.floats(0.0, 1.0),
+        delta=st.floats(0.05, 0.4),
+        wcr=st.floats(0.0, 0.8),
+    )
+    def test_risk_never_decreases_with_wcr(self, activity, hazard, delta, wcr):
+        """Monotonicity of the rule base along the WCR axis."""
+        from repro.analysis.fuzzy_assessment import WorstCaseAssessor
+        from repro.device.parameters import T_DQ_PARAMETER
+
+        assessor = WorstCaseAssessor(T_DQ_PARAMETER)
+        low = assessor.assess_crisp(wcr, activity, hazard).risk_score
+        high = assessor.assess_crisp(wcr + delta, activity, hazard).risk_score
+        assert high >= low - 0.05  # small defuzzification wiggle allowed

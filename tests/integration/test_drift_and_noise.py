@@ -1,0 +1,145 @@
+"""Failure injection: searches against noise and self-heating drift.
+
+Section 1 motivates successive approximation by drifting parameters and
+inaccurate readings; these tests run the searches against the *real*
+simulated device with measurement noise and an exaggerated self-heating
+model, not against synthetic oracles.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.ate.measurement import MeasurementModel
+from repro.ate.tester import ATE
+from repro.core.sutp import SearchUntilTripPoint
+from repro.core.trip_point import MultipleTripPointRunner
+from repro.device.memory_chip import MemoryTestChip
+from repro.device.sensitivity import SensitivityModel
+from repro.device.timing import SelfHeatingModel, TimingModel
+from repro.patterns.conditions import NOMINAL_CONDITION
+from repro.patterns.random_gen import RandomTestGenerator
+from repro.search.binary import BinarySearch
+from repro.search.oracles import make_ate_oracle
+from repro.search.successive import SuccessiveApproximation
+
+
+def hot_chip(derating=0.06, heating=0.8):
+    """A chip whose die heats aggressively under busy patterns."""
+    timing = TimingModel(
+        SensitivityModel(),
+        heating=SelfHeatingModel(
+            heating_per_application=heating,
+            decay=0.995,
+            derating_ns_per_kelvin=derating,
+            max_rise_kelvin=20.0,
+        ),
+    )
+    return MemoryTestChip(timing=timing)
+
+
+@pytest.fixture
+def busy_test():
+    generator = RandomTestGenerator(seed=71)
+    return generator.generate(style="toggle").with_condition(NOMINAL_CONDITION)
+
+
+class TestNoiseRobustness:
+    def test_searches_agree_under_noise(self, busy_test):
+        """With realistic 40 ps noise, binary and successive approximation
+        land within a few noise sigmas of the quiet-boundary truth."""
+        quiet_chip = MemoryTestChip()
+        quiet_ate = ATE(quiet_chip, measurement=MeasurementModel(0.0))
+        truth = BinarySearch(resolution=0.05).search(
+            make_ate_oracle(quiet_ate, busy_test), 15.0, 45.0
+        )
+
+        for searcher in (
+            BinarySearch(resolution=0.05),
+            SuccessiveApproximation(resolution=0.05),
+        ):
+            chip = MemoryTestChip()
+            ate = ATE(chip, measurement=MeasurementModel(0.04, seed=13))
+            outcome = searcher.search(
+                make_ate_oracle(ate, busy_test), 15.0, 45.0
+            )
+            assert outcome.found
+            assert outcome.trip_point == pytest.approx(
+                truth.trip_point, abs=0.3
+            )
+
+    def test_sutp_campaign_stable_under_noise(self):
+        tests = [
+            t.with_condition(NOMINAL_CONDITION)
+            for t in RandomTestGenerator(seed=72).batch(15)
+        ]
+        quiet = MultipleTripPointRunner(
+            ATE(MemoryTestChip(), measurement=MeasurementModel(0.0)),
+            (15.0, 45.0),
+            resolution=0.05,
+        ).run(tests)
+        noisy = MultipleTripPointRunner(
+            ATE(MemoryTestChip(), measurement=MeasurementModel(0.05, seed=5)),
+            (15.0, 45.0),
+            resolution=0.05,
+        ).run(tests)
+        for a, b in zip(quiet.values(), noisy.values()):
+            assert a == pytest.approx(b, abs=0.4)
+
+
+class TestDriftRobustness:
+    def test_device_heats_during_search(self, busy_test):
+        chip = hot_chip()
+        ate = ATE(chip, measurement=MeasurementModel(0.0))
+        BinarySearch(resolution=0.05).search(
+            make_ate_oracle(ate, busy_test), 15.0, 45.0
+        )
+        assert chip.timing.heating.rise_kelvin > 0.3
+
+    def test_successive_approximation_tracks_hot_boundary(self, busy_test):
+        """On a strongly self-heating die, the drift-tolerant search
+        reports a trip point that is still valid *after* the search —
+        i.e. it tracked the moving boundary instead of reporting a stale
+        one."""
+        chip = hot_chip()
+        ate = ATE(chip, measurement=MeasurementModel(0.0))
+        searcher = SuccessiveApproximation(
+            resolution=0.05, max_reverifications=4
+        )
+        outcome = searcher.search(make_ate_oracle(ate, busy_test), 15.0, 45.0)
+        assert outcome.found
+        # Re-probe slightly inside the reported boundary at the now-hot state.
+        assert ate.apply(busy_test, outcome.trip_point - 0.3)
+
+    def test_sutp_follows_drift_across_tests(self, busy_test):
+        """With update_reference enabled, SUTP keeps converging as the die
+        heats across a long campaign."""
+        chip = hot_chip(derating=0.04)
+        ate = ATE(chip, measurement=MeasurementModel(0.0))
+        sutp = SearchUntilTripPoint(
+            (15.0, 45.0), search_factor=0.5, resolution=0.05,
+            update_reference=True,
+        )
+        trips = []
+        for _ in range(12):
+            result = sutp.measure(make_ate_oracle(ate, busy_test))
+            assert result.found
+            trips.append(result.trip_point)
+        # The boundary drifts downward with accumulated heat...
+        assert trips[-1] < trips[0]
+        # ...and consecutive SUTP answers never jump wildly.
+        for a, b in zip(trips, trips[1:]):
+            assert abs(a - b) < 1.5
+
+    def test_cool_down_restores_boundary(self, busy_test):
+        chip = hot_chip()
+        ate = ATE(chip, measurement=MeasurementModel(0.0))
+        searcher = BinarySearch(resolution=0.05)
+        first = searcher.search(make_ate_oracle(ate, busy_test), 15.0, 45.0)
+        for _ in range(150):  # heat the die thoroughly
+            ate.apply(busy_test, 20.0)
+        hot = searcher.search(make_ate_oracle(ate, busy_test), 15.0, 45.0)
+        ate.new_insertion()
+        recovered = searcher.search(make_ate_oracle(ate, busy_test), 15.0, 45.0)
+        assert hot.trip_point < first.trip_point
+        assert recovered.trip_point == pytest.approx(first.trip_point, abs=0.2)

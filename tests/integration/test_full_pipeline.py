@@ -1,0 +1,134 @@
+"""End-to-end integration: the full Table-1 campaign and its invariants.
+
+One moderately sized campaign is run once per module and inspected by
+several tests; the assertions are about the *shape* the paper reports, not
+exact numbers (see EXPERIMENTS.md for the paper-vs-measured record).
+"""
+
+import pytest
+
+from repro.core.characterizer import DeviceCharacterizer
+from repro.core.learning import LearningConfig
+from repro.core.optimization import OptimizationConfig
+from repro.core.wcr import WCRClass, WCRClassifier
+from repro.ga.engine import GAConfig
+from repro.patterns.conditions import NOMINAL_CONDITION
+
+
+@pytest.fixture(scope="module")
+def table1():
+    characterizer = DeviceCharacterizer.with_default_setup(seed=11)
+    report = characterizer.run_table1_comparison(
+        random_tests=150,
+        learning_config=LearningConfig(
+            tests_per_round=120,
+            max_rounds=2,
+            max_epochs=60,
+            n_networks=3,
+            pin_condition=NOMINAL_CONDITION,
+            seed=11,
+        ),
+        optimization_config=OptimizationConfig(
+            ga=GAConfig(
+                population_size=14, n_populations=2, max_generations=18
+            ),
+            n_seeds=10,
+            seed_pool_size=150,
+            pin_condition=NOMINAL_CONDITION,
+            seed=11,
+        ),
+    )
+    return report
+
+
+class TestTable1Shape:
+    def test_three_rows(self, table1):
+        assert [r.test_name for r in table1.rows] == [
+            "March Test",
+            "Random Test",
+            "NNGA Test",
+        ]
+
+    def test_ordering_matches_paper(self, table1):
+        """The paper's qualitative result: NNGA > Random > March by WCR."""
+        march, random_, nnga = table1.rows
+        assert nnga.wcr > random_.wcr > march.wcr
+
+    def test_march_near_paper_value(self, table1):
+        march = table1.rows[0]
+        assert march.value == pytest.approx(32.3, abs=0.8)
+        assert march.wcr == pytest.approx(0.619, abs=0.02)
+
+    def test_random_near_paper_value(self, table1):
+        random_ = table1.rows[1]
+        assert random_.value == pytest.approx(28.5, abs=1.0)
+
+    def test_nnga_finds_weakness_region(self, table1):
+        """NNGA must reach the fig. 6 weakness region (0.8 < WCR <= 1)
+        while staying a parametric weakness, not a hard fail."""
+        nnga = table1.rows[2]
+        assert nnga.value == pytest.approx(22.1, abs=1.6)
+        assert WCRClassifier().classify(nnga.wcr) is WCRClass.WEAKNESS
+
+    def test_winner_is_nnga(self, table1):
+        assert table1.winner().test_name == "NNGA Test"
+
+    def test_report_renders(self, table1):
+        text = table1.to_text()
+        assert "Vdd 1.8V" in text
+        for row in table1.rows:
+            assert row.test_name in text
+
+
+class TestCampaignSideEffects:
+    def test_march_is_cheapest_and_blindest(self, table1):
+        march, random_, nnga = table1.rows
+        assert march.measurements < random_.measurements < nnga.measurements
+
+
+class TestShmooIntegration:
+    def test_overlay_spread_at_nominal_vdd(self):
+        """Fig. 8 in miniature: a multi-test overlay shows a visible
+        trip-point spread at Vdd 1.8 and a Vdd-dependent boundary."""
+        characterizer = DeviceCharacterizer.with_default_setup(seed=23)
+        from repro.patterns.random_gen import RandomTestGenerator
+
+        tests = [
+            t.with_condition(NOMINAL_CONDITION)
+            for t in RandomTestGenerator(seed=23).batch(12)
+        ]
+        plot = characterizer.shmoo_overlay(
+            tests, vdd_values=[1.5, 1.8, 2.1], strobe_step=1.0
+        )
+        assert plot.boundary_spread_ns(1.8) > 0.5
+        # Higher Vdd row passes at least as much as the lowest row.
+        assert plot.counts[2].sum() >= plot.counts[0].sum()
+        rendering = plot.render()
+        assert "VDD" in rendering
+
+
+class TestReproducibility:
+    def test_same_seed_same_table(self):
+        """Two identically seeded small campaigns agree exactly."""
+        configs = dict(
+            random_tests=40,
+            learning_config=LearningConfig(
+                tests_per_round=60, max_rounds=1, max_epochs=30,
+                n_networks=2, pin_condition=NOMINAL_CONDITION, seed=7,
+            ),
+            optimization_config=OptimizationConfig(
+                ga=GAConfig(population_size=8, n_populations=1,
+                            max_generations=6),
+                n_seeds=6, seed_pool_size=60,
+                pin_condition=NOMINAL_CONDITION, seed=7,
+            ),
+        )
+        a = DeviceCharacterizer.with_default_setup(seed=7).run_table1_comparison(
+            **configs
+        )
+        b = DeviceCharacterizer.with_default_setup(seed=7).run_table1_comparison(
+            **configs
+        )
+        for row_a, row_b in zip(a.rows, b.rows):
+            assert row_a.value == pytest.approx(row_b.value)
+            assert row_a.wcr == pytest.approx(row_b.wcr)

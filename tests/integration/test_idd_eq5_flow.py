@@ -1,0 +1,86 @@
+"""Eq. (5) end-to-end: characterizing a max-limited parameter.
+
+The paper's WCR eq. (5) covers parameters with a maximum spec limit
+("power consumption, peak current, voltage").  This exercises the whole
+stack — tester compare semantics, PassRegion.HIGH searches, SUTP, DSV
+worst-case selection and WCR classification — on the peak-supply-current
+parameter.
+"""
+
+import pytest
+
+from repro.core.characterizer import DeviceCharacterizer
+from repro.core.wcr import WCRClass, WCRClassifier
+from repro.device.parameters import IDD_PEAK_PARAMETER
+from repro.search.base import PassRegion
+
+IDD_RANGE = (20.0, 120.0)
+
+
+@pytest.fixture
+def idd_characterizer():
+    return DeviceCharacterizer.with_default_setup(
+        seed=2,
+        parameter=IDD_PEAK_PARAMETER,
+        noise_sigma_ns=0.0,
+        search_range=IDD_RANGE,
+        search_factor=1.0,
+        resolution=0.2,
+    )
+
+
+class TestIddCharacterization:
+    def test_pass_region_is_high(self, idd_characterizer):
+        """A current clamp passes above the device's draw (eq. 4 case)."""
+        assert idd_characterizer.pass_region is PassRegion.HIGH
+
+    def test_march_trip_is_its_current_draw(self, idd_characterizer):
+        test, entry = idd_characterizer.characterize_march()
+        assert entry.value is not None
+        true_idd = idd_characterizer.ate.chip.true_parameter_value(
+            test, account_heating=False
+        )
+        assert entry.value == pytest.approx(true_idd, abs=0.5)
+
+    def test_tester_compare_semantics(self, idd_characterizer):
+        """Clamp above the draw passes, below fails."""
+        test, entry = idd_characterizer.characterize_march()
+        ate = idd_characterizer.ate
+        assert ate.apply(test, entry.value + 2.0)
+        assert not ate.apply(test, entry.value - 2.0)
+
+    def test_worst_case_is_maximum_current(self, idd_characterizer):
+        dsv = idd_characterizer.characterize_random(n_tests=30)
+        assert dsv.worst().value == pytest.approx(max(dsv.values()))
+
+    def test_busy_patterns_draw_more(self, idd_characterizer):
+        """Worst IDD test has higher activity than the march baseline."""
+        _, march_entry = idd_characterizer.characterize_march()
+        dsv = idd_characterizer.characterize_random(n_tests=30)
+        assert dsv.worst().value > march_entry.value
+
+    def test_wcr_uses_eq5(self, idd_characterizer):
+        dsv = idd_characterizer.characterize_random(n_tests=30)
+        worst = dsv.worst()
+        wcr = idd_characterizer.objective.fitness(worst.value)
+        assert wcr == pytest.approx(worst.value / IDD_PEAK_PARAMETER.spec_limit)
+
+    def test_sutp_works_in_high_orientation(self, idd_characterizer):
+        """SUTP's incremental walk handles the inverted pass region."""
+        dsv = idd_characterizer.characterize_random(n_tests=12)
+        incremental = sum(1 for e in dsv if not e.used_full_search)
+        assert incremental >= 10
+        # Cross-check a few boundaries against the true draw.
+        for entry in list(dsv)[:5]:
+            true_idd = idd_characterizer.ate.chip.true_parameter_value(
+                entry.test, account_heating=False
+            )
+            assert entry.value == pytest.approx(true_idd, abs=1.0)
+
+    def test_classification_of_hot_pattern(self, idd_characterizer):
+        dsv = idd_characterizer.characterize_random(n_tests=40)
+        worst = dsv.worst()
+        region = WCRClassifier().classify(
+            idd_characterizer.objective.fitness(worst.value)
+        )
+        assert region in (WCRClass.WEAKNESS, WCRClass.PASS)

@@ -1,0 +1,103 @@
+"""Integration: learning and optimization as separate sessions.
+
+Fig. 4 ends with a weight file; fig. 5 begins from it.  This test performs
+the full handoff: session A learns and writes the file; session B — a
+fresh tester, fresh schemes, no access to session A's objects — rebuilds
+the fuzzy-neural generator from the file and runs the GA optimization to a
+weakness-region worst case.
+"""
+
+import pytest
+
+from repro.ate.measurement import MeasurementModel
+from repro.ate.tester import ATE
+from repro.core.learning import (
+    FuzzyNeuralTestGenerator,
+    LearningConfig,
+    LearningScheme,
+)
+from repro.core.objectives import CharacterizationObjective
+from repro.core.optimization import OptimizationConfig, OptimizationScheme
+from repro.core.trip_point import MultipleTripPointRunner
+from repro.device.memory_chip import MemoryTestChip
+from repro.device.parameters import T_DQ_PARAMETER
+from repro.ga.engine import GAConfig
+from repro.patterns.conditions import ConditionSpace, NOMINAL_CONDITION
+
+
+@pytest.fixture(scope="module")
+def weight_file(tmp_path_factory):
+    """Session A: learn and persist."""
+    ate = ATE(MemoryTestChip(), measurement=MeasurementModel(0.0, seed=0))
+    runner = MultipleTripPointRunner(ate, (15.0, 45.0), resolution=0.05)
+    space = ConditionSpace()
+    learning = LearningScheme(
+        runner,
+        space,
+        LearningConfig(
+            tests_per_round=120,
+            max_rounds=2,
+            max_epochs=60,
+            pin_condition=NOMINAL_CONDITION,
+            seed=19,
+        ),
+    ).run()
+    path = tmp_path_factory.mktemp("handoff") / "nn_weights.json"
+    learning.save_weight_file(path)
+    return path
+
+
+def test_optimization_from_weight_file_alone(weight_file):
+    """Session B: fresh everything, optimization driven by the file."""
+    space = ConditionSpace()
+    generator = FuzzyNeuralTestGenerator.from_weight_file(
+        weight_file, space, seed=19, pin_condition=NOMINAL_CONDITION
+    )
+    # The restored learning bundle carries no measured tests — the
+    # optimization must run on the file's knowledge alone.
+    assert generator.learning.tests == []
+
+    ate = ATE(MemoryTestChip(), measurement=MeasurementModel(0.0, seed=1))
+    runner = MultipleTripPointRunner(ate, (15.0, 45.0), resolution=0.05)
+    scheme = OptimizationScheme(
+        runner,
+        space,
+        generator.learning,
+        CharacterizationObjective.worst_case_for(T_DQ_PARAMETER),
+        OptimizationConfig(
+            ga=GAConfig(population_size=14, n_populations=2, max_generations=18),
+            n_seeds=10,
+            seed_pool_size=150,
+            pin_condition=NOMINAL_CONDITION,
+            seed=19,
+        ),
+    )
+    result = scheme.run()
+    assert result.best_wcr is not None
+    assert result.best_wcr > 0.8  # reaches the weakness region
+    assert result.best_value == pytest.approx(22.1, abs=1.8)
+
+
+def test_restored_generator_screens_like_fresh_learning(weight_file):
+    """The file-restored screen must enrich candidates on a fresh device."""
+    space = ConditionSpace()
+    generator = FuzzyNeuralTestGenerator.from_weight_file(
+        weight_file, space, seed=3, pin_condition=NOMINAL_CONDITION
+    )
+    proposals = generator.propose(8, pool_size=150)
+    chip = MemoryTestChip()
+    from repro.patterns.random_gen import RandomTestGenerator
+
+    pool = [
+        t.with_condition(NOMINAL_CONDITION)
+        for t in RandomTestGenerator(seed=777).batch(40)
+    ]
+    import numpy as np
+
+    proposal_values = [
+        chip.true_parameter_value(t, account_heating=False) for t in proposals
+    ]
+    pool_values = [
+        chip.true_parameter_value(t, account_heating=False) for t in pool
+    ]
+    assert np.mean(proposal_values) < np.mean(pool_values)

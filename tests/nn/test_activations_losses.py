@@ -1,0 +1,151 @@
+"""Tests for activations and losses, including gradient checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nn.activations import (
+    Identity,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    activation_by_name,
+)
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+
+
+def numeric_gradient(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        up = f(x)
+        x[idx] = orig - eps
+        down = f(x)
+        x[idx] = orig
+        grad[idx] = (up - down) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestActivationValues:
+    def test_identity(self):
+        z = np.array([[-2.0, 0.0, 3.0]])
+        assert np.array_equal(Identity().forward(z), z)
+
+    def test_sigmoid_range_and_midpoint(self):
+        sig = Sigmoid()
+        out = sig.forward(np.array([[-100.0, 0.0, 100.0]]))
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-6)
+        assert out[0, 1] == pytest.approx(0.5)
+        assert out[0, 2] == pytest.approx(1.0, abs=1e-6)
+
+    def test_sigmoid_numerically_stable(self):
+        out = Sigmoid().forward(np.array([[-1000.0, 1000.0]]))
+        assert np.all(np.isfinite(out))
+
+    def test_tanh_odd_function(self):
+        z = np.array([[0.5, -0.5]])
+        out = Tanh().forward(z)
+        assert out[0, 0] == pytest.approx(-out[0, 1])
+
+    def test_relu_clips_negatives(self):
+        out = ReLU().forward(np.array([[-1.0, 0.0, 2.0]]))
+        assert list(out[0]) == [0.0, 0.0, 2.0]
+
+    def test_softmax_rows_sum_to_one(self):
+        out = Softmax().forward(np.array([[1.0, 2.0, 3.0], [-5.0, 0.0, 5.0]]))
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_softmax_shift_invariant(self):
+        soft = Softmax()
+        z = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(soft.forward(z), soft.forward(z + 100.0))
+
+    def test_registry_roundtrip(self):
+        for name in ("identity", "sigmoid", "tanh", "relu", "softmax"):
+            assert activation_by_name(name).name == name
+
+    def test_registry_unknown(self):
+        with pytest.raises(ValueError):
+            activation_by_name("swish")
+
+
+class TestActivationGradients:
+    @pytest.mark.parametrize("activation", [Sigmoid(), Tanh(), Identity()])
+    def test_backward_matches_numeric(self, activation):
+        rng = np.random.default_rng(0)
+        z = rng.normal(size=(4, 3))
+        output = activation.forward(z)
+        upstream = rng.normal(size=output.shape)
+
+        analytic = activation.backward(upstream, output)
+
+        def scalar(zz):
+            return float(np.sum(activation.forward(zz) * upstream))
+
+        numeric = numeric_gradient(scalar, z.copy())
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+
+class TestLosses:
+    def test_mse_zero_at_perfect(self):
+        y = np.array([[1.0, 2.0]])
+        assert MSELoss().value(y, y) == pytest.approx(0.0)
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MSELoss().value(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_mse_gradient_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        pred = rng.normal(size=(5, 3))
+        target = rng.normal(size=(5, 3))
+        loss = MSELoss()
+        analytic = loss.gradient(pred, target)
+        numeric = numeric_gradient(lambda p: loss.value(p, target), pred.copy())
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_cross_entropy_minimal_at_correct_onehot(self):
+        loss = CrossEntropyLoss()
+        target = np.array([[0.0, 1.0, 0.0]])
+        good = np.array([[0.05, 0.9, 0.05]])
+        bad = np.array([[0.9, 0.05, 0.05]])
+        assert loss.value(good, target) < loss.value(bad, target)
+
+    def test_cross_entropy_handles_hard_zeros(self):
+        loss = CrossEntropyLoss()
+        value = loss.value(np.array([[0.0, 1.0]]), np.array([[1.0, 0.0]]))
+        assert np.isfinite(value)
+
+    def test_combined_softmax_ce_gradient(self):
+        """(p - y)/n is the exact gradient of CE(softmax(z)) w.r.t. z."""
+        rng = np.random.default_rng(2)
+        z = rng.normal(size=(4, 3))
+        target = np.eye(3)[rng.integers(0, 3, size=4)]
+        softmax = Softmax()
+        loss = CrossEntropyLoss()
+
+        probs = softmax.forward(z)
+        analytic = loss.gradient(probs, target)
+
+        def scalar(zz):
+            return loss.value(softmax.forward(zz), target)
+
+        numeric = numeric_gradient(scalar, z.copy())
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    @given(
+        rows=st.integers(1, 6),
+        cols=st.integers(2, 5),
+        seed=st.integers(0, 1000),
+    )
+    def test_cross_entropy_nonnegative(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        logits = rng.normal(size=(rows, cols))
+        probs = Softmax().forward(logits)
+        labels = np.eye(cols)[rng.integers(0, cols, size=rows)]
+        assert CrossEntropyLoss().value(probs, labels) >= 0.0

@@ -1,0 +1,116 @@
+"""Tests for GA-based NN weight training (ref [13])."""
+
+import numpy as np
+import pytest
+
+from repro.nn.ga_training import GAWeightTrainer, _flatten, _unflatten
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn.mlp import MLP
+
+
+class TestGenomeCodec:
+    def test_flatten_unflatten_roundtrip(self):
+        network = MLP([3, 5, 2], seed=1)
+        params = network.get_parameters()
+        genome = _flatten(params)
+        restored = _unflatten(genome, [p.shape for p in params])
+        for a, b in zip(params, restored):
+            assert np.array_equal(a, b)
+
+    def test_genome_size(self):
+        network = MLP([3, 5, 2], seed=1)
+        genome = _flatten(network.get_parameters())
+        assert genome.size == 3 * 5 + 5 + 5 * 2 + 2
+
+
+class TestValidation:
+    def test_hyperparameters(self):
+        loss = MSELoss()
+        with pytest.raises(ValueError):
+            GAWeightTrainer(loss, population_size=2)
+        with pytest.raises(ValueError):
+            GAWeightTrainer(loss, generations=0)
+        with pytest.raises(ValueError):
+            GAWeightTrainer(loss, elite_count=99)
+        with pytest.raises(ValueError):
+            GAWeightTrainer(loss, crossover_rate=1.5)
+
+    def test_data_validation(self):
+        trainer = GAWeightTrainer(MSELoss(), generations=1)
+        network = MLP([2, 2])
+        with pytest.raises(ValueError):
+            trainer.fit(network, np.zeros((4, 2)), np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            trainer.fit(
+                network, np.zeros((4, 2)), np.zeros((4, 2)),
+                val_x=np.zeros((2, 2)),
+            )
+
+
+class TestEvolution:
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(60, 2))
+        y = (x @ np.array([[1.0], [-1.0]])) * 0.5
+        network = MLP([2, 1], output="identity", seed=2)
+        trainer = GAWeightTrainer(
+            MSELoss(), population_size=30, generations=60, seed=2
+        )
+        before = network.evaluate(x, y, MSELoss())
+        history = trainer.fit(network, x, y)
+        after = network.evaluate(x, y, MSELoss())
+        assert after < before
+        assert history.train_loss == sorted(history.train_loss, reverse=True)
+
+    def test_learns_xor(self):
+        """Ref [13]'s headline capability: gradient-free XOR."""
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array([[1, 0], [0, 1], [0, 1], [1, 0]], dtype=float)
+        network = MLP([2, 6, 2], output="softmax", seed=5)
+        trainer = GAWeightTrainer(
+            CrossEntropyLoss(),
+            population_size=50,
+            generations=150,
+            mutation_sigma=0.3,
+            seed=5,
+        )
+        trainer.fit(network, x, y)
+        assert network.accuracy(x, np.argmax(y, axis=1)) == pytest.approx(1.0)
+
+    def test_network_holds_best_genome(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(30, 2))
+        y = np.abs(x[:, :1])
+        network = MLP([2, 4, 1], output="identity", seed=0)
+        trainer = GAWeightTrainer(
+            MSELoss(), population_size=20, generations=30, seed=1
+        )
+        history = trainer.fit(network, x, y)
+        final = network.evaluate(x, y, MSELoss())
+        assert final == pytest.approx(history.train_loss[-1], abs=1e-9)
+
+    def test_val_curve_tracked(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(40, 2))
+        y = x[:, :1] * 0.3
+        network = MLP([2, 1], output="identity", seed=3)
+        trainer = GAWeightTrainer(
+            MSELoss(), population_size=16, generations=12, seed=3
+        )
+        history = trainer.fit(network, x[:30], y[:30], x[30:], y[30:])
+        assert len(history.val_loss) == 12
+        assert history.best_epoch >= 0
+
+    def test_reproducible(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(30, 2))
+        y = x[:, :1]
+        results = []
+        for _ in range(2):
+            network = MLP([2, 1], output="identity", seed=6)
+            trainer = GAWeightTrainer(
+                MSELoss(), population_size=16, generations=15, seed=6
+            )
+            history = trainer.fit(network, x, y)
+            results.append(history.train_loss[-1])
+        assert results[0] == pytest.approx(results[1])

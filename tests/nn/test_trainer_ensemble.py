@@ -1,0 +1,194 @@
+"""Tests for the trainer, voting ensemble, generalization checker and
+weight-file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.nn.ensemble import VotingEnsemble
+from repro.nn.generalization import (
+    GeneralizationChecker,
+    LearningVerdict,
+)
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.mlp import MLP
+from repro.nn.trainer import Trainer
+from repro.nn.weights_io import (
+    ensemble_from_weight_file,
+    load_weights,
+    save_weights,
+)
+
+
+def two_blob_data(n=120, seed=0):
+    """Two well-separated Gaussian blobs, one-hot labelled."""
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    x = np.vstack(
+        [
+            rng.normal(loc=-1.0, scale=0.4, size=(half, 2)),
+            rng.normal(loc=+1.0, scale=0.4, size=(half, 2)),
+        ]
+    )
+    y = np.zeros((2 * half, 2))
+    y[:half, 0] = 1.0
+    y[half:, 1] = 1.0
+    return x, y
+
+
+class TestTrainer:
+    def test_hyperparameter_validation(self):
+        with pytest.raises(ValueError):
+            Trainer(CrossEntropyLoss(), learning_rate=0.0)
+        with pytest.raises(ValueError):
+            Trainer(CrossEntropyLoss(), momentum=1.0)
+        with pytest.raises(ValueError):
+            Trainer(CrossEntropyLoss(), batch_size=0)
+
+    def test_mismatched_data_rejected(self):
+        trainer = Trainer(CrossEntropyLoss())
+        net = MLP([2, 2])
+        with pytest.raises(ValueError):
+            trainer.fit(net, np.zeros((5, 2)), np.zeros((4, 2)))
+
+    def test_val_requires_both(self):
+        trainer = Trainer(CrossEntropyLoss())
+        net = MLP([2, 2])
+        with pytest.raises(ValueError):
+            trainer.fit(net, np.zeros((5, 2)), np.zeros((5, 2)), val_x=np.zeros((2, 2)))
+
+    def test_loss_decreases(self):
+        x, y = two_blob_data()
+        net = MLP([2, 6, 2], seed=1)
+        trainer = Trainer(
+            CrossEntropyLoss(), learning_rate=0.1, max_epochs=60,
+            patience=60, seed=0,
+        )
+        history = trainer.fit(net, x, y)
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_early_stopping_restores_best(self):
+        x, y = two_blob_data()
+        net = MLP([2, 6, 2], seed=1)
+        trainer = Trainer(
+            CrossEntropyLoss(), learning_rate=0.3, max_epochs=300,
+            patience=5, seed=0,
+        )
+        history = trainer.fit(net, x[:80], y[:80], x[80:], y[80:])
+        if history.stopped_early:
+            assert history.epochs_run < 300
+        # The network holds (approximately) the best-epoch weights.
+        final_val = net.evaluate(x[80:], y[80:], CrossEntropyLoss())
+        assert final_val == pytest.approx(history.best_val_loss, abs=1e-9)
+
+    def test_history_epochs_run(self):
+        x, y = two_blob_data(n=40)
+        net = MLP([2, 2], seed=0)
+        trainer = Trainer(CrossEntropyLoss(), max_epochs=7, patience=7)
+        history = trainer.fit(net, x, y)
+        assert history.epochs_run == 7
+
+
+class TestVotingEnsemble:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            VotingEnsemble(MLP([2, 2]), n_networks=0)
+        with pytest.raises(ValueError):
+            VotingEnsemble(MLP([2, 2]), subset_fraction=0.0)
+
+    def test_members_have_distinct_initializations(self):
+        ensemble = VotingEnsemble(MLP([2, 4, 2]), n_networks=3, seed=0)
+        x = np.ones((1, 2))
+        outputs = [m.predict(x) for m in ensemble.members]
+        assert not np.allclose(outputs[0], outputs[1])
+
+    def test_fit_and_vote(self):
+        x, y = two_blob_data()
+        ensemble = VotingEnsemble(
+            MLP([2, 6, 2]), n_networks=3, subset_fraction=0.6, seed=0
+        )
+        trainer = Trainer(
+            CrossEntropyLoss(), learning_rate=0.1, max_epochs=60,
+            patience=60, seed=0,
+        )
+        report = ensemble.fit(trainer, x[:90], y[:90], x[90:], y[90:])
+        assert ensemble.accuracy(x[90:], np.argmax(y[90:], axis=1)) > 0.9
+        assert np.isfinite(report.consistency)
+
+    def test_soft_vote_is_distribution(self):
+        ensemble = VotingEnsemble(MLP([2, 3]), n_networks=4, seed=1)
+        probs = ensemble.predict_proba(np.zeros((5, 2)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_vote_agreement_range(self):
+        ensemble = VotingEnsemble(MLP([2, 3]), n_networks=5, seed=1)
+        agreement = ensemble.vote_agreement(np.random.default_rng(0).normal(size=(8, 2)))
+        assert np.all(agreement >= 0.2)  # majority always >= 1/5
+        assert np.all(agreement <= 1.0)
+
+    def test_classify_matches_member_majority(self):
+        ensemble = VotingEnsemble(MLP([2, 3]), n_networks=3, seed=2)
+        x = np.random.default_rng(1).normal(size=(10, 2))
+        votes = np.stack([m.classify(x) for m in ensemble.members])
+        majority = ensemble.classify(x)
+        for i in range(10):
+            counts = np.bincount(votes[:, i], minlength=3)
+            assert counts[majority[i]] == counts.max()
+
+
+class TestGeneralizationChecker:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            GeneralizationChecker(max_val_error=0.0)
+
+    def test_accept(self):
+        report = GeneralizationChecker(0.25, 0.15).check(0.08, 0.12)
+        assert report.verdict is LearningVerdict.ACCEPT
+        assert report.accepted
+
+    def test_more_data_on_gap(self):
+        report = GeneralizationChecker(0.25, 0.15).check(0.05, 0.24)
+        assert report.verdict is LearningVerdict.MORE_DATA
+
+    def test_more_data_on_high_val(self):
+        report = GeneralizationChecker(0.25, 0.30).check(0.20, 0.40)
+        assert report.verdict is LearningVerdict.MORE_DATA
+
+    def test_retrain_when_unlearnable(self):
+        report = GeneralizationChecker(0.25, 0.15, 0.60).check(0.70, 0.75)
+        assert report.verdict is LearningVerdict.RETRAIN
+
+    def test_gap_computed(self):
+        report = GeneralizationChecker().check(0.10, 0.25)
+        assert report.generalization_gap == pytest.approx(0.15)
+
+
+class TestWeightFileIO:
+    def test_single_network_roundtrip(self, tmp_path):
+        net = MLP([3, 5, 2], hidden="sigmoid", output="softmax", seed=3)
+        path = tmp_path / "weights.json"
+        save_weights(net, path, metadata={"note": "unit"})
+        networks, metadata = load_weights(path)
+        assert len(networks) == 1
+        assert metadata["note"] == "unit"
+        x = np.random.default_rng(0).normal(size=(4, 3))
+        assert np.allclose(networks[0].predict(x), net.predict(x))
+
+    def test_ensemble_roundtrip(self, tmp_path):
+        ensemble = VotingEnsemble(MLP([3, 4, 2]), n_networks=3, seed=0)
+        path = tmp_path / "ensemble.json"
+        save_weights(ensemble, path)
+        restored = ensemble_from_weight_file(path)
+        x = np.random.default_rng(0).normal(size=(4, 3))
+        assert np.allclose(restored.predict_proba(x), ensemble.predict_proba(x))
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 99, "members": []}')
+        with pytest.raises(ValueError, match="version"):
+            load_weights(path)
+
+    def test_empty_members_rejected(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text('{"format_version": 1, "members": [], "metadata": {}}')
+        with pytest.raises(ValueError, match="no networks"):
+            load_weights(path)

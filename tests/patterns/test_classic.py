@@ -1,0 +1,143 @@
+"""Tests for the classic deterministic pattern library."""
+
+import pytest
+
+from repro.device.faults import CouplingFault, StuckAtFault
+from repro.device.memory_chip import MemoryTestChip
+from repro.patterns.classic import (
+    CLASSIC_LIBRARY,
+    address_complement,
+    available_classic_patterns,
+    build_classic_pattern,
+    butterfly,
+    galpat,
+    walking_ones,
+)
+from repro.patterns.features import extract_features
+from repro.patterns.vectors import MAX_SEQUENCE_CYCLES, Operation
+
+
+class TestLibrary:
+    def test_all_registered(self):
+        assert set(available_classic_patterns()) == {
+            "walking_ones",
+            "walking_zeros",
+            "galpat",
+            "butterfly",
+            "address_complement",
+        }
+
+    def test_build_by_name(self):
+        for name in available_classic_patterns():
+            sequence = build_classic_pattern(name)
+            assert 1 <= len(sequence) <= MAX_SEQUENCE_CYCLES
+            assert sequence.name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown classic"):
+            build_classic_pattern("checkerboard_gallop")
+
+    def test_all_within_cycle_budget(self):
+        for name in available_classic_patterns():
+            assert len(build_classic_pattern(name)) <= MAX_SEQUENCE_CYCLES
+
+
+class TestWalkingOnes:
+    def test_structure(self):
+        sequence = walking_ones(addresses=[5], data_bits=8)
+        # 1 background write + 8 * (write + read).
+        assert len(sequence) == 17
+        writes = [v for v in sequence if v.op is Operation.WRITE]
+        # Background 0 then the eight one-hot words.
+        assert writes[0].data == 0
+        assert {w.data for w in writes[1:]} == {1 << b for b in range(8)}
+
+    def test_walking_zero_inverts(self):
+        sequence = walking_ones(addresses=[5], data_bits=8, walking_zero=True)
+        writes = [v for v in sequence if v.op is Operation.WRITE]
+        assert writes[0].data == 0xFF
+        assert {w.data for w in writes[1:]} == {0xFF ^ (1 << b) for b in range(8)}
+
+    def test_detects_stuck_at_any_bit(self):
+        for bit in (0, 3, 7):
+            chip = MemoryTestChip(
+                faults=[StuckAtFault(word=2, bit=bit, stuck_value=0)]
+            )
+            sequence = walking_ones(addresses=[2])
+            assert not chip.run_functional(sequence).passed
+
+    def test_passes_on_healthy_chip(self, chip):
+        assert chip.run_functional(walking_ones(addresses=range(5))).passed
+
+
+class TestGalpat:
+    def test_read_heavy(self):
+        sequence = galpat(window=range(10))
+        reads = sequence.count(Operation.READ)
+        writes = sequence.count(Operation.WRITE)
+        assert reads > 4 * writes
+
+    def test_detects_coupling_within_window(self):
+        chip = MemoryTestChip(
+            faults=[
+                CouplingFault(
+                    aggressor_word=3, aggressor_bit=0,
+                    victim_word=7, victim_bit=0,
+                    trigger_rising=True, invert_victim=True,
+                )
+            ]
+        )
+        assert not chip.run_functional(galpat(window=range(10))).passed
+
+    def test_ping_pong_hits_test_cell_between_others(self):
+        sequence = galpat(window=range(4))
+        # After the first test-cell write, reads alternate other/test.
+        ops = list(sequence)
+        first_mask_write = next(
+            i for i, v in enumerate(ops) if v.op is Operation.WRITE and v.data
+        )
+        test_cell = ops[first_mask_write].address
+        window_reads = ops[first_mask_write + 1 : first_mask_write + 7]
+        assert [v.address == test_cell for v in window_reads] == [
+            False, True, False, True, False, True
+        ]
+
+    def test_passes_on_healthy_chip(self, chip):
+        assert chip.run_functional(galpat(window=range(8))).passed
+
+
+class TestButterfly:
+    def test_companion_distances_double(self):
+        sequence = butterfly(window=[100], max_distance=4, addr_bits=10)
+        reads = [v.address for v in sequence if v.op is Operation.READ]
+        companions = [a for a in reads if a != 100]
+        assert companions == [99, 101, 98, 102, 96, 104]
+
+    def test_passes_on_healthy_chip(self, chip):
+        assert chip.run_functional(butterfly(window=range(8))).passed
+
+
+class TestAddressComplement:
+    def test_max_address_toggling(self):
+        features = extract_features(address_complement())
+        # Every access flips every address line.
+        assert features["addr_transition_density"] > 0.95
+        assert features["addr_msb_toggle_rate"] > 0.95
+
+    def test_high_activity_profile(self):
+        features = extract_features(address_complement())
+        assert features["peak_window_activity"] > 0.5
+
+    def test_reads_verify_both_halves(self, chip):
+        assert chip.run_functional(address_complement()).passed
+
+    def test_still_benign_on_weakness_axis(self, chip):
+        """Address complement stresses the bus but lacks the same-address
+        read-after-write hazard, so it must NOT trigger the hidden
+        weakness — deterministic stress alone is not the worst case."""
+        from repro.patterns.conditions import NOMINAL_CONDITION
+        from repro.patterns.testcase import TestCase
+
+        test = TestCase(address_complement(), NOMINAL_CONDITION, name="ac")
+        value = chip.true_parameter_value(test, account_heating=False)
+        assert value > 26.0  # well above the ~22 ns true worst case

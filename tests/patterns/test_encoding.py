@@ -1,0 +1,88 @@
+"""Tests for the NN input encoder and the test-case data model."""
+
+import numpy as np
+import pytest
+
+from repro.patterns.conditions import ConditionSpace, NOMINAL_CONDITION, TestCondition
+from repro.patterns.encoding import CONDITION_INPUT_NAMES, TestEncoder
+from repro.patterns.features import FEATURE_NAMES
+from repro.patterns.random_gen import RandomTestGenerator
+from repro.patterns.testcase import TestCase
+from repro.patterns.vectors import Operation, TestVector, VectorSequence
+
+
+@pytest.fixture
+def encoder(condition_space):
+    return TestEncoder(condition_space)
+
+
+class TestTestCase:
+    def _seq(self):
+        return VectorSequence([TestVector(Operation.READ, 0, 0)] * 100, name="s")
+
+    def test_cycles(self):
+        assert TestCase(self._seq()).cycles == 100
+
+    def test_invalid_condition_rejected(self):
+        with pytest.raises(ValueError):
+            TestCase(self._seq(), TestCondition(vdd=-1.0))
+
+    def test_renamed_and_origin(self):
+        test = TestCase(self._seq(), name="a", origin="random")
+        assert test.renamed("b").name == "b"
+        assert test.with_origin("nn").origin == "nn"
+
+    def test_with_condition(self):
+        test = TestCase(self._seq())
+        shifted = test.with_condition(NOMINAL_CONDITION.with_vdd(1.5))
+        assert shifted.condition.vdd == 1.5
+        assert test.condition.vdd == pytest.approx(1.8)
+
+
+class TestTestEncoder:
+    def test_input_dim(self, encoder):
+        assert encoder.input_dim == len(FEATURE_NAMES) + 3
+
+    def test_input_dim_without_condition(self, condition_space):
+        encoder = TestEncoder(condition_space, include_condition=False)
+        assert encoder.input_dim == len(FEATURE_NAMES)
+
+    def test_input_names_order(self, encoder):
+        names = encoder.input_names
+        assert tuple(names[: len(FEATURE_NAMES)]) == FEATURE_NAMES
+        assert tuple(names[len(FEATURE_NAMES):]) == CONDITION_INPUT_NAMES
+
+    def test_encode_in_unit_cube(self, encoder):
+        generator = RandomTestGenerator(seed=1, condition_space=ConditionSpace())
+        for test in generator.batch(10):
+            vec = encoder.encode(test)
+            assert vec.shape == (encoder.input_dim,)
+            assert np.all(vec >= 0.0) and np.all(vec <= 1.0)
+
+    def test_encode_batch_stacks(self, encoder):
+        generator = RandomTestGenerator(seed=1)
+        tests = generator.batch(4)
+        matrix = encoder.encode_batch(tests)
+        assert matrix.shape == (4, encoder.input_dim)
+        assert np.array_equal(matrix[2], encoder.encode(tests[2]))
+
+    def test_encode_batch_empty(self, encoder):
+        assert encoder.encode_batch([]).shape == (0, encoder.input_dim)
+
+    def test_condition_affects_encoding(self, encoder):
+        generator = RandomTestGenerator(seed=1)
+        test = generator.generate()
+        a = encoder.encode(test.with_condition(NOMINAL_CONDITION))
+        b = encoder.encode(test.with_condition(NOMINAL_CONDITION.with_vdd(1.5)))
+        assert not np.array_equal(a, b)
+        # Only the condition part differs.
+        assert np.array_equal(a[: len(FEATURE_NAMES)], b[: len(FEATURE_NAMES)])
+
+    def test_pattern_affects_encoding(self, encoder):
+        generator = RandomTestGenerator(seed=1)
+        a, b = generator.batch(2)
+        same_cond = NOMINAL_CONDITION
+        assert not np.array_equal(
+            encoder.encode(a.with_condition(same_cond)),
+            encoder.encode(b.with_condition(same_cond)),
+        )

@@ -1,0 +1,153 @@
+"""Tests for pattern feature extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.patterns.features import (
+    FEATURE_NAMES,
+    PatternFeatures,
+    extract_features,
+)
+from repro.patterns.march import compile_march, get_march_test
+from repro.patterns.random_gen import RandomTestGenerator
+from repro.patterns.vectors import (
+    Operation,
+    TestVector,
+    VectorSequence,
+    sequence_from_ops,
+)
+
+
+def seq_of(vectors):
+    return VectorSequence(vectors)
+
+
+class TestPatternFeatures:
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            PatternFeatures(np.zeros(3))
+
+    def test_named_access(self):
+        features = extract_features(seq_of([TestVector(Operation.READ, 0, 0)] * 5))
+        assert features["read_fraction"] == pytest.approx(1.0)
+
+    def test_unknown_name_raises(self):
+        features = extract_features(seq_of([TestVector(Operation.READ, 0, 0)] * 5))
+        with pytest.raises(KeyError):
+            features["no_such_feature"]
+
+    def test_as_dict_covers_all_names(self):
+        features = extract_features(seq_of([TestVector(Operation.NOP, 0, 0)] * 5))
+        assert set(features.as_dict()) == set(FEATURE_NAMES)
+
+
+class TestExtremes:
+    def test_all_nop_sequence_is_inert(self):
+        features = extract_features(seq_of([TestVector(Operation.NOP, 0, 0)] * 50))
+        assert features["nop_fraction"] == pytest.approx(1.0)
+        assert features["peak_window_activity"] == pytest.approx(0.0)
+        assert features["data_toggle_density"] == pytest.approx(0.0)
+
+    def test_single_cycle_sequence(self):
+        """Degenerate one-cycle sequences extract without error."""
+        features = extract_features(seq_of([TestVector(Operation.WRITE, 5, 7)]))
+        assert features["write_fraction"] == pytest.approx(1.0)
+        assert features["addr_transition_density"] == pytest.approx(0.0)
+
+    def test_full_toggle_writes_maximize_activity(self):
+        vectors = []
+        word, addr = 0, 0
+        for _ in range(64):
+            word ^= 0xFF
+            addr ^= 0x3FF
+            vectors.append(TestVector(Operation.WRITE, addr, word))
+        features = extract_features(seq_of(vectors))
+        assert features["data_toggle_density"] == pytest.approx(1.0)
+        assert features["addr_transition_density"] == pytest.approx(1.0)
+        assert features["peak_window_activity"] == pytest.approx(1.0)
+        assert features["addr_msb_toggle_rate"] == pytest.approx(1.0)
+
+    def test_constant_address_stream(self):
+        vectors = [TestVector(Operation.WRITE, 9, i % 256) for i in range(32)]
+        features = extract_features(seq_of(vectors))
+        assert features["addr_transition_density"] == pytest.approx(0.0)
+        assert features["addr_jump_distance"] == pytest.approx(0.0)
+        assert features["addr_repeat_run"] > 0.5
+
+    def test_read_after_write_detection(self):
+        ops = []
+        for i in range(20):
+            ops.append(("w", 7, 0xAA))
+            ops.append(("r", 7, 0))
+        features = extract_features(sequence_from_ops(ops))
+        # Every w->r transition at the same address counts: 20 of 39.
+        assert features["read_after_write_rate"] == pytest.approx(20 / 39)
+
+    def test_read_after_write_requires_same_address(self):
+        ops = []
+        for i in range(20):
+            ops.append(("w", i, 0xAA))
+            ops.append(("r", i + 100, 0))
+        features = extract_features(sequence_from_ops(ops))
+        assert features["read_after_write_rate"] == pytest.approx(0.0)
+
+    def test_burst_runs_capped_at_one(self):
+        vectors = [TestVector(Operation.READ, 0, 0)] * 200
+        features = extract_features(seq_of(vectors))
+        assert features["burst_read_run"] == pytest.approx(1.0)
+
+    def test_addr_coverage(self):
+        vectors = [TestVector(Operation.READ, a, 0) for a in range(512)]
+        features = extract_features(seq_of(vectors))
+        assert features["addr_coverage"] == pytest.approx(0.5)
+
+    def test_bus_holds_last_write_through_reads(self):
+        """Reads do not toggle the write-data bus model."""
+        ops = [("w", 0, 0xFF)] + [("r", i, 0) for i in range(1, 30)]
+        features = extract_features(sequence_from_ops(ops))
+        assert features["data_toggle_density"] == pytest.approx(0.0)
+
+
+class TestKnownPatterns:
+    def test_march_c_is_benign(self):
+        """March C- must sit far below the weakness thresholds."""
+        features = extract_features(compile_march(get_march_test("march_c-")))
+        assert features["peak_window_activity"] < 0.3
+        # Element boundaries contribute a couple of same-address w->r
+        # transitions; the rate must still be negligible.
+        assert features["read_after_write_rate"] < 0.01
+        assert features["addr_msb_toggle_rate"] < 0.1
+
+    def test_march_y_has_read_after_write(self):
+        """March Y's (r0,w1,r1) element reads right after writing."""
+        features = extract_features(compile_march(get_march_test("march_y")))
+        assert features["read_after_write_rate"] > 0.2
+
+
+class TestDeterminismAndRange:
+    def test_extraction_is_deterministic(self):
+        generator = RandomTestGenerator(seed=3)
+        seq = generator.generate().sequence
+        a = extract_features(seq).values
+        b = extract_features(seq).values
+        assert np.array_equal(a, b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_all_features_in_unit_interval(self, seed):
+        """Invariant: every feature of any random test lies in [0, 1]."""
+        generator = RandomTestGenerator(seed=seed, min_cycles=20, max_cycles=120)
+        features = extract_features(generator.generate().sequence)
+        assert np.all(features.values >= 0.0)
+        assert np.all(features.values <= 1.0)
+
+    def test_fraction_features_sum_to_one(self):
+        generator = RandomTestGenerator(seed=11)
+        features = extract_features(generator.generate().sequence)
+        total = (
+            features["write_fraction"]
+            + features["read_fraction"]
+            + features["nop_fraction"]
+        )
+        assert total == pytest.approx(1.0)

@@ -1,0 +1,116 @@
+"""Tests for pattern file I/O and database pattern export."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.patterns.conditions import TestCondition
+from repro.patterns.io import dump_test, load_test, load_test_file, save_test
+from repro.patterns.random_gen import RandomTestGenerator
+from repro.patterns.testcase import TestCase
+from repro.patterns.vectors import sequence_from_ops
+
+
+def sample_test(name="t1"):
+    sequence = sequence_from_ops(
+        [("w", 0x3FF, 0xFF), ("r", 0x3FF, 0x00), ("n", 0, 0)], name=name
+    )
+    condition = TestCondition(vdd=1.65, temperature=85.0, clock_period=30.0)
+    return TestCase(sequence, condition, name=name, origin="ga")
+
+
+class TestRoundTrip:
+    def test_exact_roundtrip(self):
+        original = sample_test()
+        restored = load_test(dump_test(original))
+        assert restored.sequence == original.sequence
+        assert restored.condition == original.condition
+        assert restored.name == original.name
+        assert restored.origin == original.origin
+
+    def test_file_roundtrip(self, tmp_path):
+        original = sample_test()
+        path = tmp_path / "case.pat"
+        save_test(original, path)
+        restored = load_test_file(path)
+        assert restored.sequence == original.sequence
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_random_tests_roundtrip(self, seed):
+        generator = RandomTestGenerator(
+            seed=seed, min_cycles=100, max_cycles=150
+        )
+        original = generator.generate()
+        restored = load_test(dump_test(original))
+        assert restored.sequence == original.sequence
+        assert restored.condition.vdd == pytest.approx(original.condition.vdd)
+
+    def test_header_contains_metadata(self):
+        text = dump_test(sample_test())
+        assert "# name: t1" in text
+        assert "# vdd: 1.650000" in text
+        assert "# origin: ga" in text
+
+
+class TestParsing:
+    def test_rejects_foreign_text(self):
+        with pytest.raises(ValueError, match="repro-pattern"):
+            load_test("hello world")
+
+    def test_rejects_missing_geometry(self):
+        with pytest.raises(ValueError, match="addr_bits"):
+            load_test("# repro-pattern v1\n# name: x\nw 001 02\n")
+
+    def test_rejects_malformed_cycle(self):
+        text = (
+            "# repro-pattern v1\n# addr_bits: 10\n# data_bits: 8\nw 001\n"
+        )
+        with pytest.raises(ValueError, match="op addr data"):
+            load_test(text)
+
+    def test_rejects_unknown_op(self):
+        text = (
+            "# repro-pattern v1\n# addr_bits: 10\n# data_bits: 8\nx 001 02\n"
+        )
+        with pytest.raises(ValueError):
+            load_test(text)
+
+    def test_rejects_empty_body(self):
+        text = "# repro-pattern v1\n# addr_bits: 10\n# data_bits: 8\n"
+        with pytest.raises(ValueError, match="no cycles"):
+            load_test(text)
+
+    def test_ignores_blank_and_comment_lines_in_body(self):
+        text = (
+            "# repro-pattern v1\n# addr_bits: 10\n# data_bits: 8\n"
+            "w 001 02\n\n# trailing comment\nr 001 02\n"
+        )
+        assert load_test(text).cycles == 2
+
+
+class TestDatabaseExport:
+    def test_export_patterns_roundtrip(self, tmp_path):
+        from repro.core.database import WorstCaseDatabase, WorstCaseRecord
+        from repro.core.wcr import WCRClass
+
+        db = WorstCaseDatabase()
+        good = sample_test("worst_a")
+        db.add(
+            WorstCaseRecord(
+                test=good, measured_value=22.0, wcr=0.9,
+                wcr_class=WCRClass.WEAKNESS, technique="nn+ga",
+            )
+        )
+        bad = sample_test("broken")
+        db.add(
+            WorstCaseRecord(
+                test=bad, measured_value=None, wcr=None, wcr_class=None,
+                technique="nn+ga", functional_failure=True,
+            )
+        )
+        written = db.export_patterns(tmp_path / "patterns")
+        assert len(written) == 2
+        assert written[0].name.endswith("worst_a.pat")
+        assert written[1].name.startswith("fail_")
+        restored = load_test_file(written[0])
+        assert restored.sequence == good.sequence

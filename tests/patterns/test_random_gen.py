@@ -1,0 +1,119 @@
+"""Tests for the random test generator."""
+
+import numpy as np
+import pytest
+
+from repro.patterns.conditions import ConditionSpace, NOMINAL_CONDITION
+from repro.patterns.features import extract_features
+from repro.patterns.random_gen import STYLES, RandomTestGenerator
+from repro.patterns.vectors import MAX_SEQUENCE_CYCLES, MIN_SEQUENCE_CYCLES
+
+
+class TestConstruction:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            RandomTestGenerator(min_cycles=10, max_cycles=5)
+
+    def test_rejects_zero_min(self):
+        with pytest.raises(ValueError):
+            RandomTestGenerator(min_cycles=0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = RandomTestGenerator(seed=42).batch(5)
+        b = RandomTestGenerator(seed=42).batch(5)
+        for x, y in zip(a, b):
+            assert x.sequence == y.sequence
+            assert x.condition == y.condition
+
+    def test_different_seeds_differ(self):
+        a = RandomTestGenerator(seed=1).generate()
+        b = RandomTestGenerator(seed=2).generate()
+        assert a.sequence != b.sequence
+
+    def test_names_are_unique_and_sequential(self):
+        generator = RandomTestGenerator(seed=0)
+        names = [generator.generate().name for _ in range(10)]
+        assert len(set(names)) == 10
+        assert names[0].startswith("rnd_00000")
+
+
+class TestOutputContract:
+    def test_lengths_respect_paper_bounds(self):
+        generator = RandomTestGenerator(seed=7)
+        for test in generator.batch(30):
+            assert MIN_SEQUENCE_CYCLES <= test.cycles <= MAX_SEQUENCE_CYCLES
+
+    def test_nominal_condition_without_space(self):
+        generator = RandomTestGenerator(seed=7, condition_space=None)
+        assert all(t.condition == NOMINAL_CONDITION for t in generator.batch(5))
+
+    def test_conditions_sampled_inside_space(self):
+        space = ConditionSpace()
+        generator = RandomTestGenerator(seed=7, condition_space=space)
+        assert all(space.contains(t.condition) for t in generator.batch(20))
+
+    def test_origin_tag(self):
+        assert RandomTestGenerator(seed=0).generate().origin == "random"
+
+    def test_unknown_style_raises(self):
+        with pytest.raises(ValueError, match="style"):
+            RandomTestGenerator(seed=0).generate(style="bogus")
+
+    def test_stream_is_endless_prefix_of_batch(self):
+        gen_a = RandomTestGenerator(seed=5)
+        stream = gen_a.stream()
+        from_stream = [next(stream) for _ in range(3)]
+        from_batch = RandomTestGenerator(seed=5).batch(3)
+        for x, y in zip(from_stream, from_batch):
+            assert x.sequence == y.sequence
+
+
+class TestStyleProfiles:
+    """Each style must actually produce its distinguishing activity."""
+
+    def _features(self, style, seed=3):
+        generator = RandomTestGenerator(seed=seed)
+        return extract_features(generator.generate(style=style).sequence)
+
+    def test_all_declared_styles_build(self):
+        generator = RandomTestGenerator(seed=1)
+        for name, _ in STYLES:
+            test = generator.generate(style=name)
+            assert test.cycles >= MIN_SEQUENCE_CYCLES
+
+    def test_burst_has_read_after_write(self):
+        assert self._features("burst")["read_after_write_rate"] > 0.3
+
+    def test_toggle_has_full_data_toggle(self):
+        assert self._features("toggle")["data_toggle_density"] > 0.9
+
+    def test_toggle_has_high_msb_rate(self):
+        assert self._features("toggle")["addr_msb_toggle_rate"] > 0.5
+
+    def test_sweep_has_low_jump_distance(self):
+        assert self._features("sweep")["addr_jump_distance"] < 0.1
+
+    def test_hammer_has_tiny_coverage(self):
+        assert self._features("hammer")["addr_coverage"] < 0.01
+
+    def test_uniform_has_moderate_everything(self):
+        features = self._features("uniform")
+        assert 0.3 < features["addr_transition_density"] < 0.7
+        assert features["read_after_write_rate"] < 0.05
+
+    def test_no_single_style_triggers_full_weakness(self):
+        """The hidden weakness conjunction must be out of reach of every
+        individual style — otherwise random search would find the worst
+        case and the paper's premise would not hold."""
+        from repro.device.sensitivity import SensitivityModel
+
+        model = SensitivityModel()
+        for name, _ in STYLES:
+            for seed in range(5):
+                features = self._features(name, seed=seed)
+                acts = model.weakness_activations(features)
+                assert np.prod(acts) < 0.5, (
+                    f"style {name} (seed {seed}) fully activates the weakness"
+                )

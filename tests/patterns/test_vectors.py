@@ -1,0 +1,171 @@
+"""Unit and property tests for the vector-sequence data model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.patterns.vectors import (
+    MAX_SEQUENCE_CYCLES,
+    Operation,
+    TestVector,
+    VectorSequence,
+    checkerboard_word,
+    sequence_from_ops,
+    solid_word,
+)
+
+
+def make_seq(n=10, addr_bits=10, data_bits=8):
+    vectors = [
+        TestVector(Operation.WRITE if i % 2 else Operation.READ, i % 16, i % 256)
+        for i in range(n)
+    ]
+    return VectorSequence(vectors, addr_bits, data_bits, name="t")
+
+
+class TestTestVector:
+    def test_validate_accepts_in_range(self):
+        TestVector(Operation.WRITE, 1023, 255).validate(10, 8)
+
+    def test_validate_rejects_address_overflow(self):
+        with pytest.raises(ValueError, match="address"):
+            TestVector(Operation.READ, 1024, 0).validate(10, 8)
+
+    def test_validate_rejects_negative_address(self):
+        with pytest.raises(ValueError, match="address"):
+            TestVector(Operation.READ, -1, 0).validate(10, 8)
+
+    def test_validate_rejects_data_overflow(self):
+        with pytest.raises(ValueError, match="data"):
+            TestVector(Operation.WRITE, 0, 256).validate(10, 8)
+
+    def test_str_format(self):
+        assert str(TestVector(Operation.WRITE, 0x2A, 0x0F)) == "w@002a:0f"
+
+
+class TestVectorSequence:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one cycle"):
+            VectorSequence([])
+
+    def test_validates_members_on_construction(self):
+        with pytest.raises(ValueError):
+            VectorSequence([TestVector(Operation.READ, 9999, 0)])
+
+    def test_len_iter_getitem(self):
+        seq = make_seq(5)
+        assert len(seq) == 5
+        assert list(seq)[2] == seq[2]
+
+    def test_equality_ignores_name(self):
+        a = make_seq().with_name("a")
+        b = make_seq().with_name("b")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_equality_distinguishes_geometry(self):
+        vecs = [TestVector(Operation.READ, 1, 1)]
+        assert VectorSequence(vecs, 10, 8) != VectorSequence(vecs, 11, 8)
+
+    def test_count_by_operation(self):
+        seq = make_seq(10)
+        assert seq.count(Operation.READ) == 5
+        assert seq.count(Operation.WRITE) == 5
+        assert seq.count(Operation.NOP) == 0
+
+    def test_data_words_zero_for_reads(self):
+        seq = sequence_from_ops([("r", 0, 0), ("w", 1, 42)])
+        assert seq.data_words() == [0, 42]
+
+    def test_replaced_returns_new_sequence(self):
+        seq = make_seq(4)
+        new_vec = TestVector(Operation.NOP, 0, 0)
+        replaced = seq.replaced(2, new_vec)
+        assert replaced[2] == new_vec
+        assert seq[2] != new_vec  # original untouched
+
+    def test_replaced_rejects_bad_index(self):
+        with pytest.raises(IndexError):
+            make_seq(4).replaced(4, TestVector(Operation.NOP, 0, 0))
+
+    def test_spliced_combines_prefix_and_suffix(self):
+        a, b = make_seq(6), make_seq(8)
+        child = a.spliced(b, 3, 5)
+        assert len(child) == 3 + 3
+        assert child.vectors[:3] == a.vectors[:3]
+        assert child.vectors[3:] == b.vectors[5:]
+
+    def test_spliced_rejects_geometry_mismatch(self):
+        a = make_seq(6, addr_bits=10)
+        b = make_seq(6, addr_bits=8)
+        with pytest.raises(ValueError, match="geometry"):
+            a.spliced(b, 3, 3)
+
+    def test_spliced_never_empty(self):
+        a, b = make_seq(4), make_seq(4)
+        child = a.spliced(b, 0, 4)
+        assert len(child) >= 1
+
+    def test_spliced_clamps_to_max_cycles(self):
+        a = make_seq(MAX_SEQUENCE_CYCLES)
+        b = make_seq(MAX_SEQUENCE_CYCLES)
+        child = a.spliced(b, MAX_SEQUENCE_CYCLES, 0)
+        assert len(child) == MAX_SEQUENCE_CYCLES
+
+
+class TestBackgrounds:
+    def test_solid_word_values(self):
+        assert solid_word(0, 8) == 0x00
+        assert solid_word(1, 8) == 0xFF
+
+    def test_solid_word_rejects_other_bits(self):
+        with pytest.raises(ValueError):
+            solid_word(2, 8)
+
+    def test_checkerboard_alternates_between_addresses(self):
+        w0 = checkerboard_word(0, 8)
+        w1 = checkerboard_word(1, 8)
+        assert w0 ^ w1 == 0xFF  # adjacent addresses are inverted
+
+    def test_checkerboard_inverted_phase(self):
+        assert checkerboard_word(0, 8) ^ checkerboard_word(0, 8, inverted=True) == 0xFF
+
+    def test_checkerboard_bits_alternate(self):
+        word = checkerboard_word(0, 8)
+        bits = [(word >> i) & 1 for i in range(8)]
+        assert bits == [0, 1, 0, 1, 0, 1, 0, 1]
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["r", "w", "n"]),
+            st.integers(0, 1023),
+            st.integers(0, 255),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_sequence_from_ops_roundtrip(ops):
+    """Every well-formed op triple builds, and streams reproduce the input."""
+    seq = sequence_from_ops(ops)
+    assert len(seq) == len(ops)
+    assert seq.addresses() == [a for _, a, _ in ops]
+    for vec, (op, addr, data) in zip(seq, ops):
+        assert vec.op.value == op
+        assert vec.address == addr
+
+
+@given(
+    n_a=st.integers(1, 40),
+    n_b=st.integers(1, 40),
+    data=st.data(),
+)
+def test_spliced_length_property(n_a, n_b, data):
+    """Splice length is len(prefix) + len(suffix), clamped and nonzero."""
+    a, b = make_seq(n_a), make_seq(n_b)
+    cut_a = data.draw(st.integers(0, n_a))
+    cut_b = data.draw(st.integers(0, n_b))
+    child = a.spliced(b, cut_a, cut_b)
+    expected = max(1, cut_a + (n_b - cut_b))
+    assert len(child) == min(expected, MAX_SEQUENCE_CYCLES)

@@ -1,0 +1,66 @@
+"""Tests for repeated-measurement voting on noisy oracles."""
+
+import numpy as np
+import pytest
+
+from repro.ate.measurement import MeasurementModel
+from repro.ate.tester import ATE
+from repro.device.memory_chip import MemoryTestChip
+from repro.search.binary import BinarySearch
+from repro.search.oracles import CountingOracle, majority_oracle, make_ate_oracle
+
+
+class TestWrapperContract:
+    def test_votes_validation(self):
+        with pytest.raises(ValueError):
+            majority_oracle(lambda x: True, votes=0)
+        with pytest.raises(ValueError):
+            majority_oracle(lambda x: True, votes=4)
+
+    def test_single_vote_is_identity(self):
+        oracle = lambda x: x < 5  # noqa: E731
+        assert majority_oracle(oracle, votes=1) is oracle
+
+    def test_majority_semantics(self):
+        outcomes = iter([True, False, True])
+        voted = majority_oracle(lambda x: next(outcomes), votes=3)
+        assert voted(0.0) is True
+
+    def test_counts_every_underlying_probe(self):
+        counter = CountingOracle(lambda x: x < 5)
+        voted = majority_oracle(counter, votes=5)
+        voted(1.0)
+        assert counter.count == 5
+
+
+class TestNoiseSuppression:
+    def _trip_error(self, votes, sigma=0.3, seed=17):
+        from repro.patterns.conditions import NOMINAL_CONDITION
+        from repro.patterns.random_gen import RandomTestGenerator
+
+        test = RandomTestGenerator(seed=3).generate().with_condition(
+            NOMINAL_CONDITION
+        )
+        quiet_chip = MemoryTestChip()
+        truth = quiet_chip.true_parameter_value(test, account_heating=False)
+
+        chip = MemoryTestChip()
+        ate = ATE(chip, measurement=MeasurementModel(sigma, seed=seed))
+        oracle = majority_oracle(make_ate_oracle(ate, test), votes=votes)
+        outcome = BinarySearch(resolution=0.05).search(oracle, 15.0, 45.0)
+        assert outcome.found
+        return abs(outcome.trip_point - truth), ate.measurement_count
+
+    def test_voting_trims_error_tails_under_heavy_noise(self):
+        """Voting lowers the decision variance, which shows up in the
+        *tail* of the boundary-error distribution (symmetric noise keeps
+        the median crossing at the true value either way)."""
+        single = [self._trip_error(1, seed=s)[0] for s in range(12)]
+        voted = [self._trip_error(5, seed=s)[0] for s in range(12)]
+        assert max(voted) < max(single)
+        assert np.percentile(voted, 90) <= np.percentile(single, 90)
+
+    def test_voting_costs_proportional_measurements(self):
+        _, cost_single = self._trip_error(1)
+        _, cost_voted = self._trip_error(5)
+        assert cost_voted >= 4 * cost_single

@@ -1,0 +1,162 @@
+"""Tests for the conventional trip-point searches.
+
+Synthetic oracles give exact ground truth; the ATE-backed integration cases
+live in tests/integration/.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.search.base import PassRegion, SearchError
+from repro.search.binary import BinarySearch
+from repro.search.linear import LinearSearch
+from repro.search.oracles import CountingOracle
+from repro.search.successive import SuccessiveApproximation
+
+
+def pass_low_oracle(trip):
+    """Pass for x <= trip (eq. 3 orientation)."""
+    return lambda x: x <= trip
+
+
+def pass_high_oracle(trip):
+    """Pass for x >= trip (eq. 4 orientation)."""
+    return lambda x: x >= trip
+
+
+ALL_SEARCHERS = [LinearSearch, BinarySearch, SuccessiveApproximation]
+
+
+@pytest.mark.parametrize("searcher_cls", ALL_SEARCHERS)
+class TestCommonContract:
+    def test_finds_trip_within_resolution_pass_low(self, searcher_cls):
+        searcher = searcher_cls(resolution=0.05, pass_region=PassRegion.LOW)
+        outcome = searcher.search(pass_low_oracle(27.3), 15.0, 45.0)
+        assert outcome.found
+        assert outcome.trip_point == pytest.approx(27.3, abs=0.06)
+
+    def test_finds_trip_within_resolution_pass_high(self, searcher_cls):
+        searcher = searcher_cls(resolution=0.05, pass_region=PassRegion.HIGH)
+        outcome = searcher.search(pass_high_oracle(1.62), 1.0, 2.2)
+        assert outcome.found
+        assert outcome.trip_point == pytest.approx(1.62, abs=0.06)
+
+    def test_invalid_bracket_raises(self, searcher_cls):
+        searcher = searcher_cls()
+        with pytest.raises(SearchError):
+            searcher.search(pass_low_oracle(5.0), 10.0, 10.0)
+
+    def test_all_pass_range_returns_none(self, searcher_cls):
+        searcher = searcher_cls(resolution=0.1)
+        outcome = searcher.search(pass_low_oracle(1000.0), 15.0, 45.0)
+        assert not outcome.found
+
+    def test_all_fail_range_returns_none(self, searcher_cls):
+        searcher = searcher_cls(resolution=0.1)
+        outcome = searcher.search(pass_low_oracle(-1000.0), 15.0, 45.0)
+        assert not outcome.found
+
+    def test_history_records_every_probe(self, searcher_cls):
+        searcher = searcher_cls(resolution=0.1)
+        outcome = searcher.search(pass_low_oracle(30.0), 15.0, 45.0)
+        assert len(outcome.history) == outcome.measurements
+
+    def test_trip_point_is_a_passing_probe(self, searcher_cls):
+        searcher = searcher_cls(resolution=0.1)
+        oracle = pass_low_oracle(30.0)
+        outcome = searcher.search(oracle, 15.0, 45.0)
+        assert outcome.found
+        assert oracle(outcome.trip_point)
+
+    @settings(max_examples=40, deadline=None)
+    @given(trip=st.floats(16.0, 44.0))
+    def test_property_trip_within_resolution(self, searcher_cls, trip):
+        """For any monotone oracle with the boundary inside the bracket the
+        reported trip point is within one resolution of the truth."""
+        searcher = searcher_cls(resolution=0.1, pass_region=PassRegion.LOW)
+        outcome = searcher.search(pass_low_oracle(trip), 15.0, 45.0)
+        assert outcome.found
+        assert abs(outcome.trip_point - trip) <= 0.1 + 1e-9
+
+
+class TestLinearSpecifics:
+    def test_cost_proportional_to_distance(self):
+        searcher = LinearSearch(resolution=0.5)
+        near = searcher.search(pass_low_oracle(17.0), 15.0, 45.0)
+        far = searcher.search(pass_low_oracle(43.0), 15.0, 45.0)
+        assert far.measurements > near.measurements * 5
+
+    def test_start_from_fail_side(self):
+        searcher = LinearSearch(resolution=0.5, start_from_pass=False)
+        outcome = searcher.search(pass_low_oracle(43.0), 15.0, 45.0)
+        assert outcome.found
+        assert outcome.trip_point == pytest.approx(43.0, abs=0.51)
+        # Walking down from the fail end reaches a high trip quickly.
+        assert outcome.measurements < 10
+
+
+class TestBinarySpecifics:
+    def test_logarithmic_cost(self):
+        searcher = BinarySearch(resolution=0.05)
+        outcome = searcher.search(pass_low_oracle(30.0), 15.0, 45.0)
+        # 2 boundary probes + ceil(log2(30/0.05)) ~ 12 bisections.
+        assert outcome.measurements <= 14
+
+    def test_bracket_straddles_boundary(self):
+        searcher = BinarySearch(resolution=0.05)
+        outcome = searcher.search(pass_low_oracle(30.0), 15.0, 45.0)
+        lo, hi = outcome.bracket
+        assert lo <= 30.0 <= hi + 1e-9
+        assert abs(hi - lo) <= 0.05 + 1e-9
+
+
+class TestSuccessiveApproximationDrift:
+    def test_recovers_from_downward_drift(self):
+        """A trip point that drifts mid-search (self-heating) is re-found."""
+
+        class DriftingOracle:
+            def __init__(self):
+                self.calls = 0
+
+            def __call__(self, x):
+                self.calls += 1
+                # Trip point collapses from 30.0 to 28.0 after 8 probes.
+                trip = 30.0 if self.calls <= 8 else 28.0
+                return x <= trip
+
+        searcher = SuccessiveApproximation(
+            resolution=0.05, max_reverifications=3
+        )
+        outcome = searcher.search(DriftingOracle(), 15.0, 45.0)
+        assert outcome.found
+        assert outcome.trip_point == pytest.approx(28.0, abs=0.3)
+
+    def test_reverification_costs_one_probe_without_drift(self):
+        plain = BinarySearch(resolution=0.05)
+        drift_aware = SuccessiveApproximation(
+            resolution=0.05, max_reverifications=1
+        )
+        cost_plain = plain.search(pass_low_oracle(30.0), 15.0, 45.0).measurements
+        cost_aware = drift_aware.search(
+            pass_low_oracle(30.0), 15.0, 45.0
+        ).measurements
+        assert cost_aware <= cost_plain + 2
+
+    def test_rejects_negative_reverifications(self):
+        with pytest.raises(ValueError):
+            SuccessiveApproximation(max_reverifications=-1)
+
+
+class TestCountingOracle:
+    def test_counts_and_resets(self):
+        oracle = CountingOracle(pass_low_oracle(30.0))
+        oracle(20.0)
+        oracle(40.0)
+        assert oracle.count == 2
+        oracle.reset()
+        assert oracle.count == 0
+
+    def test_passthrough_semantics(self):
+        oracle = CountingOracle(pass_low_oracle(30.0))
+        assert oracle(29.0) is True
+        assert oracle(31.0) is False

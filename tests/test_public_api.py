@@ -1,0 +1,57 @@
+"""Tests of the top-level public API surface."""
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_lazy_exports_resolve(self):
+        from repro import (
+            DeviceCharacterizer,
+            SearchUntilTripPoint,
+            WCRClass,
+            worst_case_ratio,
+        )
+
+        assert DeviceCharacterizer.__name__ == "DeviceCharacterizer"
+        assert SearchUntilTripPoint.__name__ == "SearchUntilTripPoint"
+        assert WCRClass.PASS.value == "pass"
+        assert callable(worst_case_ratio)
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.not_a_real_symbol
+
+    def test_core_lazy_exports_resolve(self):
+        import repro.core as core
+
+        for name in core.__all__:
+            assert getattr(core, name) is not None
+
+    def test_core_unknown_attribute_raises(self):
+        import repro.core as core
+
+        with pytest.raises(AttributeError):
+            core.not_a_real_symbol
+
+    def test_readme_quickstart_snippet_runs(self):
+        """The README's quickstart must stay executable."""
+        from repro import DeviceCharacterizer
+
+        characterizer = DeviceCharacterizer.with_default_setup(seed=1)
+        test, entry = characterizer.characterize_march("march_c-")
+        assert entry.value == pytest.approx(32.3, abs=1.0)
+        dsv = characterizer.characterize_random(n_tests=25)
+        assert dsv.worst().value < entry.value
+
+
+class TestFeatureGlossary:
+    def test_every_feature_documented(self):
+        from repro.patterns.features import FEATURE_DESCRIPTIONS, FEATURE_NAMES
+
+        assert set(FEATURE_DESCRIPTIONS) == set(FEATURE_NAMES)
+        assert all(len(text) > 10 for text in FEATURE_DESCRIPTIONS.values())
