@@ -18,7 +18,9 @@ The package is layered bottom-up:
 * :mod:`repro.core` — the paper's contribution: multiple trip points, the
   Search-Until-Trip-Point algorithm, WCR classification, and the fig. 4/5
   learning + optimization schemes;
-* :mod:`repro.analysis` — statistics, drift analysis and report formatting.
+* :mod:`repro.analysis` — statistics, drift analysis and report formatting;
+* :mod:`repro.obs` — structured telemetry (typed events, metrics registry,
+  phase timing, trace/summary reports), off by default.
 
 Quickstart::
 

@@ -8,9 +8,60 @@ measurement-count metric SUTP minimizes.
 
 from __future__ import annotations
 
+import collections
 import io
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Sequence
+from typing import Callable, Deque, Iterator, List, Optional, Union
+
+
+def _quote_name(name: str) -> str:
+    """CSV-quote a test name when it needs it (commas or quotes).
+
+    Newlines are rejected outright: a datalog row is one physical line and
+    :meth:`Datalog.from_csv` parses line by line.
+    """
+    if "\n" in name or "\r" in name:
+        raise ValueError(f"test name may not contain newlines: {name!r}")
+    if "," in name or '"' in name:
+        return '"' + name.replace('"', '""') + '"'
+    return name
+
+
+def _split_row(line: str) -> List[str]:
+    """Split one CSV row honoring double-quoted fields.
+
+    Raises
+    ------
+    ValueError
+        On an unbalanced quote.
+    """
+    fields: List[str] = []
+    current: List[str] = []
+    in_quotes = False
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if in_quotes:
+            if ch == '"':
+                if i + 1 < len(line) and line[i + 1] == '"':
+                    current.append('"')
+                    i += 1
+                else:
+                    in_quotes = False
+            else:
+                current.append(ch)
+        elif ch == '"':
+            in_quotes = True
+        elif ch == ",":
+            fields.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    if in_quotes:
+        raise ValueError("unbalanced quote")
+    fields.append("".join(current))
+    return fields
 
 
 @dataclass(frozen=True)
@@ -28,26 +79,39 @@ class DatalogRecord:
     CSV_HEADER = "index,test_name,vdd,temperature,clock_period,strobe_ns,passed"
 
     def to_csv_row(self) -> str:
-        """Comma-separated rendering matching :attr:`CSV_HEADER`."""
+        """Comma-separated rendering matching :attr:`CSV_HEADER`.
+
+        The test name is CSV-quoted when it contains commas or quotes, so
+        :meth:`Datalog.from_csv` round-trips any printable name.
+        """
         return (
-            f"{self.index},{self.test_name},{self.vdd:.4f},"
+            f"{self.index},{_quote_name(self.test_name)},{self.vdd:.4f},"
             f"{self.temperature:.2f},{self.clock_period:.2f},"
             f"{self.strobe_ns:.4f},{int(self.passed)}"
         )
 
 
 class Datalog:
-    """Append-only measurement log with simple query helpers."""
+    """Append-only measurement log with simple query helpers.
+
+    ``capacity`` bounds the log: the oldest record is evicted when full.
+    The backing store is a :class:`collections.deque`, so eviction is O(1)
+    even for very long characterization sessions.
+    """
 
     def __init__(self, capacity: Optional[int] = None) -> None:
-        self._records: List[DatalogRecord] = []
-        self.capacity = capacity
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
+        self._records: Deque[DatalogRecord] = collections.deque(maxlen=capacity)
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """Maximum record count (``None`` = unbounded)."""
+        return self._records.maxlen
 
     def append(self, record: DatalogRecord) -> None:
         """Store one record; drops the oldest when over capacity."""
         self._records.append(record)
-        if self.capacity is not None and len(self._records) > self.capacity:
-            del self._records[0]
 
     def __len__(self) -> int:
         return len(self._records)
@@ -55,7 +119,11 @@ class Datalog:
     def __iter__(self) -> Iterator[DatalogRecord]:
         return iter(self._records)
 
-    def __getitem__(self, index: int) -> DatalogRecord:
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[DatalogRecord, List[DatalogRecord]]:
+        if isinstance(index, slice):
+            return list(self._records)[index]
         return self._records[index]
 
     def filter(
@@ -95,16 +163,22 @@ class Datalog:
         Raises
         ------
         ValueError
-            On a missing/mismatched header or malformed row.
+            On a missing/mismatched header or malformed row; the message
+            carries the offending 1-based line number.
         """
         lines = [line for line in text.splitlines() if line.strip()]
         if not lines or lines[0] != DatalogRecord.CSV_HEADER:
             raise ValueError("not a datalog CSV (header mismatch)")
         log = cls()
         for line_number, line in enumerate(lines[1:], start=2):
-            parts = line.split(",")
+            try:
+                parts = _split_row(line)
+            except ValueError as exc:
+                raise ValueError(f"line {line_number}: {exc}") from exc
             if len(parts) != 7:
-                raise ValueError(f"line {line_number}: expected 7 fields")
+                raise ValueError(
+                    f"line {line_number}: expected 7 fields, got {len(parts)}"
+                )
             try:
                 log.append(
                     DatalogRecord(

@@ -23,6 +23,8 @@ from repro.ate.pattern_memory import PatternMemory
 from repro.ate.timing_generator import TimingGenerator
 from repro.device.memory_chip import FunctionalResult, MemoryTestChip
 from repro.device.parameters import SpecDirection
+from repro.obs.events import MeasurementEvent
+from repro.obs.runtime import OBS
 from repro.patterns.testcase import TestCase
 
 
@@ -34,7 +36,8 @@ class ATE:
     chip:
         The device under test.
     timing_generator:
-        Strobe edge source (quantization + programmable range).
+        Strobe edge source (quantization + programmable range); a
+        default-configured one is created when omitted.
     measurement:
         Compare-electronics noise model; a default 40 ps-sigma model is
         created when omitted.
@@ -47,13 +50,15 @@ class ATE:
     def __init__(
         self,
         chip: MemoryTestChip,
-        timing_generator: TimingGenerator = TimingGenerator(),
+        timing_generator: Optional[TimingGenerator] = None,
         measurement: Optional[MeasurementModel] = None,
         datalog: Optional[Datalog] = None,
         pattern_memory: Optional[PatternMemory] = None,
     ) -> None:
         self.chip = chip
-        self.timing_generator = timing_generator
+        self.timing_generator = (
+            timing_generator if timing_generator is not None else TimingGenerator()
+        )
         self.measurement = measurement if measurement is not None else MeasurementModel()
         self.datalog = datalog if datalog is not None else Datalog()
         self.pattern_memory = (
@@ -124,10 +129,11 @@ class ATE:
 
         self._measurement_count += 1
         self._executed_cycles += len(test.sequence)
+        test_name = test.name or test.sequence.name or "unnamed"
         self.datalog.append(
             DatalogRecord(
                 index=self._measurement_count,
-                test_name=test.name or test.sequence.name or "unnamed",
+                test_name=test_name,
                 vdd=test.condition.vdd,
                 temperature=test.condition.temperature,
                 clock_period=test.condition.clock_period,
@@ -135,6 +141,17 @@ class ATE:
                 passed=passed,
             )
         )
+        if OBS.enabled:
+            OBS.metrics.counter("ate.measurements").inc(label=test_name)
+            OBS.metrics.counter("ate.executed_cycles").inc(len(test.sequence))
+            OBS.bus.emit(
+                MeasurementEvent(
+                    index=self._measurement_count,
+                    test_name=test_name,
+                    strobe_ns=strobe_q,
+                    passed=passed,
+                )
+            )
         return passed
 
     def functional_test(self, test: TestCase) -> FunctionalResult:
@@ -142,4 +159,7 @@ class ATE:
         self.pattern_memory.load(test.sequence)
         self._functional_count += 1
         self._executed_cycles += len(test.sequence)
+        if OBS.enabled:
+            OBS.metrics.counter("ate.functional_tests").inc()
+            OBS.metrics.counter("ate.executed_cycles").inc(len(test.sequence))
         return self.chip.run_functional(test.sequence)

@@ -12,11 +12,19 @@ Exposes the characterization campaigns as subcommands::
 
 Every command accepts ``--seed`` and prints the same reports the library
 APIs return; nothing here does work the public API cannot.
+
+Global telemetry flags (before the subcommand):
+
+* ``--trace FILE.jsonl`` — write every telemetry event as one JSON line;
+* ``--metrics`` — print the metrics-registry summary at exit (per-test
+  measurement counts, SUTP fallbacks, GA generations, phase timings);
+* ``-v`` / ``-vv`` — phase-level / per-event stdlib logging.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
@@ -32,6 +40,38 @@ from repro.patterns.march import available_march_tests
 from repro.patterns.random_gen import RandomTestGenerator
 
 
+def _add_telemetry_arguments(parser, suppress_defaults: bool = False) -> None:
+    """The global telemetry flags.
+
+    They are registered on the main parser (with real defaults) *and* on
+    every subparser (with suppressed defaults, so an absent flag does not
+    clobber a value already parsed before the subcommand) — both
+    ``repro-characterize --metrics table1`` and
+    ``repro-characterize table1 --metrics`` work.
+    """
+    suppress = argparse.SUPPRESS
+    group = parser.add_argument_group("telemetry")
+    group.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=suppress if suppress_defaults else None,
+        help="write a JSONL telemetry trace (one event per line) to FILE",
+    )
+    group.add_argument(
+        "--metrics",
+        action="store_true",
+        default=suppress if suppress_defaults else False,
+        help="print the telemetry metrics summary at exit",
+    )
+    group.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=suppress if suppress_defaults else 0,
+        help="-v: phase-level logging; -vv: per-event debug logging",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-characterize",
@@ -41,10 +81,15 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    _add_telemetry_arguments(parser)
+    telemetry = argparse.ArgumentParser(add_help=False)
+    _add_telemetry_arguments(telemetry, suppress_defaults=True)
     commands = parser.add_subparsers(dest="command", required=True)
 
     march = commands.add_parser(
-        "march", help="conventional single-trip-point march characterization"
+        "march",
+        help="conventional single-trip-point march characterization",
+        parents=[telemetry],
     )
     march.add_argument(
         "--algorithm",
@@ -60,12 +105,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     random_cmd = commands.add_parser(
-        "random", help="multiple-trip-point characterization over random tests"
+        "random",
+        help="multiple-trip-point characterization over random tests",
+        parents=[telemetry],
     )
     random_cmd.add_argument("--tests", type=int, default=200)
 
     table1 = commands.add_parser(
-        "table1", help="reproduce Table 1 (march vs random vs NN+GA)"
+        "table1",
+        help="reproduce Table 1 (march vs random vs NN+GA)",
+        parents=[telemetry],
     )
     table1.add_argument("--random-tests", type=int, default=300)
     table1.add_argument(
@@ -75,28 +124,34 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     hunt = commands.add_parser(
-        "hunt", help="full fig. 4 + fig. 5 worst-case test hunt"
+        "hunt",
+        help="full fig. 4 + fig. 5 worst-case test hunt",
+        parents=[telemetry],
     )
     hunt.add_argument("--weights", help="write the NN weight file here")
     hunt.add_argument("--database", help="write the worst-case database here")
 
     shmoo = commands.add_parser(
-        "shmoo", help="fig. 8 overlaid shmoo plot"
+        "shmoo", help="fig. 8 overlaid shmoo plot", parents=[telemetry]
     )
     shmoo.add_argument("--tests", type=int, default=40)
 
     commands.add_parser(
-        "sweep", help="Vdd x temperature environmental sweep of a march test"
+        "sweep",
+        help="Vdd x temperature environmental sweep of a march test",
+        parents=[telemetry],
     )
 
     lot = commands.add_parser(
-        "lot", help="characterize a Monte-Carlo lot of dies"
+        "lot", help="characterize a Monte-Carlo lot of dies", parents=[telemetry]
     )
     lot.add_argument("--dies", type=int, default=8)
     lot.add_argument("--tests", type=int, default=10)
 
     wafer = commands.add_parser(
-        "wafer", help="probe a wafer and render the worst-case WCR map"
+        "wafer",
+        help="probe a wafer and render the worst-case WCR map",
+        parents=[telemetry],
     )
     wafer.add_argument("--grid", type=int, default=7)
     wafer.add_argument("--tests", type=int, default=6)
@@ -104,6 +159,7 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign = commands.add_parser(
         "campaign",
         help="full campaign: table1 + drift + spec proposal + shmoo + database",
+        parents=[telemetry],
     )
     campaign.add_argument("--random-tests", type=int, default=150)
     campaign.add_argument(
@@ -324,10 +380,51 @@ _COMMANDS = {
 }
 
 
+def _telemetry_requested(args) -> bool:
+    return bool(args.trace or args.metrics or args.verbose)
+
+
+def _setup_observability(args) -> None:
+    """Enable the obs layer per the global CLI flags (off by default)."""
+    if args.verbose:
+        logging.basicConfig(
+            level=logging.DEBUG if args.verbose > 1 else logging.INFO,
+            format="%(levelname)s %(name)s: %(message)s",
+        )
+        logging.getLogger("repro").setLevel(
+            logging.DEBUG if args.verbose > 1 else logging.INFO
+        )
+    if _telemetry_requested(args):
+        from repro import obs
+
+        try:
+            obs.configure(trace_path=args.trace, log_events=bool(args.verbose))
+        except OSError as exc:
+            raise SystemExit(f"cannot open trace file: {exc}")
+
+
+def _teardown_observability(args) -> None:
+    """Print the ``--metrics`` summary, flush the trace, reset the layer."""
+    if not _telemetry_requested(args):
+        return
+    from repro import obs
+
+    if args.metrics:
+        print()
+        print(obs.render_metrics_summary(obs.OBS.metrics))
+    obs.OBS.reset()  # closes (and flushes) the trace writer
+    if args.trace:
+        print(f"telemetry trace written: {args.trace}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    _setup_observability(args)
+    try:
+        return _COMMANDS[args.command](args)
+    finally:
+        _teardown_observability(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,6 +22,7 @@ from repro.core.characterizer import DeviceCharacterizer
 from repro.core.database import WorstCaseDatabase
 from repro.core.learning import LearningConfig
 from repro.core.optimization import OptimizationConfig
+from repro.obs.timing import span
 from repro.patterns.conditions import NOMINAL_CONDITION, TestCondition
 from repro.patterns.random_gen import RandomTestGenerator
 
@@ -112,39 +113,40 @@ def run_campaign(
     found against the ordinary population.
     """
     before = characterizer.ate.measurement_count
-    table1, dsv, optimization = characterizer._table1(
-        march_name,
-        random_tests,
-        learning_config,
-        optimization_config,
-        report_condition,
-    )
-    drift = DriftAnalysis.from_dsv(dsv)
-
-    # Spec proposal from everything measured at the report condition,
-    # anchored by the discovered worst case.
-    observed = list(dsv.values())
-    nnga_row = table1.rows[-1]
-    observed.append(nnga_row.value)
-    spec_proposal = propose_spec(
-        characterizer.ate.chip.parameter,
-        observed,
-        k_sigma=spec_k_sigma,
-        guard_band=spec_guard_band,
-    )
-
-    shmoo_sample = [
-        t.with_condition(report_condition)
-        for t in RandomTestGenerator(seed=characterizer.seed + 1).batch(
-            shmoo_tests
+    with span("campaign"):
+        table1, dsv, optimization = characterizer._table1(
+            march_name,
+            random_tests,
+            learning_config,
+            optimization_config,
+            report_condition,
         )
-    ]
-    shmoo_sample.append(
-        optimization.best_test.with_condition(report_condition).renamed(
-            "nnga_worst"
+        drift = DriftAnalysis.from_dsv(dsv)
+
+        # Spec proposal from everything measured at the report condition,
+        # anchored by the discovered worst case.
+        observed = list(dsv.values())
+        nnga_row = table1.rows[-1]
+        observed.append(nnga_row.value)
+        spec_proposal = propose_spec(
+            characterizer.ate.chip.parameter,
+            observed,
+            k_sigma=spec_k_sigma,
+            guard_band=spec_guard_band,
         )
-    )
-    shmoo = characterizer.shmoo_overlay(shmoo_sample, vdd_values)
+
+        shmoo_sample = [
+            t.with_condition(report_condition)
+            for t in RandomTestGenerator(seed=characterizer.seed + 1).batch(
+                shmoo_tests
+            )
+        ]
+        shmoo_sample.append(
+            optimization.best_test.with_condition(report_condition).renamed(
+                "nnga_worst"
+            )
+        )
+        shmoo = characterizer.shmoo_overlay(shmoo_sample, vdd_values)
 
     return CampaignReport(
         table1=table1,

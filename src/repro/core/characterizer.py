@@ -35,6 +35,7 @@ from repro.core.trip_point import (
 )
 from repro.device.memory_chip import MemoryTestChip
 from repro.device.process import ProcessInstance
+from repro.obs.timing import span
 from repro.patterns.conditions import (
     ConditionSpace,
     NOMINAL_CONDITION,
@@ -157,7 +158,8 @@ class DeviceCharacterizer:
         test = TestCase(
             sequence, condition, name=march_name, origin="deterministic"
         )
-        return test, self.measure_single(test)
+        with span("march"):
+            return test, self.measure_single(test)
 
     # -- Table 1, row 2: random multiple-trip-point baseline --------------------------
     def characterize_random(
@@ -180,7 +182,8 @@ class DeviceCharacterizer:
         if condition is not None:
             tests = [t.with_condition(condition) for t in tests]
         runner = self.new_runner(strategy=strategy)
-        return runner.run(tests)
+        with span("random"):
+            return runner.run(tests)
 
     # -- Table 1, row 3: the CI flow ------------------------------------------------
     def characterize_intelligent(
@@ -249,6 +252,23 @@ class DeviceCharacterizer:
     ):
         """Table-1 body; also returns the random DSV and the optimization
         result so campaign-level reports can reuse them."""
+        with span("table1"):
+            return self._table1_body(
+                march_name,
+                random_tests,
+                learning_config,
+                optimization_config,
+                report_condition,
+            )
+
+    def _table1_body(
+        self,
+        march_name: str,
+        random_tests: int,
+        learning_config: Optional[LearningConfig],
+        optimization_config: Optional[OptimizationConfig],
+        report_condition: TestCondition,
+    ):
         parameter = self.ate.chip.parameter
         report = Table1Report(parameter=parameter, vdd=report_condition.vdd)
         if learning_config is None:
@@ -321,11 +341,12 @@ class DeviceCharacterizer:
         """Overlaid multi-test shmoo (Vdd x strobe), fig. 8."""
         plotter = ShmooPlotter(self.ate)
         low, high = self.search_range
-        return plotter.overlay(
-            tests,
-            vdd_values,
-            strobe_start=low,
-            strobe_stop=high,
-            strobe_step=strobe_step,
-            search_resolution=self.resolution,
-        )
+        with span("shmoo"):
+            return plotter.overlay(
+                tests,
+                vdd_values,
+                strobe_start=low,
+                strobe_stop=high,
+                strobe_step=strobe_step,
+                search_resolution=self.resolution,
+            )

@@ -39,6 +39,8 @@ from repro.nn.losses import CrossEntropyLoss
 from repro.nn.mlp import MLP
 from repro.nn.trainer import Trainer
 from repro.nn.weights_io import save_weights
+from repro.obs.runtime import OBS
+from repro.obs.timing import span, timed
 from repro.patterns.conditions import ConditionSpace, TestCondition
 from repro.patterns.encoding import TestEncoder
 from repro.patterns.random_gen import RandomTestGenerator
@@ -174,6 +176,7 @@ class LearningScheme:
             return base[: self.config.n_classes]
         return base + [f"beyond_{i}" for i in range(self.config.n_classes - len(base))]
 
+    @timed("learning")
     def run(self) -> LearningResult:
         """Run the learning loop to acceptance (or the round budget)."""
         cfg = self.config
@@ -201,11 +204,14 @@ class LearningScheme:
         rounds = 0
         for round_index in range(cfg.max_rounds):
             rounds = round_index + 1
+            if OBS.enabled:
+                OBS.metrics.counter("learning.rounds").inc()
             # (1)+(2): measure trip points of a fresh batch of random tests.
             batch = generator.batch(cfg.tests_per_round)
             if cfg.pin_condition is not None:
                 batch = [t.with_condition(cfg.pin_condition) for t in batch]
-            dsv = self.runner.run(batch)
+            with span("learning.measure_round"):
+                dsv = self.runner.run(batch)
             for entry in dsv:
                 if entry.found:
                     tests.append(entry.test)
@@ -260,6 +266,12 @@ class LearningScheme:
             val_acc = ensemble.accuracy(inputs[val_idx], labels[val_idx])
             check = checker.check(1.0 - train_acc, 1.0 - val_acc)
             generalization_reports.append(check)
+            if OBS.enabled:
+                OBS.metrics.gauge("nn.train_accuracy").set(train_acc)
+                OBS.metrics.gauge("nn.val_accuracy").set(val_acc)
+                OBS.metrics.gauge("nn.ensemble_agreement").set(
+                    float(ensemble.vote_agreement(inputs[val_idx]).mean())
+                )
 
             if check.verdict is LearningVerdict.ACCEPT:
                 break

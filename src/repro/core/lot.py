@@ -24,6 +24,8 @@ import numpy as np
 from repro.analysis.statistics import SummaryStats, summarize
 from repro.ate.measurement import MeasurementModel
 from repro.ate.tester import ATE
+from repro.obs.runtime import OBS
+from repro.obs.timing import span
 from repro.core.trip_point import MultipleTripPointRunner
 from repro.core.wcr import worst_case_ratio
 from repro.device.memory_chip import MemoryTestChip
@@ -190,8 +192,15 @@ class LotCharacterizer:
         if not tests:
             raise ValueError("need at least one test")
         report = LotReport(parameter=self.parameter)
-        for die in self.process.sample_lot(n_dies, corner=corner):
-            report.dies.append(self.characterize_die(die, tests))
+        with span("lot"):
+            for die in self.process.sample_lot(n_dies, corner=corner):
+                with span("lot.die"):
+                    die_result = self.characterize_die(die, tests)
+                report.dies.append(die_result)
+                if OBS.enabled:
+                    OBS.metrics.counter("lot.dies").inc(
+                        label=die_result.die.corner.value
+                    )
         return report
 
 

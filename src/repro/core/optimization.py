@@ -22,6 +22,8 @@ from repro.core.objectives import CharacterizationObjective
 from repro.core.trip_point import MultipleTripPointRunner
 from repro.ga.chromosome import TestIndividual
 from repro.ga.engine import GAConfig, GAResult, MultiPopulationGA
+from repro.obs.runtime import OBS
+from repro.obs.timing import span, timed
 from repro.patterns.conditions import ConditionSpace, TestCondition
 from repro.patterns.testcase import TestCase
 
@@ -107,9 +109,16 @@ class OptimizationScheme:
         """
         entry = self.runner.measure_one(test)
         if entry.value is not None:
-            return self.objective.fitness(entry.value)
+            wcr = self.objective.fitness(entry.value)
+            if OBS.enabled:
+                OBS.metrics.counter("ga.wcr_class").inc(
+                    label=self.objective.classifier.classify(wcr).value
+                )
+            return wcr
         functional = self.runner.ate.chip.run_functional(test.sequence)
         if not functional.passed:
+            if OBS.enabled:
+                OBS.metrics.counter("ga.functional_failures").inc()
             self.database.add(
                 WorstCaseRecord(
                     test=test,
@@ -124,6 +133,7 @@ class OptimizationScheme:
         return 0.0
 
     # -- the run --------------------------------------------------------------------
+    @timed("optimization")
     def run(self) -> OptimizationResult:
         """Execute the full fig. 5 scheme; returns the worst case found."""
         cfg = self.config
@@ -136,7 +146,8 @@ class OptimizationScheme:
             seed=cfg.seed,
             pin_condition=cfg.pin_condition,
         )
-        seed_tests = nn_generator.propose(cfg.n_seeds, cfg.seed_pool_size)
+        with span("optimization.nn_seeding"):
+            seed_tests = nn_generator.propose(cfg.n_seeds, cfg.seed_pool_size)
         seeds = [
             TestIndividual.from_test_case(test, self.condition_space, origin="nn")
             for test in seed_tests
@@ -164,11 +175,12 @@ class OptimizationScheme:
                     >= budget
                 )
 
-        ga_result = engine.run(
-            seeds,
-            restart_factory=nn_generator.fresh_individual,
-            budget_exhausted=budget_exhausted,
-        )
+        with span("optimization.ga"):
+            ga_result = engine.run(
+                seeds,
+                restart_factory=nn_generator.fresh_individual,
+                budget_exhausted=budget_exhausted,
+            )
 
         # Final database: re-measure the distinct best genomes.
         finalists: List[TestIndividual] = [ga_result.best]

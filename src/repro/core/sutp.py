@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.obs.events import SUTPFallback, SUTPWalkStep
+from repro.obs.runtime import OBS
 from repro.search.base import Oracle, PassRegion, SearchOutcome, TripPointSearcher
 from repro.search.successive import SuccessiveApproximation
 
@@ -132,6 +134,22 @@ class SearchUntilTripPoint:
             result = self._incremental_search(oracle, self._rtp)
         if result.found and (self.update_reference or self._rtp is None):
             self._rtp = result.trip_point
+        if OBS.enabled:
+            metrics = OBS.metrics
+            # Touch the fallback counter so a clean campaign still reports
+            # an explicit 0 in the summary.
+            metrics.counter("sutp.fallbacks")
+            if result.used_full_search:
+                metrics.counter("sutp.full_searches").inc()
+            else:
+                metrics.counter("sutp.incremental_searches").inc()
+            if result.iterations:
+                metrics.histogram("sutp.walk_iterations").observe(
+                    result.iterations
+                )
+            metrics.histogram("sutp.measurements_per_test").observe(
+                result.measurements
+            )
         return result
 
     # -- eq. (2): full-range bootstrap ------------------------------------------
@@ -165,6 +183,9 @@ class SearchUntilTripPoint:
             if not low <= x <= high:
                 # Drift larger than the remaining range: fall back to the
                 # generous full search; convergence stays guaranteed.
+                if OBS.enabled:
+                    OBS.metrics.counter("sutp.fallbacks").inc()
+                    OBS.bus.emit(SUTPFallback(iteration=iteration, value=x))
                 fallback = self._full_search(oracle)
                 return SUTPResult(
                     trip_point=fallback.trip_point,
@@ -173,6 +194,10 @@ class SearchUntilTripPoint:
                     iterations=iteration,
                 )
             state = probe(x)
+            if OBS.enabled:
+                OBS.bus.emit(
+                    SUTPWalkStep(iteration=iteration, value=x, passed=state)
+                )
             if state != rtp_passes:
                 # Bracketed between `previous` and `x`; refine.
                 if rtp_passes:

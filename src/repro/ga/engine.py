@@ -17,6 +17,8 @@ import numpy as np
 
 from repro.ga.chromosome import TestIndividual
 from repro.ga.fitness import CachingFitness, FitnessFunction
+from repro.obs.events import GAGeneration
+from repro.obs.runtime import OBS
 from repro.ga.operators import (
     crossover_conditions,
     crossover_sequences,
@@ -209,6 +211,7 @@ class MultiPopulationGA:
         cost currency of the whole method).
         """
         cfg = self.config
+        evals_seen = self.fitness.raw_evaluations
         populations = self._initial_populations(seeds)
         result = GAResult(
             best=max(
@@ -226,6 +229,10 @@ class MultiPopulationGA:
                 if population.stagnant_for(cfg.stagnation_patience):
                     self._restart(population, restart_factory)
                     restarts += 1
+                    if OBS.enabled:
+                        OBS.metrics.counter("ga.restarts").inc(
+                            label=population.name
+                        )
             if generation % cfg.migration_interval == 0:
                 self._migrate(populations)
 
@@ -237,6 +244,37 @@ class MultiPopulationGA:
                 result.best = generation_best
             result.fitness_history.append(result.best.fitness or float("nan"))
             result.generations_run = generation
+
+            if OBS.enabled:
+                fitnesses = [
+                    ind.fitness
+                    for pop in populations
+                    for ind in pop.individuals
+                    if ind.fitness is not None
+                ]
+                mean_fitness = (
+                    float(sum(fitnesses) / len(fitnesses))
+                    if fitnesses
+                    else float("nan")
+                )
+                evals_total = self.fitness.raw_evaluations
+                OBS.metrics.counter("ga.generations").inc()
+                OBS.metrics.counter("ga.fitness_evals").inc(
+                    evals_total - evals_seen
+                )
+                evals_seen = evals_total
+                OBS.metrics.gauge("ga.best_fitness").set(
+                    result.best.fitness or float("nan")
+                )
+                OBS.bus.emit(
+                    GAGeneration(
+                        generation=generation,
+                        best_fitness=float(result.best.fitness or float("nan")),
+                        mean_fitness=mean_fitness,
+                        evaluations=evals_total,
+                        restarts=restarts,
+                    )
+                )
 
             if (
                 cfg.stop_fitness is not None

@@ -23,6 +23,8 @@ import numpy as np
 from repro.nn.losses import Loss
 from repro.nn.mlp import MLP
 from repro.nn.trainer import Trainer, TrainingHistory
+from repro.obs.runtime import OBS
+from repro.obs.timing import span
 
 
 @dataclass(frozen=True)
@@ -94,18 +96,31 @@ class VotingEnsemble:
         rng = np.random.default_rng(self.seed)
         histories: List[TrainingHistory] = []
         subset_size = max(1, int(round(self.subset_fraction * len(train_x))))
-        for member in self.members:
-            subset = rng.choice(len(train_x), size=subset_size, replace=False)
-            histories.append(
-                trainer.fit(member, train_x[subset], train_y[subset], val_x, val_y)
-            )
+        with span("nn.ensemble_fit"):
+            for member in self.members:
+                subset = rng.choice(
+                    len(train_x), size=subset_size, replace=False
+                )
+                histories.append(
+                    trainer.fit(
+                        member, train_x[subset], train_y[subset], val_x, val_y
+                    )
+                )
         train_losses = [h.final_train_loss for h in histories]
         val_losses = [h.best_val_loss for h in histories]
-        return EnsembleTrainingReport(
+        report = EnsembleTrainingReport(
             histories=tuple(histories),
             mean_train_loss=float(np.mean(train_losses)),
             mean_val_loss=float(np.mean(val_losses)),
         )
+        if OBS.enabled:
+            OBS.metrics.gauge("nn.ensemble.mean_train_loss").set(
+                report.mean_train_loss
+            )
+            OBS.metrics.gauge("nn.ensemble.consistency").set(
+                report.consistency
+            )
+        return report
 
     # -- voting -------------------------------------------------------------------
     def predict_proba(self, inputs: np.ndarray) -> np.ndarray:

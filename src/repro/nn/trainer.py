@@ -15,6 +15,8 @@ import numpy as np
 
 from repro.nn.losses import Loss
 from repro.nn.mlp import MLP
+from repro.obs.events import NNEpoch
+from repro.obs.runtime import OBS
 
 
 @dataclass
@@ -129,11 +131,24 @@ class Trainer:
                         self.momentum,
                     )
                 )
-            history.train_loss.append(float(np.mean(epoch_losses)))
+            train_loss = float(np.mean(epoch_losses))
+            history.train_loss.append(train_loss)
 
+            val_loss: Optional[float] = None
             if val_x is not None:
                 val_loss = network.evaluate(val_x, val_y, self.loss)
                 history.val_loss.append(val_loss)
+
+            if OBS.enabled:
+                OBS.metrics.counter("nn.epochs").inc()
+                OBS.metrics.histogram("nn.epoch_loss").observe(train_loss)
+                OBS.bus.emit(
+                    NNEpoch(
+                        epoch=epoch, train_loss=train_loss, val_loss=val_loss
+                    )
+                )
+
+            if val_loss is not None:
                 if val_loss < best_val - 1e-9:
                     best_val = val_loss
                     best_params = network.get_parameters()

@@ -1,0 +1,88 @@
+"""Structured telemetry for the characterization stack.
+
+The paper's central claim is a *measurement-cost* argument — SUTP's
+incremental walk (eqs. 3/4) against the full-range search (eq. 2), the
+NN+GA hunt against exhaustive random characterization (Table 1).  This
+package turns every such cost into an observable:
+
+* :mod:`repro.obs.events` — typed events (one measurement, one SUTP walk
+  step, one GA generation, one NN epoch, one campaign phase) on an
+  :class:`EventBus`, with JSONL (:class:`TraceWriter`), in-memory
+  (:class:`RingBufferSink`) and logging (:class:`LoggingSink`) sinks;
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and streaming histograms (``ate.measurements``,
+  ``sutp.fallbacks``, ``search.probes_per_trip``, ``ga.fitness_evals``,
+  ``nn.epoch_loss``, ...);
+* :mod:`repro.obs.timing` — :func:`span`/:func:`timed` wall-clock phase
+  timers feeding both;
+* :mod:`repro.obs.report` — text summaries, including the fig. 3 per-test
+  cost profile rebuilt from a live trace.
+
+Everything hangs off the global :data:`OBS` switchboard and is **off by
+default**: the disabled path is a single attribute check, so benchmarks
+and production runs pay nothing.  See ``docs/observability.md``.
+"""
+
+from repro.obs.events import (
+    CampaignPhase,
+    Event,
+    EventBus,
+    GAGeneration,
+    LoggingSink,
+    MeasurementEvent,
+    NNEpoch,
+    RingBufferSink,
+    SearchConverged,
+    SearchStarted,
+    SUTPFallback,
+    SUTPWalkStep,
+    TraceWriter,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import (
+    per_test_measurement_counts,
+    read_trace,
+    render_metrics_summary,
+    render_trace_cost_profile,
+)
+from repro.obs.runtime import (
+    OBS,
+    Observability,
+    configure,
+    disable,
+    enable,
+    reset,
+)
+from repro.obs.timing import span, timed
+
+__all__ = [
+    "CampaignPhase",
+    "Counter",
+    "Event",
+    "EventBus",
+    "GAGeneration",
+    "Gauge",
+    "Histogram",
+    "LoggingSink",
+    "MeasurementEvent",
+    "MetricsRegistry",
+    "NNEpoch",
+    "OBS",
+    "Observability",
+    "RingBufferSink",
+    "SUTPFallback",
+    "SUTPWalkStep",
+    "SearchConverged",
+    "SearchStarted",
+    "TraceWriter",
+    "configure",
+    "disable",
+    "enable",
+    "per_test_measurement_counts",
+    "read_trace",
+    "render_metrics_summary",
+    "render_trace_cost_profile",
+    "reset",
+    "span",
+    "timed",
+]

@@ -1,0 +1,246 @@
+"""Typed telemetry events and the bus that carries them.
+
+Every hot path of the characterization stack emits a small frozen event —
+one ATE measurement, one SUTP walk step, one GA generation, one NN epoch,
+one campaign phase boundary — onto a process-local :class:`EventBus`.
+Sinks subscribe to the bus:
+
+* :class:`TraceWriter` appends one JSON object per event to a ``.jsonl``
+  file (the ``--trace`` CLI flag), timestamped at write time;
+* :class:`RingBufferSink` keeps the last N events in memory (tests,
+  interactive inspection);
+* :class:`LoggingSink` mirrors events onto stdlib :mod:`logging`
+  (the ``-v`` CLI flag).
+
+The bus itself knows nothing about the instruments — enable/disable policy
+lives in :mod:`repro.obs.runtime`, and instrumented code guards every emit
+behind a single ``OBS.enabled`` attribute check so the disabled path costs
+nothing measurable.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import logging
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, ClassVar, Deque, Dict, List, Optional, Union
+
+logger = logging.getLogger("repro.obs")
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base telemetry event; subclasses set :attr:`type`."""
+
+    type: ClassVar[str] = "event"
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form: the fields plus a ``type`` discriminator."""
+        payload: Dict[str, object] = {"type": self.type}
+        payload.update(asdict(self))
+        return payload
+
+
+@dataclass(frozen=True)
+class MeasurementEvent(Event):
+    """One strobed pass/fail measurement charged by :meth:`ATE.apply`."""
+
+    type: ClassVar[str] = "measurement"
+
+    index: int
+    test_name: str
+    strobe_ns: float
+    passed: bool
+
+
+@dataclass(frozen=True)
+class SearchStarted(Event):
+    """A trip-point searcher began a bracketed search."""
+
+    type: ClassVar[str] = "search_started"
+
+    method: str
+    low: float
+    high: float
+
+
+@dataclass(frozen=True)
+class SearchConverged(Event):
+    """A trip-point searcher finished (trip point or ``None``)."""
+
+    type: ClassVar[str] = "search_converged"
+
+    method: str
+    trip_point: Optional[float]
+    measurements: int
+
+
+@dataclass(frozen=True)
+class SUTPWalkStep(Event):
+    """One incremental ±SF(IT) probe of the SUTP walk (eqs. 3/4)."""
+
+    type: ClassVar[str] = "sutp_walk_step"
+
+    iteration: int
+    value: float
+    passed: bool
+
+
+@dataclass(frozen=True)
+class SUTPFallback(Event):
+    """The SUTP walk left the characterization range; full search follows."""
+
+    type: ClassVar[str] = "sutp_fallback"
+
+    iteration: int
+    value: float
+
+
+@dataclass(frozen=True)
+class GAGeneration(Event):
+    """End of one GA generation across all populations."""
+
+    type: ClassVar[str] = "ga_generation"
+
+    generation: int
+    best_fitness: float
+    mean_fitness: float
+    evaluations: int
+    restarts: int
+
+
+@dataclass(frozen=True)
+class NNEpoch(Event):
+    """One training epoch of the fig. 4 learning loop."""
+
+    type: ClassVar[str] = "nn_epoch"
+
+    epoch: int
+    train_loss: float
+    val_loss: Optional[float]
+
+
+@dataclass(frozen=True)
+class CampaignPhase(Event):
+    """Start/end of a named campaign phase (``duration_s`` on end)."""
+
+    type: ClassVar[str] = "campaign_phase"
+
+    phase: str
+    status: str  # "start" | "end"
+    duration_s: Optional[float] = None
+
+
+#: A sink is anything with ``handle(event)``; ``close()`` is optional.
+Sink = Callable
+
+
+class EventBus:
+    """Fan-out dispatcher from instrumented code to subscribed sinks."""
+
+    def __init__(self) -> None:
+        self._sinks: List[object] = []
+
+    @property
+    def sinks(self) -> List[object]:
+        """The subscribed sinks (read-only view)."""
+        return list(self._sinks)
+
+    def subscribe(self, sink: object) -> None:
+        """Attach a sink (must expose ``handle(event)``)."""
+        self._sinks.append(sink)
+
+    def unsubscribe(self, sink: object) -> None:
+        """Detach a sink (no error if absent)."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
+
+    def emit(self, event: Event) -> None:
+        """Deliver ``event`` to every sink, in subscription order."""
+        for sink in self._sinks:
+            sink.handle(event)
+
+    def close(self) -> None:
+        """Close every sink that supports it and clear subscriptions."""
+        for sink in self._sinks:
+            closer = getattr(sink, "close", None)
+            if closer is not None:
+                closer()
+        self._sinks.clear()
+
+
+class RingBufferSink:
+    """Keeps the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._buffer: Deque[Event] = collections.deque(maxlen=capacity)
+
+    def handle(self, event: Event) -> None:
+        """Store one event (oldest dropped at capacity)."""
+        self._buffer.append(event)
+
+    @property
+    def events(self) -> List[Event]:
+        """Buffered events, oldest first."""
+        return list(self._buffer)
+
+    def of_type(self, event_type: Union[str, type]) -> List[Event]:
+        """Buffered events of one type (by ``type`` string or class)."""
+        if isinstance(event_type, str):
+            return [e for e in self._buffer if e.type == event_type]
+        return [e for e in self._buffer if isinstance(e, event_type)]
+
+    def clear(self) -> None:
+        """Drop all buffered events."""
+        self._buffer.clear()
+
+
+class TraceWriter:
+    """JSONL sink: one ``{"type": ..., "ts": ..., ...}`` object per line.
+
+    The timestamp is wall-clock seconds (``time.time()``) stamped as the
+    event is written.  Use :func:`repro.obs.report.read_trace` to load the
+    file back.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle = self.path.open("w")
+
+    def handle(self, event: Event) -> None:
+        """Serialize and append one event."""
+        payload = event.to_dict()
+        payload["ts"] = time.time()
+        self._handle.write(json.dumps(payload) + "\n")
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        if not self._handle.closed:
+            self._handle.close()
+
+
+#: Phase-level event types surfaced at INFO by :class:`LoggingSink`;
+#: everything else (per-measurement, per-step) is DEBUG.
+_INFO_EVENT_TYPES = frozenset(
+    {"campaign_phase", "search_converged", "ga_generation", "sutp_fallback"}
+)
+
+
+class LoggingSink:
+    """Mirrors events onto the ``repro.obs`` stdlib logger."""
+
+    def handle(self, event: Event) -> None:
+        """Log one event (INFO for phase-level types, DEBUG otherwise)."""
+        level = logging.INFO if event.type in _INFO_EVENT_TYPES else logging.DEBUG
+        if logger.isEnabledFor(level):
+            fields = ", ".join(
+                f"{key}={value}" for key, value in asdict(event).items()
+            )
+            logger.log(level, "%s: %s", event.type, fields)

@@ -1,0 +1,208 @@
+"""Process-local metrics registry.
+
+Counters, gauges and streaming histograms for the telemetry layer.  The
+registry is the quantitative half of :mod:`repro.obs` (the qualitative half
+being the event bus): every instrumented hot path increments a counter or
+observes a histogram here, and :mod:`repro.obs.report` renders the registry
+into the per-campaign cost summary — the observable form of the paper's
+measurement-cost argument.
+
+Everything is pure Python (no numpy): histograms keep a deterministic
+reservoir sample for quantiles, so the registry can be imported by the
+lowest-level modules without dragging in the numeric stack.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Reservoir size of a streaming histogram.  Quantiles are exact up to this
+#: many observations and a uniform sample beyond it.
+DEFAULT_RESERVOIR_SIZE = 512
+
+
+class Counter:
+    """Monotonic counter with an optional per-label breakdown.
+
+    ``inc(label=...)`` keeps a secondary count per label (e.g. measurements
+    per test name) next to the total; the report renders the top labels.
+    """
+
+    __slots__ = ("name", "value", "by_label")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self.by_label: Dict[str, int] = {}
+
+    def inc(self, amount: int = 1, label: Optional[str] = None) -> None:
+        """Add ``amount`` to the total (and to ``label``'s count if given)."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+        if label is not None:
+            self.by_label[label] = self.by_label.get(label, 0) + amount
+
+    def top_labels(self, count: int = 20) -> List[Tuple[str, int]]:
+        """The ``count`` largest labels, descending, ties by name."""
+        ranked = sorted(self.by_label.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:count]
+
+
+class Gauge:
+    """Last-value-wins instrument (e.g. validation accuracy)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming value distribution: count/sum/min/max plus quantiles.
+
+    Quantiles come from a bounded reservoir (algorithm R with a fixed-seed
+    RNG, so runs are reproducible); below the reservoir size they are exact.
+    """
+
+    __slots__ = (
+        "name",
+        "count",
+        "total",
+        "min",
+        "max",
+        "_reservoir",
+        "_reservoir_size",
+        "_rng",
+    )
+
+    def __init__(
+        self, name: str, reservoir_size: int = DEFAULT_RESERVOIR_SIZE
+    ) -> None:
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be >= 1")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._reservoir: List[float] = []
+        self._reservoir_size = reservoir_size
+        self._rng = random.Random(0x5EED)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self._reservoir) < self._reservoir_size:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self._reservoir_size:
+                self._reservoir[slot] = value
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (``nan`` when empty)."""
+        return self.total / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (nearest-rank over the reservoir sample)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self._reservoir:
+            return float("nan")
+        ordered = sorted(self._reservoir)
+        rank = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[rank]
+
+    @property
+    def p50(self) -> float:
+        """Median."""
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        """95th percentile."""
+        return self.quantile(0.95)
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    ``counter(name)`` / ``gauge(name)`` / ``histogram(name)`` return the
+    existing instrument or create it — so instrumented code needs no setup
+    and a summary can show a counter at zero (the instrument exists the
+    moment the instrumented path runs, even if it never fires).
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created at 0 if new)."""
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``."""
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``."""
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(name)
+        return instrument
+
+    def names(self) -> Iterable[str]:
+        """All instrument names, counters first, each group sorted."""
+        yield from sorted(self.counters)
+        yield from sorted(self.gauges)
+        yield from sorted(self.histograms)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data dump (for tests and JSON export)."""
+        return {
+            "counters": {
+                name: {"value": c.value, "by_label": dict(c.by_label)}
+                for name, c in self.counters.items()
+            },
+            "gauges": {name: g.value for name, g in self.gauges.items()},
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "sum": h.total,
+                    "min": h.min,
+                    "max": h.max,
+                    "mean": h.mean,
+                    "p50": h.p50,
+                    "p95": h.p95,
+                }
+                for name, h in self.histograms.items()
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (start of a fresh campaign)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()

@@ -1,0 +1,141 @@
+"""Render telemetry into human-readable cost summaries.
+
+Two views of one campaign:
+
+* :func:`render_metrics_summary` — the registry as an aligned text table:
+  every counter (with its top label breakdown — e.g. measurements per
+  test), every gauge, every histogram with count/p50/p95/max.  This is what
+  the CLI's ``--metrics`` flag prints at exit.
+* :func:`render_trace_cost_profile` — the fig. 3 per-test measurement-cost
+  profile rebuilt from a live JSONL trace: consecutive
+  ``measurement`` events are grouped per test and drawn as a bar per test,
+  reproducing the "number of search steps" axis of the paper's figure from
+  observed data instead of a bespoke benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def read_trace(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Load a :class:`~repro.obs.events.TraceWriter` JSONL file.
+
+    Raises
+    ------
+    ValueError
+        On a line that is not a JSON object with a ``type`` field
+        (line-numbered, so a truncated trace is easy to diagnose).
+    """
+    records: List[Dict[str, object]] = []
+    text = Path(path).read_text()
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"trace line {line_number}: {exc}") from exc
+        if not isinstance(record, dict) or "type" not in record:
+            raise ValueError(
+                f"trace line {line_number}: not an event object"
+            )
+        records.append(record)
+    return records
+
+
+def render_metrics_summary(
+    registry: MetricsRegistry,
+    title: str = "telemetry summary",
+    max_labels: int = 15,
+) -> str:
+    """The whole registry as one aligned text block."""
+    lines = [f"== {title} =="]
+    if registry.counters:
+        lines.append("counters:")
+        for name in sorted(registry.counters):
+            counter = registry.counters[name]
+            lines.append(f"  {name:<40} {counter.value:>10}")
+            shown = counter.top_labels(max_labels)
+            for label, value in shown:
+                lines.append(f"    - {label:<36} {value:>10}")
+            hidden = len(counter.by_label) - len(shown)
+            if hidden > 0:
+                lines.append(f"    - ... {hidden} more label(s)")
+    if registry.gauges:
+        lines.append("gauges:")
+        for name in sorted(registry.gauges):
+            gauge = registry.gauges[name]
+            value = "n/a" if gauge.value is None else f"{gauge.value:.4f}"
+            lines.append(f"  {name:<40} {value:>10}")
+    if registry.histograms:
+        lines.append(
+            f"histograms:{'':<31}{'count':>8}{'p50':>10}"
+            f"{'p95':>10}{'max':>10}"
+        )
+        for name in sorted(registry.histograms):
+            hist = registry.histograms[name]
+            if hist.count == 0:
+                lines.append(f"  {name:<40}{0:>8}")
+                continue
+            lines.append(
+                f"  {name:<40}{hist.count:>8}{hist.p50:>10.3f}"
+                f"{hist.p95:>10.3f}{hist.max:>10.3f}"
+            )
+    if len(lines) == 1:
+        lines.append("(no telemetry recorded)")
+    return "\n".join(lines)
+
+
+def per_test_measurement_counts(
+    records: Iterable[Dict[str, object]],
+) -> List[Tuple[str, int]]:
+    """Measurement cost per test from a trace, in campaign order.
+
+    Consecutive ``measurement`` events with the same test name form one
+    per-test group (the same test re-measured later — e.g. the Table-1
+    final re-measurement — starts a new group, as on the real tester).
+    """
+    groups: List[Tuple[str, int]] = []
+    for record in records:
+        if record.get("type") != "measurement":
+            continue
+        name = str(record.get("test_name", "unnamed"))
+        if groups and groups[-1][0] == name:
+            groups[-1] = (name, groups[-1][1] + 1)
+        else:
+            groups.append((name, 1))
+    return groups
+
+
+def render_trace_cost_profile(
+    records: Iterable[Dict[str, object]],
+    max_tests: Optional[int] = 60,
+    bar_width: int = 40,
+) -> str:
+    """Fig. 3-style per-test measurement-cost bars from a trace."""
+    groups = per_test_measurement_counts(records)
+    if not groups:
+        return "(no measurement events in trace)"
+    lines = ["per-test measurement cost (from trace):"]
+    shown = groups if max_tests is None else groups[:max_tests]
+    peak = max(count for _, count in groups)
+    scale = max(1, -(-peak // bar_width))  # ceil division
+    for index, (name, count) in enumerate(shown):
+        bar = "#" * max(1, count // scale)
+        lines.append(f"  {index:>4} {name[:28]:<28} {bar} {count}")
+    if len(shown) < len(groups):
+        rest = groups[len(shown):]
+        total = sum(count for _, count in rest)
+        lines.append(
+            f"  ... {len(rest)} more test(s), {total} measurement(s)"
+        )
+    lines.append(
+        f"total: {sum(c for _, c in groups)} measurements over "
+        f"{len(groups)} test group(s)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Wall-clock spans feeding the metrics registry and the event bus.
+
+``span(name)`` wraps any block in a timed campaign phase: a
+:class:`~repro.obs.events.CampaignPhase` start/end event pair on the bus
+plus a ``span.<name>.seconds`` histogram observation in the registry.
+``@timed`` is the decorator form for whole functions.  Both are no-ops
+(single attribute check, no timer read) while telemetry is disabled.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional, TypeVar
+
+from repro.obs.events import CampaignPhase
+from repro.obs.runtime import OBS
+
+F = TypeVar("F", bound=Callable)
+
+
+@contextmanager
+def span(name: str) -> Iterator[None]:
+    """Time the enclosed block as campaign phase ``name``."""
+    if not OBS.enabled:
+        yield
+        return
+    OBS.bus.emit(CampaignPhase(phase=name, status="start"))
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        duration = time.perf_counter() - start
+        OBS.metrics.histogram(f"span.{name}.seconds").observe(duration)
+        OBS.bus.emit(
+            CampaignPhase(phase=name, status="end", duration_s=duration)
+        )
+
+
+def timed(name: Optional[str] = None) -> Callable[[F], F]:
+    """Decorator: run the function inside :func:`span`.
+
+    ``name`` defaults to the function's qualified name::
+
+        @timed("lot.die")
+        def characterize_die(...): ...
+    """
+
+    def decorate(function: F) -> F:
+        span_name = name if name is not None else function.__qualname__
+
+        @functools.wraps(function)
+        def wrapper(*args, **kwargs):
+            if not OBS.enabled:
+                return function(*args, **kwargs)
+            with span(span_name):
+                return function(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

@@ -22,6 +22,9 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
+from repro.obs.events import SearchConverged, SearchStarted
+from repro.obs.runtime import OBS
+
 #: A pass/fail probe of the device at one sweep value.
 Oracle = Callable[[float], bool]
 
@@ -127,8 +130,25 @@ class TripPointSearcher(abc.ABC):
         """Locate the trip point of ``oracle`` inside ``[low, high]``."""
         if low >= high:
             raise SearchError(f"invalid bracket [{low}, {high}]")
+        if OBS.enabled:
+            method = type(self).__name__
+            OBS.bus.emit(SearchStarted(method=method, low=low, high=high))
         recorder = _ProbeRecorder(oracle)
-        return self._run(recorder, low, high)
+        outcome = self._run(recorder, low, high)
+        if OBS.enabled:
+            method = type(self).__name__
+            OBS.metrics.counter("search.searches").inc(label=method)
+            OBS.metrics.histogram("search.probes_per_trip").observe(
+                outcome.measurements
+            )
+            OBS.bus.emit(
+                SearchConverged(
+                    method=method,
+                    trip_point=outcome.trip_point,
+                    measurements=outcome.measurements,
+                )
+            )
+        return outcome
 
     @abc.abstractmethod
     def _run(

@@ -66,6 +66,49 @@ class TestDatalog:
         log.clear()
         assert len(log) == 0
 
+    def test_capacity_property_and_validation(self):
+        assert Datalog().capacity is None
+        assert Datalog(capacity=7).capacity == 7
+        with pytest.raises(ValueError):
+            Datalog(capacity=0)
+
+    def test_slicing_and_negative_index(self):
+        log = Datalog()
+        for i in range(1, 6):
+            log.append(record(i))
+        assert log[-1].index == 5
+        assert [r.index for r in log[1:3]] == [2, 3]
+        assert [r.index for r in log[::2]] == [1, 3, 5]
+
+    def test_csv_roundtrip_with_commas_and_quotes_in_name(self):
+        log = Datalog()
+        log.append(record(1, name="sweep, vdd=1.8"))
+        log.append(record(2, name='said "go", twice'))
+        log.append(record(3, name="plain"))
+        restored = Datalog.from_csv(log.to_csv())
+        assert [r.test_name for r in restored] == [
+            "sweep, vdd=1.8",
+            'said "go", twice',
+            "plain",
+        ]
+        assert [r.index for r in restored] == [1, 2, 3]
+
+    def test_newline_in_name_rejected(self):
+        log = Datalog()
+        log.append(record(1, name="bad\nname"))
+        with pytest.raises(ValueError):
+            log.to_csv()
+
+    def test_from_csv_errors_carry_line_numbers(self):
+        log = Datalog()
+        log.append(record(1))
+        good = log.to_csv()
+        # Line numbers refer to the file, header included.
+        with pytest.raises(ValueError, match="line 3"):
+            Datalog.from_csv(good + 'broken "row\n')
+        with pytest.raises(ValueError, match="line 3"):
+            Datalog.from_csv(good + "1,short\n")
+
 
 class TestPatternMemory:
     def test_rejects_nonpositive_capacity(self):

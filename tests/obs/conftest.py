@@ -1,0 +1,12 @@
+"""Shared fixtures: every obs test starts and ends with telemetry off."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    yield
+    obs.reset()

@@ -1,0 +1,77 @@
+"""Tests for the metrics summary and the trace-derived cost profile."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import (
+    per_test_measurement_counts,
+    render_metrics_summary,
+    render_trace_cost_profile,
+)
+
+
+def measurement_record(name):
+    return {"type": "measurement", "test_name": name, "passed": True}
+
+
+class TestMetricsSummary:
+    def test_empty_registry(self):
+        text = render_metrics_summary(MetricsRegistry())
+        assert "(no telemetry recorded)" in text
+
+    def test_counters_with_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("ate.measurements").inc(10, label="march_c-")
+        registry.counter("ate.measurements").inc(4, label="rnd_0")
+        registry.counter("sutp.fallbacks")
+        text = render_metrics_summary(registry)
+        assert "ate.measurements" in text
+        assert "14" in text
+        assert "march_c-" in text
+        assert "sutp.fallbacks" in text  # explicit zero
+
+    def test_label_overflow_elided(self):
+        registry = MetricsRegistry()
+        for i in range(20):
+            registry.counter("c").inc(label=f"t{i:02d}")
+        text = render_metrics_summary(registry, max_labels=5)
+        assert "... 15 more label(s)" in text
+
+    def test_gauges_and_histograms(self):
+        registry = MetricsRegistry()
+        registry.gauge("nn.val_accuracy").set(0.9375)
+        for value in (1.0, 2.0, 3.0):
+            registry.histogram("sutp.walk_iterations").observe(value)
+        text = render_metrics_summary(registry)
+        assert "0.9375" in text
+        assert "sutp.walk_iterations" in text
+
+
+class TestCostProfile:
+    def test_consecutive_grouping(self):
+        records = [
+            measurement_record("a"),
+            measurement_record("a"),
+            measurement_record("b"),
+            {"type": "ga_generation", "generation": 1},
+            measurement_record("a"),  # re-measured later: new group
+        ]
+        assert per_test_measurement_counts(records) == [
+            ("a", 2),
+            ("b", 1),
+            ("a", 1),
+        ]
+
+    def test_profile_render(self):
+        records = [measurement_record("a")] * 5 + [measurement_record("b")] * 2
+        text = render_trace_cost_profile(records)
+        assert "total: 7 measurements over 2 test group(s)" in text
+        assert "#####" in text
+
+    def test_profile_truncates_long_campaigns(self):
+        records = []
+        for i in range(10):
+            records.append(measurement_record(f"t{i}"))
+        text = render_trace_cost_profile(records, max_tests=4)
+        assert "... 6 more test(s), 6 measurement(s)" in text
+
+    def test_profile_empty(self):
+        assert "no measurement events" in render_trace_cost_profile([])
