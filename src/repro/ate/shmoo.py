@@ -23,7 +23,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.ate.measurement import MeasurementModel
 from repro.ate.tester import ATE
+from repro.device.memory_chip import MemoryTestChip
+from repro.device.parameters import DeviceParameter
+from repro.device.process import ProcessInstance
+from repro.farm.workunit import UnitOutcome, WorkUnit, derive_seed
 from repro.patterns.testcase import TestCase
 from repro.search.base import PassRegion
 from repro.search.binary import BinarySearch
@@ -31,6 +36,9 @@ from repro.search.oracles import make_ate_oracle
 
 #: Density ramp used to render overlay cells (fraction of tests passing).
 _DENSITY_CHARS = " .:-=+*#%@"
+
+#: Work-unit kind for one test's rows of an overlaid shmoo.
+SHMOO_TEST_UNIT = "shmoo_test"
 
 
 @dataclass(frozen=True)
@@ -164,3 +172,107 @@ class ShmooPlotter:
             total_tests=len(tests),
             boundaries=tuple(boundaries),
         )
+
+
+# -- tester-farm sharding --------------------------------------------------------
+def shmoo_overlay_units(
+    tests: Sequence[TestCase],
+    vdd_values: Sequence[float],
+    strobe_start: float,
+    strobe_stop: float,
+    strobe_step: float,
+    search_resolution: float,
+    die: ProcessInstance,
+    parameter: DeviceParameter,
+    noise_sigma: float,
+    campaign_seed: int = 0,
+) -> List[WorkUnit]:
+    """Shard an overlay into one work unit per test.
+
+    Each unit carries the full single-test overlay recipe and a seed
+    derived from ``(campaign_seed, unit_key)``; :func:`merge_overlays`
+    recombines the per-test plots in unit order.
+    """
+    units: List[WorkUnit] = []
+    for index, test in enumerate(tests):
+        name = test.name or f"test_{index}"
+        key = f"shmoo/{index:03d}/{name}"
+        units.append(
+            WorkUnit(
+                key=key,
+                kind=SHMOO_TEST_UNIT,
+                payload={
+                    "test": test,
+                    "vdd_values": tuple(float(v) for v in vdd_values),
+                    "strobe_start": float(strobe_start),
+                    "strobe_stop": float(strobe_stop),
+                    "strobe_step": float(strobe_step),
+                    "search_resolution": float(search_resolution),
+                    "die": die,
+                    "parameter": parameter,
+                    "noise_sigma": float(noise_sigma),
+                },
+                seed=derive_seed(campaign_seed, key),
+                index=index,
+                cost_hint=float(test.cycles * len(vdd_values)),
+                test_names=(name,),
+            )
+        )
+    return units
+
+
+def run_shmoo_unit(unit: WorkUnit) -> UnitOutcome:
+    """Execute one ``shmoo_test`` work unit: one test's overlay rows.
+
+    Module-level and self-contained (fresh chip and tester, noise stream
+    from the unit seed) so it can run in a farm worker process.
+    """
+    cfg = unit.payload
+    chip = MemoryTestChip(die=cfg["die"], parameter=cfg["parameter"])
+    chip.reset_state()
+    ate = ATE(
+        chip,
+        measurement=MeasurementModel(cfg["noise_sigma"], seed=unit.seed),
+    )
+    plot = ShmooPlotter(ate).overlay(
+        [cfg["test"]],
+        cfg["vdd_values"],
+        strobe_start=cfg["strobe_start"],
+        strobe_stop=cfg["strobe_stop"],
+        strobe_step=cfg["strobe_step"],
+        search_resolution=cfg["search_resolution"],
+    )
+    return UnitOutcome(value=plot, measurements=ate.measurement_count)
+
+
+def merge_overlays(plots: Sequence[ShmooPlot]) -> ShmooPlot:
+    """Deterministically merge per-test overlay plots into one.
+
+    Counts are summed, boundaries concatenated and ``total_tests``
+    accumulated in the given order, so merging farm results (returned in
+    submission order) yields the same plot regardless of worker count.
+    All plots must share both axes.
+    """
+    if not plots:
+        raise ValueError("merge needs at least one plot")
+    first = plots[0]
+    counts = first.counts.copy()
+    boundaries: List[Tuple[str, Tuple[Optional[float], ...]]] = list(
+        first.boundaries
+    )
+    total = first.total_tests
+    for plot in plots[1:]:
+        if not np.array_equal(plot.vdd_values, first.vdd_values) or not (
+            np.array_equal(plot.strobe_values, first.strobe_values)
+        ):
+            raise ValueError("cannot merge shmoo plots with different axes")
+        counts = counts + plot.counts
+        boundaries.extend(plot.boundaries)
+        total += plot.total_tests
+    return ShmooPlot(
+        first.vdd_values,
+        first.strobe_values,
+        counts,
+        total_tests=total,
+        boundaries=tuple(boundaries),
+    )

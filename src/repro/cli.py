@@ -19,6 +19,13 @@ Global telemetry flags (before the subcommand):
 * ``--metrics`` — print the metrics-registry summary at exit (per-test
   measurement counts, SUTP fallbacks, GA generations, phase timings);
 * ``-v`` / ``-vv`` — phase-level / per-event stdlib logging.
+
+Global tester-farm flags (``lot``, ``wafer``, ``sweep``, ``campaign``):
+
+* ``--workers N`` — shard the campaign over N worker processes
+  (results are identical to a serial run for lot/wafer);
+* ``--resume FILE`` — record finished work units to a JSONL checkpoint
+  and skip them when the same command is re-run after an interruption.
 """
 
 from __future__ import annotations
@@ -72,6 +79,41 @@ def _add_telemetry_arguments(parser, suppress_defaults: bool = False) -> None:
     )
 
 
+#: Subcommands that route their work through the tester farm.
+_FARM_COMMANDS = ("lot", "wafer", "sweep", "campaign")
+
+
+def _add_farm_arguments(parser, suppress_defaults: bool = False) -> None:
+    """The global tester-farm flags (same dual-registration trick as the
+    telemetry flags, so they work before or after the subcommand)."""
+    suppress = argparse.SUPPRESS
+    group = parser.add_argument_group("tester farm")
+    group.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        default=suppress if suppress_defaults else None,
+        help=(
+            "run work units on N worker processes "
+            f"(honoured by: {', '.join(_FARM_COMMANDS)})"
+        ),
+    )
+    group.add_argument(
+        "--resume",
+        metavar="FILE",
+        default=suppress if suppress_defaults else None,
+        help=(
+            "JSONL checkpoint file: record finished work units and skip "
+            "them on re-run after an interruption"
+        ),
+    )
+
+
+def _farm_kwargs(args) -> dict:
+    """`workers=`/`checkpoint=` keyword arguments from the parsed flags."""
+    return {"workers": args.workers, "checkpoint": args.resume}
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-characterize",
@@ -82,8 +124,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
     _add_telemetry_arguments(parser)
+    _add_farm_arguments(parser)
     telemetry = argparse.ArgumentParser(add_help=False)
     _add_telemetry_arguments(telemetry, suppress_defaults=True)
+    _add_farm_arguments(telemetry, suppress_defaults=True)
     commands = parser.add_subparsers(dest="command", required=True)
 
     march = commands.add_parser(
@@ -283,12 +327,13 @@ def _cmd_sweep(args) -> int:
     test, _ = characterizer.characterize_march()
     sweep = EnvironmentalSweep(
         characterizer.ate, characterizer.search_range,
-        resolution=characterizer.resolution,
+        resolution=characterizer.resolution, seed=args.seed,
     )
     result = sweep.sweep(
         test,
         vdd_values=[1.5, 1.65, 1.8, 1.95, 2.1],
         temperature_values=[-40.0, 25.0, 85.0, 125.0],
+        **_farm_kwargs(args),
     )
     print(result.render())
     i, j, value = result.worst_cell()
@@ -306,7 +351,7 @@ def _cmd_lot(args) -> int:
         t.with_condition(NOMINAL_CONDITION)
         for t in RandomTestGenerator(seed=args.seed).batch(args.tests)
     ]
-    report = lot.run(tests, n_dies=args.dies)
+    report = lot.run(tests, n_dies=args.dies, **_farm_kwargs(args))
     print(report.describe())
     return 0
 
@@ -324,7 +369,7 @@ def _cmd_wafer(args) -> int:
         t.with_condition(NOMINAL_CONDITION)
         for t in RandomTestGenerator(seed=args.seed).batch(args.tests)
     ]
-    report = prober.probe(tests)
+    report = prober.probe(tests, **_farm_kwargs(args))
     print(report.render_map())
     site, result = report.worst_site()
     center, edge = report.center_vs_edge()
@@ -359,6 +404,7 @@ def _cmd_campaign(args) -> int:
             pin_condition=NOMINAL_CONDITION,
             seed=args.seed,
         ),
+        **_farm_kwargs(args),
     )
     print(report.to_markdown())
     if args.out:
@@ -420,6 +466,12 @@ def _teardown_observability(args) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    if (args.workers or args.resume) and args.command not in _FARM_COMMANDS:
+        print(
+            f"note: --workers/--resume are ignored by {args.command!r} "
+            f"(honoured by: {', '.join(_FARM_COMMANDS)})",
+            file=sys.stderr,
+        )
     _setup_observability(args)
     try:
         return _COMMANDS[args.command](args)

@@ -17,11 +17,18 @@ from typing import List, Optional, Sequence, Union
 from repro.analysis.drift import DriftAnalysis
 from repro.analysis.reporting import Table1Report
 from repro.analysis.spec_setting import SpecProposal, propose_spec
-from repro.ate.shmoo import ShmooPlot
+from repro.ate.shmoo import (
+    ShmooPlot,
+    merge_overlays,
+    run_shmoo_unit,
+    shmoo_overlay_units,
+)
 from repro.core.characterizer import DeviceCharacterizer
 from repro.core.database import WorstCaseDatabase
 from repro.core.learning import LearningConfig
+from repro.core.lot import _resolve_checkpoint
 from repro.core.optimization import OptimizationConfig
+from repro.farm.executor import make_executor
 from repro.obs.timing import span
 from repro.patterns.conditions import NOMINAL_CONDITION, TestCondition
 from repro.patterns.random_gen import RandomTestGenerator
@@ -105,12 +112,23 @@ def run_campaign(
     report_condition: TestCondition = NOMINAL_CONDITION,
     spec_k_sigma: float = 1.0,
     spec_guard_band: float = 0.25,
+    workers: Optional[int] = None,
+    executor=None,
+    checkpoint=None,
 ) -> CampaignReport:
     """Run the full campaign on a characterizer and assemble the report.
 
     The shmoo overlays a fresh random sample *plus* the discovered
     worst-case test, so the report shows the outlier boundary the CI flow
     found against the ordinary population.
+
+    The learning and GA phases are adaptive — each measurement decides
+    the next — so they stay on the characterizer's single tester.  With
+    ``workers=``/``executor=`` the embarrassingly parallel shmoo overlay
+    is sharded one work unit per test across a :mod:`repro.farm`
+    executor instead (fresh insertion and derived noise seed per test;
+    deterministic for any worker count).  ``checkpoint`` lets an
+    interrupted farm overlay resume.
     """
     before = characterizer.ate.measurement_count
     with span("campaign"):
@@ -146,7 +164,33 @@ def run_campaign(
                 "nnga_worst"
             )
         )
-        shmoo = characterizer.shmoo_overlay(shmoo_sample, vdd_values)
+        farm_measurements = 0
+        if workers is None and executor is None and checkpoint is None:
+            shmoo = characterizer.shmoo_overlay(shmoo_sample, vdd_values)
+        else:
+            low, high = characterizer.search_range
+            units = shmoo_overlay_units(
+                shmoo_sample,
+                vdd_values,
+                strobe_start=low,
+                strobe_stop=high,
+                strobe_step=0.5,
+                search_resolution=characterizer.resolution,
+                die=characterizer.ate.chip.die,
+                parameter=characterizer.ate.chip.parameter,
+                noise_sigma=characterizer.ate.measurement.noise_sigma_ns,
+                campaign_seed=characterizer.seed,
+            )
+            campaign_id = (
+                f"campaign-shmoo:seed={characterizer.seed}"
+                f":tests={len(units)}:vdds={len(vdd_values)}"
+            )
+            store = _resolve_checkpoint(checkpoint, campaign_id)
+            farm = make_executor(workers, executor)
+            with span("shmoo"):
+                results = farm.run(units, run_shmoo_unit, checkpoint=store)
+            shmoo = merge_overlays([r.value for r in results])
+            farm_measurements = sum(r.measurements for r in results)
 
     return CampaignReport(
         table1=table1,
@@ -154,5 +198,7 @@ def run_campaign(
         spec_proposal=spec_proposal,
         shmoo=shmoo,
         database=optimization.database,
-        total_measurements=characterizer.ate.measurement_count - before,
+        total_measurements=(
+            characterizer.ate.measurement_count - before + farm_measurements
+        ),
     )

@@ -97,13 +97,33 @@ class WorstCaseDatabase:
         """All records produced by one technique."""
         return [r for r in self._records if r.technique == technique]
 
+    def merge(self, other: "WorstCaseDatabase") -> "WorstCaseDatabase":
+        """Fold another database into this one; returns self.
+
+        The farm merge helper: per-shard databases from a parallel run are
+        combined in shard order, so the merged store — and therefore its
+        export — is deterministic.  Records and functional failures keep
+        their separation.
+        """
+        for record in other._records:
+            self.add(record)
+        for failure in other._failures:
+            self.add(failure)
+        return self
+
     def export_json(self, path: Union[str, Path]) -> None:
-        """Write record summaries (not raw vectors) as JSON."""
+        """Write record summaries (not raw vectors) as JSON.
+
+        Keys are sorted and the file ends in a newline so exports from
+        merged parallel runs diff cleanly against serial ones.
+        """
         payload = {
             "records": [r.summary() for r in self.ranked()],
             "functional_failures": [r.summary() for r in self._failures],
         }
-        Path(path).write_text(json.dumps(payload, indent=2))
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
 
     def export_patterns(self, directory: Union[str, Path]) -> List[Path]:
         """Write every stored test as a ``.pat`` file for re-simulation.

@@ -125,6 +125,23 @@ class SearchUntilTripPoint:
         """Forget the RTP (new characterization campaign)."""
         self._rtp = None
 
+    def seed_reference(self, rtp: float) -> None:
+        """Adopt an externally supplied RTP before the first measurement.
+
+        Used by the tester farm's RTP broadcast (section 4 applied across
+        workers): the pilot unit's full-range bootstrap is shared, so
+        every other unit starts with the incremental walk of eqs. (3)/(4)
+        instead of paying eq. (2) again.  Falls back to the full search
+        automatically if the walk leaves the characterization range.
+        """
+        low, high = self.search_range
+        if not low <= rtp <= high:
+            raise ValueError(
+                f"reference trip point {rtp} outside the characterization "
+                f"range [{low}, {high}]"
+            )
+        self._rtp = float(rtp)
+
     # -- public entry point ---------------------------------------------------
     def measure(self, oracle: Oracle) -> SUTPResult:
         """Trip point of the next test: eq. (2) first, eqs. (3)/(4) after."""

@@ -15,7 +15,13 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.lot import DieResult, LotCharacterizer
+from repro.core.lot import (
+    DieResult,
+    LotCharacterizer,
+    _resolve_checkpoint,
+    run_lot_unit,
+)
+from repro.farm.executor import make_executor
 from repro.device.parameters import DeviceParameter, T_DQ_PARAMETER
 from repro.device.wafer import DieSite, RadialVariationModel, Wafer
 from repro.patterns.testcase import TestCase
@@ -104,14 +110,47 @@ class WaferProber:
             seed=seed,
         )
 
-    def probe(self, tests: Sequence[TestCase]) -> WaferProbeReport:
-        """Touch down on every site and characterize the test set."""
+    def probe(
+        self,
+        tests: Sequence[TestCase],
+        workers: Optional[int] = None,
+        executor=None,
+        checkpoint=None,
+        rtp_broadcast: bool = False,
+    ) -> WaferProbeReport:
+        """Touch down on every site and characterize the test set.
+
+        Dies are sampled from the variation model in site order in the
+        calling process, then sharded one work unit per site; with
+        ``workers=N`` the sites run on a probe-card farm.  Each site's
+        noise stream is derived from ``(seed, site_key)``, so results are
+        identical for any worker count, and an interrupted probe resumes
+        from ``checkpoint`` without re-touching finished sites.
+        """
         if not tests:
             raise ValueError("need at least one test")
         report = WaferProbeReport(
             parameter=self.parameter, grid_diameter=self.wafer.grid_diameter
         )
-        for site in self.wafer.sites:
-            die = self.variation.die_at(site)
-            report.results[site] = self._lot.characterize_die(die, tests)
+        sites = list(self.wafer.sites)
+        units = [
+            self._lot.die_unit(
+                self.variation.die_at(site),
+                tests,
+                key=f"site/{site.x:02d}x{site.y:02d}",
+                index=i,
+            )
+            for i, site in enumerate(sites)
+        ]
+        campaign = (
+            f"wafer:seed={self._lot.seed}:sites={len(sites)}"
+            f":tests={len(tests)}:param={self.parameter.name}"
+        )
+        store = _resolve_checkpoint(checkpoint, campaign)
+        farm = make_executor(workers, executor)
+        results = farm.run(
+            units, run_lot_unit, checkpoint=store, rtp_broadcast=rtp_broadcast
+        )
+        for site, result in zip(sites, results):
+            report.results[site] = result.value
         return report

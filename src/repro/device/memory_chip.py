@@ -231,3 +231,13 @@ class MemoryTestChip:
         self.timing.reset()
         self._array.reset()
         self._golden.reset()
+
+    # -- multiprocessing support ---------------------------------------------------
+    def __getstate__(self):
+        # The caches are keyed by object identity (id()), which does not
+        # survive a pickle round-trip; ship the chip without them so farm
+        # workers start from a clean, small state.
+        state = self.__dict__.copy()
+        state["_feature_cache"] = {}
+        state["_functional_cache"] = {}
+        return state

@@ -1,0 +1,55 @@
+"""Parallel tester-farm execution for characterization campaigns.
+
+Real characterization floors get their throughput from two levers: making
+each measurement cheaper (the paper's SUTP, section 4) and running many
+testers at once over a lot.  This package is the second lever:
+
+* :mod:`repro.farm.workunit` — deterministic, serializable shards of a
+  campaign (one die x test set, one environmental-grid cell, one wafer
+  site) with per-unit seeds derived from ``(campaign_seed, unit_key)``;
+* :mod:`repro.farm.executor` — :class:`SerialExecutor` and the process-
+  pool :class:`ParallelExecutor` behind one interface, with per-unit
+  timeouts, bounded retry and order-deterministic result merge;
+* :mod:`repro.farm.scheduler` — longest-expected-first dispatch fed by
+  the :mod:`repro.obs` metrics registry, plus the section-4 reference-
+  trip-point broadcast;
+* :mod:`repro.farm.checkpoint` — JSONL checkpoint store so an
+  interrupted lot, wafer or sweep resumes without re-measuring finished
+  units.
+
+``LotCharacterizer``, ``EnvironmentalSweep``, ``WaferProber`` and
+``run_campaign`` accept ``workers=`` / ``executor=`` / ``checkpoint=``;
+the CLI exposes the same as global ``--workers N`` and ``--resume FILE``
+flags.  See ``docs/parallelism.md``.
+"""
+
+from repro.farm.checkpoint import CheckpointMismatch, CheckpointStore
+from repro.farm.executor import (
+    FarmExecutionError,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.farm.scheduler import CostModel, RTPBroadcast, Scheduler
+from repro.farm.workunit import (
+    UnitOutcome,
+    WorkResult,
+    WorkUnit,
+    derive_seed,
+)
+
+__all__ = [
+    "CheckpointMismatch",
+    "CheckpointStore",
+    "CostModel",
+    "FarmExecutionError",
+    "ParallelExecutor",
+    "RTPBroadcast",
+    "Scheduler",
+    "SerialExecutor",
+    "UnitOutcome",
+    "WorkResult",
+    "WorkUnit",
+    "derive_seed",
+    "make_executor",
+]

@@ -1,0 +1,383 @@
+"""Serial and multi-process execution of work units behind one interface.
+
+Both executors implement the same contract::
+
+    executor.run(units, runner, checkpoint=None, rtp_broadcast=False)
+        -> List[WorkResult]   # one per unit, in submission order
+
+where ``runner`` is a picklable module-level callable
+``(WorkUnit) -> UnitOutcome``.  The guarantees:
+
+* **Deterministic merge** — results come back ordered by the units'
+  submission order regardless of scheduling, worker count or completion
+  order.
+* **Checkpoint/resume** — with a :class:`~repro.farm.checkpoint.
+  CheckpointStore`, completed units are recorded as they finish and
+  skipped (result loaded, nothing re-measured) on a later run.
+* **Bounded retry** — a unit that times out or whose worker dies is
+  re-dispatched up to ``max_attempts`` times; a broken or stalled pool is
+  recycled between passes.  Exhausted units raise
+  :class:`FarmExecutionError` naming every casualty.
+* **Pilot RTP broadcast** — with ``rtp_broadcast=True`` the first
+  *submitted* unit runs alone first; the reference trip point it
+  establishes is stamped onto every later unit as ``rtp_hint``
+  (section 4).  Pinning the pilot to submission order (not completion
+  order) keeps results identical for any worker count.
+
+:class:`SerialExecutor` runs units in the parent process (full telemetry,
+zero overhead); :class:`ParallelExecutor` fans them out over a
+``ProcessPoolExecutor``.  Worker processes run with telemetry disabled —
+they report measurement counts through :class:`UnitOutcome`, and the
+parent emits the farm-level events (dispatch/complete/retry, pool
+lifecycle) on the ordinary :mod:`repro.obs` bus.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.farm.checkpoint import CheckpointStore
+from repro.farm.scheduler import RTPBroadcast, Scheduler
+from repro.farm.workunit import UnitOutcome, WorkResult, WorkUnit
+from repro.obs.events import (
+    FarmUnitCompleted,
+    FarmUnitDispatched,
+    FarmUnitRetried,
+    FarmUnitSkipped,
+    FarmWorkerPool,
+)
+from repro.obs.runtime import OBS
+
+#: A unit runner: executes one unit, returns its outcome.  Must be a
+#: module-level callable so the process pool can pickle it by reference.
+UnitRunner = Callable[[WorkUnit], UnitOutcome]
+
+
+class FarmExecutionError(RuntimeError):
+    """One or more units failed every allowed attempt."""
+
+    def __init__(self, failures: Sequence[Tuple[WorkUnit, str]]) -> None:
+        self.failed_units = [unit for unit, _ in failures]
+        detail = "; ".join(
+            f"{unit.key}: {reason}" for unit, reason in failures
+        )
+        super().__init__(
+            f"{len(self.failed_units)} work unit(s) failed after retries: "
+            f"{detail}"
+        )
+
+
+def _observe_unit(result: WorkResult, kind: str) -> None:
+    """Parent-side metrics for one completed unit."""
+    metrics = OBS.metrics
+    metrics.counter("farm.units").inc(label=kind)
+    metrics.histogram(f"farm.unit_seconds.{kind}").observe(result.elapsed_s)
+    metrics.histogram(f"farm.unit_measurements.{kind}").observe(
+        result.measurements
+    )
+
+
+class _ExecutorBase:
+    """Shared orchestration: checkpoint skip, pilot broadcast, merge."""
+
+    name = "farm"
+
+    def __init__(
+        self,
+        scheduler: Optional[Scheduler] = None,
+        max_attempts: int = 2,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self.max_attempts = max_attempts
+
+    def run(
+        self,
+        units: Sequence[WorkUnit],
+        runner: UnitRunner,
+        checkpoint: Optional[CheckpointStore] = None,
+        rtp_broadcast: bool = False,
+    ) -> List[WorkResult]:
+        """Execute every unit; results in submission order."""
+        units = list(units)
+        if not units:
+            return []
+        results: Dict[str, WorkResult] = {}
+        wanted = {unit.key for unit in units}
+
+        if checkpoint is not None:
+            for key, done in checkpoint.load().items():
+                if key in wanted:
+                    results[key] = done
+                    if OBS.enabled:
+                        OBS.metrics.counter("farm.units_skipped").inc()
+                        OBS.bus.emit(FarmUnitSkipped(key=key))
+        pending = [unit for unit in units if unit.key not in results]
+
+        broadcast = RTPBroadcast()
+        if rtp_broadcast and pending:
+            # Deterministic pilot: always the first *submitted* pending
+            # unit, so the broadcast value cannot depend on scheduling.
+            pilot, pending = pending[0], pending[1:]
+            self._execute(
+                [pilot], runner, results, checkpoint, broadcast
+            )
+        if pending:
+            ordered = [
+                broadcast.apply(unit)
+                for unit in self.scheduler.order(pending)
+            ]
+            self._execute(ordered, runner, results, checkpoint, broadcast)
+        return [results[unit.key] for unit in units]
+
+    # -- template methods -----------------------------------------------------
+    def _execute(
+        self,
+        units: Sequence[WorkUnit],
+        runner: UnitRunner,
+        results: Dict[str, WorkResult],
+        checkpoint: Optional[CheckpointStore],
+        broadcast: RTPBroadcast,
+    ) -> None:
+        raise NotImplementedError
+
+    def _complete(
+        self,
+        unit: WorkUnit,
+        outcome: UnitOutcome,
+        attempts: int,
+        elapsed_s: float,
+        worker: str,
+        results: Dict[str, WorkResult],
+        checkpoint: Optional[CheckpointStore],
+        broadcast: RTPBroadcast,
+    ) -> None:
+        result = WorkResult(
+            unit_key=unit.key,
+            index=unit.index,
+            value=outcome.value,
+            measurements=outcome.measurements,
+            rtp=outcome.rtp,
+            attempts=attempts,
+            elapsed_s=elapsed_s,
+            worker=worker,
+        )
+        results[unit.key] = result
+        broadcast.offer(outcome.rtp)
+        if checkpoint is not None:
+            checkpoint.record(result)
+        if OBS.enabled:
+            _observe_unit(result, unit.kind)
+            OBS.bus.emit(
+                FarmUnitCompleted(
+                    key=unit.key,
+                    kind=unit.kind,
+                    attempt=attempts,
+                    elapsed_s=elapsed_s,
+                    measurements=outcome.measurements,
+                )
+            )
+
+    def _note_dispatch(self, unit: WorkUnit, attempt: int) -> None:
+        if OBS.enabled:
+            OBS.bus.emit(
+                FarmUnitDispatched(
+                    key=unit.key,
+                    kind=unit.kind,
+                    attempt=attempt,
+                    executor=self.name,
+                )
+            )
+
+    def _note_retry(self, unit: WorkUnit, attempt: int, reason: str) -> None:
+        if OBS.enabled:
+            OBS.metrics.counter("farm.unit_retries").inc(label=unit.kind)
+            OBS.bus.emit(
+                FarmUnitRetried(key=unit.key, attempt=attempt, error=reason)
+            )
+
+
+class SerialExecutor(_ExecutorBase):
+    """Runs every unit in the parent process, in scheduled order.
+
+    The degenerate farm: same sharding, same merge, same checkpointing —
+    and full in-process telemetry, since nothing crosses a process
+    boundary.  ``ParallelExecutor(workers=1)`` and ``SerialExecutor()``
+    produce identical results by construction.
+    """
+
+    name = "serial"
+
+    def _execute(self, units, runner, results, checkpoint, broadcast):
+        failures: List[Tuple[WorkUnit, str]] = []
+        for unit in units:
+            reason = ""
+            for attempt in range(1, self.max_attempts + 1):
+                self._note_dispatch(unit, attempt)
+                start = time.perf_counter()
+                try:
+                    outcome = runner(unit)
+                except Exception as error:  # noqa: BLE001 — retried below
+                    reason = f"{type(error).__name__}: {error}"
+                    if attempt < self.max_attempts:
+                        self._note_retry(unit, attempt, reason)
+                    continue
+                self._complete(
+                    unit, outcome, attempt,
+                    time.perf_counter() - start, "serial",
+                    results, checkpoint, broadcast,
+                )
+                break
+            else:
+                failures.append((unit, reason))
+        if failures:
+            raise FarmExecutionError(failures)
+
+
+def _worker_call(runner: UnitRunner, unit: WorkUnit):
+    """Per-unit entry point inside a pool worker.
+
+    Telemetry is force-disabled first: under the ``fork`` start method the
+    child inherits the parent's enabled switchboard *and* its open trace
+    file descriptors, and concurrent writes would interleave garbage.
+    Workers report their cost through :class:`UnitOutcome` instead.
+    """
+    import multiprocessing
+
+    OBS.disable()
+    start = time.perf_counter()
+    outcome = runner(unit)
+    return outcome, time.perf_counter() - start, \
+        multiprocessing.current_process().name
+
+
+class ParallelExecutor(_ExecutorBase):
+    """Fans units out over a ``concurrent.futures.ProcessPoolExecutor``.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count.
+    timeout_s:
+        Per-unit result deadline; a unit still running when its deadline
+        expires counts as a failed attempt and the pool is recycled so
+        the stalled worker cannot starve the retry pass.  ``None`` (the
+        default) waits indefinitely.
+    scheduler:
+        Dispatch-order policy (longest-expected-first by default).
+    max_attempts:
+        Total dispatches allowed per unit (first try + retries).
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        workers: int,
+        timeout_s: Optional[float] = None,
+        scheduler: Optional[Scheduler] = None,
+        max_attempts: int = 2,
+    ) -> None:
+        super().__init__(scheduler=scheduler, max_attempts=max_attempts)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        self.workers = workers
+        self.timeout_s = timeout_s
+
+    def _pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if OBS.enabled:
+            OBS.bus.emit(
+                FarmWorkerPool(status="started", workers=self.workers)
+            )
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.workers
+        )
+
+    def _shutdown(self, pool, status: str = "stopped") -> None:
+        pool.shutdown(wait=False, cancel_futures=True)
+        if OBS.enabled:
+            OBS.bus.emit(FarmWorkerPool(status=status, workers=self.workers))
+
+    def _execute(self, units, runner, results, checkpoint, broadcast):
+        pending: List[WorkUnit] = list(units)
+        failures: List[Tuple[WorkUnit, str]] = []
+        pool = self._pool()
+        try:
+            for attempt in range(1, self.max_attempts + 1):
+                failures = []
+                recycle = False
+                futures = []
+                for unit in pending:
+                    self._note_dispatch(unit, attempt)
+                    try:
+                        futures.append(
+                            (unit, pool.submit(_worker_call, runner, unit))
+                        )
+                    except concurrent.futures.process.BrokenProcessPool:
+                        # An earlier unit already killed the pool; count
+                        # this one as failed without a future.
+                        failures.append((unit, "worker process died"))
+                        recycle = True
+                for unit, future in futures:
+                    try:
+                        outcome, elapsed, worker = future.result(
+                            timeout=self.timeout_s
+                        )
+                    except concurrent.futures.TimeoutError:
+                        failures.append(
+                            (unit, f"timed out after {self.timeout_s}s")
+                        )
+                        recycle = True
+                        continue
+                    except concurrent.futures.process.BrokenProcessPool:
+                        failures.append((unit, "worker process died"))
+                        recycle = True
+                        continue
+                    except Exception as error:  # noqa: BLE001 — retried
+                        failures.append(
+                            (unit, f"{type(error).__name__}: {error}")
+                        )
+                        continue
+                    self._complete(
+                        unit, outcome, attempt, elapsed, worker,
+                        results, checkpoint, broadcast,
+                    )
+                pending = []
+                if failures:
+                    if recycle:
+                        # Stalled or dead workers poison the pool; start a
+                        # fresh one for the retry pass.
+                        self._shutdown(pool, status="recycled")
+                        pool = self._pool()
+                    if attempt < self.max_attempts:
+                        for unit, reason in failures:
+                            self._note_retry(unit, attempt, reason)
+                        pending = [unit for unit, _ in failures]
+                if not pending:
+                    break
+        finally:
+            self._shutdown(pool)
+        if failures:
+            raise FarmExecutionError(failures)
+
+
+def make_executor(
+    workers: Optional[int] = None,
+    executor: Optional[_ExecutorBase] = None,
+    **kwargs,
+) -> _ExecutorBase:
+    """Resolve the ``workers=`` / ``executor=`` convenience parameters.
+
+    An explicit ``executor`` wins; otherwise ``workers`` > 1 builds a
+    :class:`ParallelExecutor` and anything else a :class:`SerialExecutor`.
+    """
+    if executor is not None:
+        return executor
+    if workers is not None and workers > 1:
+        return ParallelExecutor(workers=workers, **kwargs)
+    return SerialExecutor(**kwargs)

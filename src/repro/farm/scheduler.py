@@ -1,0 +1,104 @@
+"""Dispatch-order policy and reference-trip-point broadcast.
+
+Two farm-level levers from the paper's measurement-time argument live here:
+
+* **Longest-expected-first dispatch** — on a pool of ``W`` workers the
+  makespan is dominated by whatever long unit starts last, so
+  :class:`Scheduler` orders the queue by expected cost, descending.
+  Expectations come from the :mod:`repro.obs` metrics registry when it has
+  history (per-test ``ate.measurements`` label counts, per-kind
+  ``farm.unit_measurements.*`` histograms from earlier farm runs in the
+  process) and fall back to the unit's static ``cost_hint``.
+* **RTP broadcast** (section 4) — the first unit to complete a full-range
+  bootstrap search offers its reference trip point to
+  :class:`RTPBroadcast`; units dispatched afterwards carry the value as
+  ``rtp_hint`` and start their SUTP walk from it instead of paying the
+  full characterization-range search again.
+
+Reordering never changes results — unit seeds are derived from unit keys,
+and the executors pin the broadcast pilot to submission order — so the
+scheduler is free to chase wall-clock time only.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.farm.workunit import WorkUnit
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import OBS
+
+
+class CostModel:
+    """Expected-cost estimator backed by the metrics registry.
+
+    Parameters
+    ----------
+    registry:
+        Registry to read history from; the global ``OBS.metrics`` when
+        omitted.  An empty registry degrades gracefully to the units'
+        static ``cost_hint``.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self._registry = registry
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else OBS.metrics
+
+    def estimate(self, unit: WorkUnit) -> float:
+        """Expected cost of ``unit`` in tester measurements (relative)."""
+        registry = self.registry
+        per_test = registry.counters.get("ate.measurements")
+        if per_test is not None and unit.test_names:
+            known = [
+                per_test.by_label[name]
+                for name in unit.test_names
+                if name in per_test.by_label
+            ]
+            if known:
+                # Unseen tests are charged the mean of the seen ones.
+                mean = sum(known) / len(known)
+                return sum(known) + mean * (len(unit.test_names) - len(known))
+        history = registry.histograms.get(f"farm.unit_measurements.{unit.kind}")
+        if history is not None and history.count:
+            return history.mean
+        return unit.cost_hint
+
+
+class Scheduler:
+    """Longest-expected-first ordering with a deterministic tie-break."""
+
+    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+
+    def order(self, units: Sequence[WorkUnit]) -> List[WorkUnit]:
+        """Dispatch order: largest expected cost first, ties by submission."""
+        return sorted(
+            units,
+            key=lambda u: (-self.cost_model.estimate(u), u.index, u.key),
+        )
+
+
+class RTPBroadcast:
+    """First-writer-wins holder for the farm-wide reference trip point."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value: Optional[float] = None
+
+    @property
+    def value(self) -> Optional[float]:
+        """The broadcast RTP (``None`` until a unit offers one)."""
+        return self._value
+
+    def offer(self, rtp: Optional[float]) -> None:
+        """Record ``rtp`` if no unit has established a reference yet."""
+        if rtp is not None and self._value is None:
+            self._value = float(rtp)
+
+    def apply(self, unit: WorkUnit) -> WorkUnit:
+        """The unit, carrying the current broadcast value (if any)."""
+        return unit.with_rtp_hint(self._value)

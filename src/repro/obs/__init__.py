@@ -27,6 +27,11 @@ from repro.obs.events import (
     CampaignPhase,
     Event,
     EventBus,
+    FarmUnitCompleted,
+    FarmUnitDispatched,
+    FarmUnitRetried,
+    FarmUnitSkipped,
+    FarmWorkerPool,
     GAGeneration,
     LoggingSink,
     MeasurementEvent,
@@ -60,6 +65,11 @@ __all__ = [
     "Counter",
     "Event",
     "EventBus",
+    "FarmUnitCompleted",
+    "FarmUnitDispatched",
+    "FarmUnitRetried",
+    "FarmUnitSkipped",
+    "FarmWorkerPool",
     "GAGeneration",
     "Gauge",
     "Histogram",

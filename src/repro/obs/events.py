@@ -134,6 +134,64 @@ class CampaignPhase(Event):
     duration_s: Optional[float] = None
 
 
+@dataclass(frozen=True)
+class FarmUnitDispatched(Event):
+    """A work unit was handed to an executor (attempt 1 = first try)."""
+
+    type: ClassVar[str] = "farm_unit_dispatched"
+
+    key: str
+    kind: str
+    attempt: int
+    executor: str  # "serial" | "parallel"
+
+
+@dataclass(frozen=True)
+class FarmUnitCompleted(Event):
+    """A work unit finished; cost flows back from the (possibly remote)
+    worker through the outcome, since worker-side telemetry is off."""
+
+    type: ClassVar[str] = "farm_unit_completed"
+
+    key: str
+    kind: str
+    attempt: int
+    elapsed_s: float
+    measurements: int
+
+
+@dataclass(frozen=True)
+class FarmUnitRetried(Event):
+    """A unit's attempt failed (timeout, worker death, error); it will be
+    re-dispatched."""
+
+    type: ClassVar[str] = "farm_unit_retried"
+
+    key: str
+    attempt: int
+    error: str
+
+
+@dataclass(frozen=True)
+class FarmUnitSkipped(Event):
+    """A unit's result was loaded from a checkpoint instead of re-run."""
+
+    type: ClassVar[str] = "farm_unit_skipped"
+
+    key: str
+
+
+@dataclass(frozen=True)
+class FarmWorkerPool(Event):
+    """Worker-pool lifecycle: ``started``, ``stopped`` or ``recycled``
+    (after a timeout or worker death poisoned the pool)."""
+
+    type: ClassVar[str] = "farm_worker_pool"
+
+    status: str
+    workers: int
+
+
 #: A sink is anything with ``handle(event)``; ``close()`` is optional.
 Sink = Callable
 
@@ -229,7 +287,15 @@ class TraceWriter:
 #: Phase-level event types surfaced at INFO by :class:`LoggingSink`;
 #: everything else (per-measurement, per-step) is DEBUG.
 _INFO_EVENT_TYPES = frozenset(
-    {"campaign_phase", "search_converged", "ga_generation", "sutp_fallback"}
+    {
+        "campaign_phase",
+        "search_converged",
+        "ga_generation",
+        "sutp_fallback",
+        "farm_unit_retried",
+        "farm_unit_skipped",
+        "farm_worker_pool",
+    }
 )
 
 

@@ -1,0 +1,68 @@
+"""Module-level work-unit runners for executor tests.
+
+The process pool pickles runners by reference, so they must live in an
+importable module rather than inside a test function.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.farm.workunit import UnitOutcome, WorkUnit
+
+
+def echo_runner(unit: WorkUnit) -> UnitOutcome:
+    """Returns the unit's identity — enough to verify merge order/seeds."""
+    return UnitOutcome(
+        value={"key": unit.key, "seed": unit.seed, "pid": os.getpid()},
+        measurements=unit.index + 1,
+    )
+
+
+def rtp_runner(unit: WorkUnit) -> UnitOutcome:
+    """Echoes the received hint; establishes RTP 42.0 when unhinted."""
+    return UnitOutcome(
+        value=unit.rtp_hint,
+        measurements=1,
+        rtp=42.0 if unit.rtp_hint is None else unit.rtp_hint,
+    )
+
+
+def flaky_runner(unit: WorkUnit) -> UnitOutcome:
+    """Fails the first attempt, succeeds afterwards.
+
+    Cross-process deterministic: the first call creates a marker file and
+    raises; any later call (same or different process) sees the marker and
+    succeeds.
+    """
+    marker = unit.payload["marker"]
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write(unit.key)
+        raise RuntimeError("transient tester fault")
+    return UnitOutcome(value=unit.key, measurements=1)
+
+
+def failing_runner(unit: WorkUnit) -> UnitOutcome:
+    """Fails every attempt."""
+    raise RuntimeError("permanent tester fault")
+
+
+def crashing_runner(unit: WorkUnit) -> UnitOutcome:
+    """Kills the worker process outright (BrokenProcessPool path)."""
+    os._exit(13)
+
+
+def sleeping_runner(unit: WorkUnit) -> UnitOutcome:
+    """Sleeps past any reasonable per-unit timeout."""
+    time.sleep(unit.payload.get("sleep_s", 30.0))
+    return UnitOutcome(value=unit.key)
+
+
+def forbidden_key_runner(unit: WorkUnit) -> UnitOutcome:
+    """Raises for keys listed in the payload — proves checkpointed units
+    are skipped rather than re-run."""
+    if unit.key in unit.payload.get("forbidden", ()):
+        raise AssertionError(f"unit {unit.key} was re-executed")
+    return UnitOutcome(value=unit.key, measurements=1)

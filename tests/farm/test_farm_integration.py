@@ -1,0 +1,146 @@
+"""End-to-end determinism of farmed campaigns.
+
+The farm's contract: a lot/wafer/sweep run sharded over N worker processes
+is *identical* to the serial run — same trip points, same WCRs, same
+database bytes — and a run interrupted mid-campaign resumes from its
+checkpoint without re-measuring finished units.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ate.measurement import MeasurementModel
+from repro.ate.tester import ATE
+from repro.core.lot import EnvironmentalSweep, LotCharacterizer
+from repro.core.wafer_probe import WaferProber
+from repro.device.memory_chip import MemoryTestChip
+from repro.device.wafer import RadialVariationModel, Wafer
+from repro.farm.checkpoint import CheckpointStore
+from repro.patterns.conditions import NOMINAL_CONDITION
+from repro.patterns.random_gen import RandomTestGenerator
+
+
+@pytest.fixture
+def tests():
+    generator = RandomTestGenerator(seed=61)
+    return [t.with_condition(NOMINAL_CONDITION) for t in generator.batch(4)]
+
+
+def _lot(**kwargs):
+    return LotCharacterizer(
+        search_range=(15.0, 45.0), noise_sigma=0.04, seed=3, **kwargs
+    )
+
+
+class TestLotDeterminism:
+    def test_workers_1_vs_4_identical(self, tests):
+        serial = _lot().run(tests, n_dies=8, workers=1)
+        parallel = _lot().run(tests, n_dies=8, workers=4)
+        assert serial.dies == parallel.dies
+
+    def test_rtp_broadcast_identical_and_cheaper(self, tests):
+        plain = _lot().run(tests, n_dies=6)
+        serial = _lot().run(tests, n_dies=6, rtp_broadcast=True)
+        parallel = _lot().run(
+            tests, n_dies=6, workers=4, rtp_broadcast=True
+        )
+        assert serial.dies == parallel.dies
+        assert sum(d.measurements for d in serial.dies) < sum(
+            d.measurements for d in plain.dies
+        )
+
+    def test_database_export_byte_identical(self, tests, tmp_path):
+        serial = _lot().run(tests, n_dies=8, workers=1)
+        parallel = _lot().run(tests, n_dies=8, workers=4)
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        serial.to_database(tests).export_json(serial_path)
+        parallel.to_database(tests).export_json(parallel_path)
+        assert serial_path.read_bytes() == parallel_path.read_bytes()
+
+    def test_database_merge_of_shards_matches_whole(self, tests, tmp_path):
+        whole = _lot().run(tests, n_dies=6).to_database(tests)
+        report = _lot().run(tests, n_dies=6)
+        left, right = report.dies[:3], report.dies[3:]
+        from repro.core.lot import LotReport
+
+        merged = LotReport(
+            parameter=report.parameter, dies=left
+        ).to_database(tests)
+        merged.merge(
+            LotReport(parameter=report.parameter, dies=right).to_database(
+                tests
+            )
+        )
+        whole_path = tmp_path / "whole.json"
+        merged_path = tmp_path / "merged.json"
+        whole.export_json(whole_path)
+        merged.export_json(merged_path)
+        assert whole_path.read_bytes() == merged_path.read_bytes()
+
+
+class TestLotResume:
+    def test_interrupted_lot_resumes_without_remeasuring(
+        self, tests, tmp_path
+    ):
+        path = tmp_path / "lot.jsonl"
+        reference = _lot().run(tests, n_dies=6)
+        # Full run writing the checkpoint, then "kill" it after 3 dies by
+        # truncating the file.
+        _lot().run(tests, n_dies=6, checkpoint=CheckpointStore(path))
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:4]))  # header + 3 results
+        store = CheckpointStore(path)
+        assert len(store.load()) == 3
+        resumed = _lot().run(tests, n_dies=6, checkpoint=CheckpointStore(path))
+        assert resumed.dies == reference.dies
+
+    def test_checkpoint_path_accepted_directly(self, tests, tmp_path):
+        path = tmp_path / "lot.jsonl"
+        first = _lot().run(tests, n_dies=4, checkpoint=path)
+        again = _lot().run(tests, n_dies=4, checkpoint=path)
+        assert first.dies == again.dies
+
+
+class TestWaferDeterminism:
+    def test_workers_1_vs_4_identical(self, tests):
+        def probe(workers):
+            prober = WaferProber(
+                Wafer(grid_diameter=5),
+                RadialVariationModel(seed=2),
+                search_range=(15.0, 45.0),
+                seed=1,
+            )
+            return prober.probe(tests[:2], workers=workers)
+
+        serial = probe(1)
+        parallel = probe(4)
+        assert list(serial.results) == list(parallel.results)
+        assert list(serial.results.values()) == list(
+            parallel.results.values()
+        )
+
+
+class TestSweepDeterminism:
+    def _sweep(self):
+        chip = MemoryTestChip()
+        ate = ATE(chip, measurement=MeasurementModel(0.02, seed=11))
+        return EnvironmentalSweep(ate, (15.0, 45.0), seed=5)
+
+    def test_workers_1_vs_4_identical(self, tests):
+        test = tests[0]
+        vdds = (1.5, 1.8, 2.1)
+        temps = (25.0, 85.0)
+        serial = self._sweep().sweep(test, vdds, temps, workers=1)
+        parallel = self._sweep().sweep(test, vdds, temps, workers=4)
+        assert np.array_equal(
+            serial.trip_points, parallel.trip_points, equal_nan=True
+        )
+        assert serial.measurements == parallel.measurements
+
+    def test_legacy_serial_path_unchanged_without_farm_args(self, tests):
+        # No workers/executor/checkpoint: the shared-tester path with
+        # carried-over state still runs (different semantics from farm).
+        result = self._sweep().sweep(tests[0], (1.5, 1.8), (25.0, 85.0))
+        assert result.trip_points.shape == (2, 2)
+        assert result.measurements > 0

@@ -1,0 +1,77 @@
+"""Tests for the cost model, dispatch ordering and RTP broadcast."""
+
+from repro.farm.scheduler import CostModel, RTPBroadcast, Scheduler
+from repro.farm.workunit import WorkUnit
+from repro.obs.metrics import MetricsRegistry
+
+
+def _unit(key, index=0, cost_hint=1.0, test_names=()):
+    return WorkUnit(
+        key=key, kind="lot_die", index=index,
+        cost_hint=cost_hint, test_names=test_names,
+    )
+
+
+class TestCostModel:
+    def test_falls_back_to_static_hint(self):
+        model = CostModel(MetricsRegistry())
+        assert model.estimate(_unit("a", cost_hint=7.5)) == 7.5
+
+    def test_uses_per_test_measurement_history(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ate.measurements")
+        counter.inc(30, label="cheap")
+        counter.inc(90, label="dear")
+        model = CostModel(registry)
+        assert model.estimate(_unit("a", test_names=("dear",))) == 90
+        assert model.estimate(_unit("b", test_names=("cheap", "dear"))) == 120
+
+    def test_unseen_tests_charged_mean_of_seen(self):
+        registry = MetricsRegistry()
+        registry.counter("ate.measurements").inc(60, label="seen")
+        model = CostModel(registry)
+        # one seen (60) + one unseen charged the mean of seen (60)
+        assert model.estimate(_unit("a", test_names=("seen", "new"))) == 120
+
+    def test_uses_kind_histogram_when_no_test_history(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("farm.unit_measurements.lot_die")
+        histogram.observe(10)
+        histogram.observe(30)
+        model = CostModel(registry)
+        assert model.estimate(_unit("a", cost_hint=99.0)) == 20
+
+
+class TestScheduler:
+    def test_longest_expected_first(self):
+        units = [
+            _unit("a", index=0, cost_hint=1.0),
+            _unit("b", index=1, cost_hint=5.0),
+            _unit("c", index=2, cost_hint=3.0),
+        ]
+        scheduler = Scheduler(CostModel(MetricsRegistry()))
+        assert [u.key for u in scheduler.order(units)] == ["b", "c", "a"]
+
+    def test_ties_break_by_submission_order(self):
+        units = [_unit(k, index=i, cost_hint=2.0)
+                 for i, k in enumerate("zyx")]
+        scheduler = Scheduler(CostModel(MetricsRegistry()))
+        assert [u.key for u in scheduler.order(units)] == ["z", "y", "x"]
+
+
+class TestRTPBroadcast:
+    def test_first_writer_wins(self):
+        broadcast = RTPBroadcast()
+        assert broadcast.value is None
+        broadcast.offer(None)
+        assert broadcast.value is None
+        broadcast.offer(31.5)
+        broadcast.offer(99.0)
+        assert broadcast.value == 31.5
+
+    def test_apply_stamps_hint(self):
+        broadcast = RTPBroadcast()
+        unit = _unit("a")
+        assert broadcast.apply(unit) is unit  # nothing to broadcast yet
+        broadcast.offer(30.0)
+        assert broadcast.apply(unit).rtp_hint == 30.0
