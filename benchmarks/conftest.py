@@ -4,10 +4,20 @@ Every bench regenerates one paper artifact (table or figure).  Numbers are
 printed to stdout *and* appended to ``benchmarks/results/<bench>.txt`` so a
 ``pytest benchmarks/ --benchmark-only`` run leaves a reviewable record; the
 EXPERIMENTS.md paper-vs-measured index is built from those records.
+
+Each bench additionally leaves a machine-readable record,
+``benchmarks/results/BENCH_<bench>.json``: wall clock, host CPU count and
+python version, plus whatever numbers the bench reports via
+``report_sink.json(...)`` (measurement counts, speedups, ...).  CI and the
+run-history tooling consume these instead of scraping the text records.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import time
 from pathlib import Path
 
 import pytest
@@ -37,19 +47,46 @@ def fresh_characterizer(seed: int = 0) -> DeviceCharacterizer:
     return DeviceCharacterizer(fresh_ate(seed), seed=seed)
 
 
+def host_cpus() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
 @pytest.fixture
 def report_sink(request):
-    """Callable that prints a line and appends it to the bench's record."""
+    """Callable that prints a line and appends it to the bench's record.
+
+    ``report_sink.json(key=value, ...)`` stashes machine-readable numbers;
+    at teardown they are written to ``BENCH_<bench>.json`` together with
+    the bench's wall clock, the host CPU count and the python version.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     record = RESULTS_DIR / f"{request.node.name}.txt"
     record.write_text("")
+    data = {}
 
     def sink(line: str = "") -> None:
         print(line)
         with record.open("a") as handle:
             handle.write(line + "\n")
 
-    return sink
+    sink.json = data.update
+    started = time.perf_counter()
+    yield sink
+    payload = {
+        "bench": request.node.name,
+        "wall_s": round(time.perf_counter() - started, 6),
+        "host_cpus": host_cpus(),
+        "python": platform.python_version(),
+        "data": data,
+    }
+    json_record = RESULTS_DIR / f"BENCH_{request.node.name}.json"
+    json_record.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
 
 
 @pytest.fixture(scope="session")

@@ -12,12 +12,11 @@ count: on a single-core host the workers timeshare one core and the farm
 honest number to record.
 """
 
-import os
 import time
 
 import pytest
 
-from benchmarks.conftest import RESULTS_DIR, SEARCH_RANGE
+from benchmarks.conftest import SEARCH_RANGE, host_cpus
 from repro.core.lot import LotCharacterizer
 from repro.patterns.conditions import NOMINAL_CONDITION
 from repro.patterns.random_gen import RandomTestGenerator
@@ -60,15 +59,21 @@ def test_farm_lot_serial_vs_4_workers(benchmark, report_sink, tmp_path):
     parallel.to_database(tests).export_json(parallel_path)
     assert serial_path.read_bytes() == parallel_path.read_bytes()
 
-    try:
-        host_cpus = len(os.sched_getaffinity(0))
-    except AttributeError:  # non-Linux
-        host_cpus = os.cpu_count() or 1
-
+    cpus = host_cpus()
     measurements = sum(d.measurements for d in serial.dies)
+    report_sink.json(
+        dies=N_DIES,
+        tests=N_TESTS,
+        measurements=measurements,
+        serial_wall_s=round(serial_s, 6),
+        parallel_wall_s=round(parallel_s, 6),
+        workers=4,
+        speedup=round(serial_s / parallel_s, 4),
+        identical_databases=True,
+    )
     report_sink(
         f"farm — {N_DIES}-die lot x {N_TESTS} tests "
-        f"({measurements} tester measurements, host CPUs: {host_cpus}):"
+        f"({measurements} tester measurements, host CPUs: {cpus}):"
     )
     report_sink(f"  serial (1 worker)   {serial_s:6.2f} s wall clock")
     report_sink(
@@ -78,7 +83,7 @@ def test_farm_lot_serial_vs_4_workers(benchmark, report_sink, tmp_path):
     report_sink(
         "  worst-case database export: byte-identical serial vs parallel"
     )
-    if host_cpus < 2:
+    if cpus < 2:
         report_sink(
             "  note: single-CPU host — workers timeshare one core, so the"
         )

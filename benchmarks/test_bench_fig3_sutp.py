@@ -56,6 +56,15 @@ def test_fig3_sutp_vs_full_range(benchmark, report_sink):
     )
     sutp_time = time_model.session_time_s(run_campaign.last_ate)
 
+    report_sink.json(
+        tests=N_TESTS,
+        sutp_measurements=sutp_dsv.total_measurements,
+        full_measurements=full_dsv.total_measurements,
+        linear_measurements=linear_dsv.total_measurements,
+        sutp_tester_s=round(sutp_time, 6),
+        full_tester_s=round(full_time, 6),
+        linear_tester_s=round(linear_time, 6),
+    )
     report_sink(f"fig. 3 — {N_TESTS}-test campaign over CR = "
                 f"{SEARCH_RANGE[1] - SEARCH_RANGE[0]:.0f} ns:")
     for label, dsv, seconds in (
@@ -101,6 +110,7 @@ def test_fig3_sutp_per_test_cost_profile(benchmark, report_sink):
         run_campaign, args=("sutp",), rounds=1, iterations=1
     )
     costs = [entry.measurements for entry in sutp_dsv]
+    report_sink.json(tests=len(costs), measurements=sum(costs))
     report_sink("per-test measurement cost (SUTP):")
     for index, cost in enumerate(costs):
         report_sink(f"  test {index:>3}: {'#' * cost} {cost}")

@@ -15,9 +15,14 @@ APIs return; nothing here does work the public API cannot.
 
 Global telemetry flags (before the subcommand):
 
-* ``--trace FILE.jsonl`` — write every telemetry event as one JSON line;
+* ``--trace FILE.jsonl`` — write every telemetry event as one JSON line
+  (worker-side events included: farm runs spool and merge them);
 * ``--metrics`` — print the metrics-registry summary at exit (per-test
   measurement counts, SUTP fallbacks, GA generations, phase timings);
+* ``--progress`` — live per-unit progress lines on stderr during farm
+  runs;
+* ``--run-log FILE.jsonl`` / ``--run-name NAME`` — append this run's
+  cost record to a run-history file (see ``repro obs compare``);
 * ``-v`` / ``-vv`` — phase-level / per-event stdlib logging.
 
 Global tester-farm flags (``lot``, ``wafer``, ``sweep``, ``campaign``):
@@ -26,6 +31,17 @@ Global tester-farm flags (``lot``, ``wafer``, ``sweep``, ``campaign``):
   (results are identical to a serial run for lot/wafer);
 * ``--resume FILE`` — record finished work units to a JSONL checkpoint
   and skip them when the same command is re-run after an interruption.
+
+The ``obs`` subcommand family inspects what the flags above record::
+
+    repro-characterize obs summary  trace.jsonl
+    repro-characterize obs slowest  trace.jsonl -n 10
+    repro-characterize obs timeline trace.jsonl -o timeline.json
+    repro-characterize obs compare  runs.jsonl --baseline nightly
+
+``obs timeline`` writes Chrome-trace JSON loadable at ui.perfetto.dev;
+``obs compare`` exits non-zero when the latest (or named) run's total
+measurement cost regressed beyond the threshold vs the baseline run.
 """
 
 from __future__ import annotations
@@ -33,6 +49,7 @@ from __future__ import annotations
 import argparse
 import logging
 import sys
+import time
 from typing import List, Optional
 
 from repro.analysis.drift import DriftAnalysis
@@ -69,6 +86,27 @@ def _add_telemetry_arguments(parser, suppress_defaults: bool = False) -> None:
         action="store_true",
         default=suppress if suppress_defaults else False,
         help="print the telemetry metrics summary at exit",
+    )
+    group.add_argument(
+        "--progress",
+        action="store_true",
+        default=suppress if suppress_defaults else False,
+        help="live per-unit progress lines on stderr during farm runs",
+    )
+    group.add_argument(
+        "--run-log",
+        metavar="FILE",
+        default=suppress if suppress_defaults else None,
+        help=(
+            "append this run's cost record (measurements, wall clock) to "
+            "a runs.jsonl history; compare runs with 'obs compare'"
+        ),
+    )
+    group.add_argument(
+        "--run-name",
+        metavar="NAME",
+        default=suppress if suppress_defaults else None,
+        help="name for the --run-log record (default: run-<n>)",
     )
     group.add_argument(
         "-v",
@@ -121,6 +159,10 @@ def _build_parser() -> argparse.ArgumentParser:
             "Computational-intelligence device characterization "
             "(reproduction of Liau & Schmitt-Landsiedel, DATE 2005)"
         ),
+        # No prefix abbreviation: 'obs compare --run' must reach the
+        # subparser instead of ambiguously matching --run-log/--run-name
+        # during the main parser's token classification.
+        allow_abbrev=False,
     )
     parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
     _add_telemetry_arguments(parser)
@@ -208,6 +250,57 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--random-tests", type=int, default=150)
     campaign.add_argument(
         "--out", help="directory to save report.md / database / patterns"
+    )
+
+    obs_cmd = commands.add_parser(
+        "obs",
+        help="inspect recorded telemetry: traces, timelines, run history",
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+
+    obs_summary = obs_sub.add_parser(
+        "summary", help="one-screen summary of a telemetry trace"
+    )
+    obs_summary.add_argument("trace_file", metavar="TRACE")
+
+    obs_slowest = obs_sub.add_parser(
+        "slowest", help="slowest work units and costliest tests in a trace"
+    )
+    obs_slowest.add_argument("trace_file", metavar="TRACE")
+    obs_slowest.add_argument("-n", "--count", type=int, default=10)
+
+    obs_timeline = obs_sub.add_parser(
+        "timeline",
+        help=(
+            "export a trace as Chrome-trace JSON "
+            "(open at ui.perfetto.dev or chrome://tracing)"
+        ),
+    )
+    obs_timeline.add_argument("trace_file", metavar="TRACE")
+    obs_timeline.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="output path (default: TRACE with a .timeline.json suffix)",
+    )
+
+    obs_compare = obs_sub.add_parser(
+        "compare",
+        help=(
+            "compare a recorded run against a baseline; exits 1 on a "
+            "measurement-cost regression beyond the threshold"
+        ),
+    )
+    obs_compare.add_argument("history_file", metavar="RUNS")
+    obs_compare.add_argument(
+        "--baseline", required=True, metavar="NAME",
+        help="name of the baseline run record",
+    )
+    obs_compare.add_argument(
+        "--run", metavar="NAME",
+        help="run to check (default: the most recent record)",
+    )
+    obs_compare.add_argument(
+        "--threshold", type=float, default=5.0, metavar="PCT",
+        help="allowed measurement-cost increase in percent (default: 5)",
     )
 
     return parser
@@ -413,6 +506,46 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    from repro import obs
+
+    if args.obs_command == "compare":
+        history = obs.RunHistory(args.history_file)
+        try:
+            comparison = obs.compare_runs(
+                history,
+                baseline_name=args.baseline,
+                run_name=args.run,
+                threshold_pct=args.threshold,
+            )
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        print(comparison.render())
+        return 1 if comparison.regressed else 0
+
+    try:
+        loaded = obs.load_trace(args.trace_file)
+    except OSError as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    if args.obs_command == "summary":
+        print(obs.render_trace_summary(loaded))
+    elif args.obs_command == "slowest":
+        print(obs.render_slowest(loaded, count=args.count))
+    elif args.obs_command == "timeline":
+        output = args.output or f"{args.trace_file}.timeline.json"
+        path = obs.write_chrome_trace(loaded.records, output)
+        spans = sum(
+            1
+            for entry in obs.build_chrome_trace(loaded.records)["traceEvents"]
+            if entry.get("ph") == "X"
+        )
+        print(f"timeline written: {path} ({spans} span(s); "
+              f"open at ui.perfetto.dev)")
+    return 0
+
+
 _COMMANDS = {
     "march": _cmd_march,
     "random": _cmd_random,
@@ -423,11 +556,15 @@ _COMMANDS = {
     "lot": _cmd_lot,
     "wafer": _cmd_wafer,
     "campaign": _cmd_campaign,
+    "obs": _cmd_obs,
 }
 
 
 def _telemetry_requested(args) -> bool:
-    return bool(args.trace or args.metrics or args.verbose)
+    return bool(
+        args.trace or args.metrics or args.verbose or args.progress
+        or args.run_log
+    )
 
 
 def _setup_observability(args) -> None:
@@ -447,9 +584,28 @@ def _setup_observability(args) -> None:
             obs.configure(trace_path=args.trace, log_events=bool(args.verbose))
         except OSError as exc:
             raise SystemExit(f"cannot open trace file: {exc}")
+        if args.progress:
+            obs.OBS.bus.subscribe(obs.FarmProgressReporter())
 
 
-def _teardown_observability(args) -> None:
+def _record_run(args, wall_s: float) -> None:
+    """Append the ``--run-log`` record (called before the obs reset)."""
+    from repro import obs
+
+    history = obs.RunHistory(args.run_log)
+    record = obs.build_run_record(
+        name=args.run_name or history.next_default_name(),
+        registry=obs.OBS.metrics,
+        command=args.command,
+        wall_s=wall_s,
+        workers=getattr(args, "workers", None),
+        seed=getattr(args, "seed", None),
+    )
+    history.append(record)
+    print(f"run {record['run']!r} recorded: {args.run_log}")
+
+
+def _teardown_observability(args, wall_s: float = 0.0) -> None:
     """Print the ``--metrics`` summary, flush the trace, reset the layer."""
     if not _telemetry_requested(args):
         return
@@ -458,6 +614,8 @@ def _teardown_observability(args) -> None:
     if args.metrics:
         print()
         print(obs.render_metrics_summary(obs.OBS.metrics))
+    if args.run_log:
+        _record_run(args, wall_s)
     obs.OBS.reset()  # closes (and flushes) the trace writer
     if args.trace:
         print(f"telemetry trace written: {args.trace}")
@@ -466,6 +624,15 @@ def _teardown_observability(args) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.command == "obs":
+        # Pure inspection of recorded telemetry: no campaign runs, so no
+        # observability setup/teardown (the obs layer stays off).
+        try:
+            return _COMMANDS[args.command](args)
+        except BrokenPipeError:
+            # Inspection output piped into head/less that closed early.
+            sys.stderr.close()
+            return 0
     if (args.workers or args.resume) and args.command not in _FARM_COMMANDS:
         print(
             f"note: --workers/--resume are ignored by {args.command!r} "
@@ -473,10 +640,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
     _setup_observability(args)
+    started = time.perf_counter()
     try:
         return _COMMANDS[args.command](args)
     finally:
-        _teardown_observability(args)
+        _teardown_observability(args, wall_s=time.perf_counter() - started)
 
 
 if __name__ == "__main__":  # pragma: no cover

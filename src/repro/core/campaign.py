@@ -188,7 +188,10 @@ def run_campaign(
             store = _resolve_checkpoint(checkpoint, campaign_id)
             farm = make_executor(workers, executor)
             with span("shmoo"):
-                results = farm.run(units, run_shmoo_unit, checkpoint=store)
+                results = farm.run(
+                    units, run_shmoo_unit, checkpoint=store,
+                    campaign=campaign_id,
+                )
             shmoo = merge_overlays([r.value for r in results])
             farm_measurements = sum(r.measurements for r in results)
 

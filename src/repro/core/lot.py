@@ -363,6 +363,7 @@ class LotCharacterizer:
                 run_lot_unit,
                 checkpoint=store,
                 rtp_broadcast=rtp_broadcast,
+                campaign=campaign,
             )
         for result in results:
             report.dies.append(result.value)
@@ -607,7 +608,8 @@ class EnvironmentalSweep:
         measurements = 0
         with span("sweep"):
             results = farm.run(
-                units, run_env_unit, checkpoint=store, rtp_broadcast=True
+                units, run_env_unit, checkpoint=store, rtp_broadcast=True,
+                campaign=campaign,
             )
         for result in results:
             row, column, value = result.value

@@ -149,7 +149,8 @@ class WaferProber:
         store = _resolve_checkpoint(checkpoint, campaign)
         farm = make_executor(workers, executor)
         results = farm.run(
-            units, run_lot_unit, checkpoint=store, rtp_broadcast=rtp_broadcast
+            units, run_lot_unit, checkpoint=store,
+            rtp_broadcast=rtp_broadcast, campaign=campaign,
         )
         for site, result in zip(sites, results):
             report.results[site] = result.value

@@ -32,6 +32,8 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from repro.farm.workunit import WorkResult
+from repro.obs.events import FarmCheckpointDropped
+from repro.obs.runtime import OBS
 
 logger = logging.getLogger("repro.farm")
 
@@ -65,12 +67,18 @@ class CheckpointStore:
     def load(self) -> Dict[str, WorkResult]:
         """Completed results on disk, keyed by unit key.
 
-        Corrupt or truncated lines are skipped with a warning; a campaign
-        header that does not match raises :class:`CheckpointMismatch`.
+        Corrupt or truncated lines are skipped with a warning — and,
+        with telemetry enabled, counted on the
+        ``farm.checkpoint.dropped_lines`` counter and announced by one
+        :class:`~repro.obs.events.FarmCheckpointDropped` event, so a
+        resume that silently lost results is visible in the trace.  A
+        campaign header that does not match raises
+        :class:`CheckpointMismatch`.
         """
         results: Dict[str, WorkResult] = {}
         if not self.path.exists():
             return results
+        dropped = 0
         with self.path.open("r") as handle:
             for number, line in enumerate(handle, start=1):
                 line = line.strip()
@@ -83,6 +91,7 @@ class CheckpointStore:
                         "checkpoint %s: dropping corrupt line %d "
                         "(interrupted write?)", self.path, number,
                     )
+                    dropped += 1
                     continue
                 if payload.get("kind") == _KIND:
                     self._check_header(payload)
@@ -90,6 +99,13 @@ class CheckpointStore:
                 result = self._decode(payload, number)
                 if result is not None:
                     results[result.unit_key] = result
+                else:
+                    dropped += 1
+        if dropped and OBS.enabled:
+            OBS.metrics.counter("farm.checkpoint.dropped_lines").inc(dropped)
+            OBS.bus.emit(
+                FarmCheckpointDropped(path=str(self.path), lines=dropped)
+            )
         return results
 
     def completed_keys(self) -> "set[str]":

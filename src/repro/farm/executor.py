@@ -24,12 +24,18 @@ where ``runner`` is a picklable module-level callable
   (section 4).  Pinning the pilot to submission order (not completion
   order) keeps results identical for any worker count.
 
-:class:`SerialExecutor` runs units in the parent process (full telemetry,
-zero overhead); :class:`ParallelExecutor` fans them out over a
-``ProcessPoolExecutor``.  Worker processes run with telemetry disabled —
-they report measurement counts through :class:`UnitOutcome`, and the
-parent emits the farm-level events (dispatch/complete/retry, pool
-lifecycle) on the ordinary :mod:`repro.obs` bus.
+:class:`SerialExecutor` runs units in the parent process;
+:class:`ParallelExecutor` fans them out over a
+``ProcessPoolExecutor``.  Telemetry crosses the process boundary: when
+the parent's switchboard is enabled, every unit — serial or remote —
+runs under a :class:`~repro.obs.collector.UnitCapture` that spools its
+events and metric observations, and the parent replays all spools in
+submission order after the batch (:class:`~repro.obs.collector.
+FarmCollector.merge`), so a 4-worker run's merged trace and metric
+histograms are identical to the serial run's.  Farm lifecycle events
+(dispatch/complete/retry, pool lifecycle) stay live on the parent's
+:mod:`repro.obs` bus in real completion order — they drive progress
+reporting and the Perfetto timeline.
 """
 
 from __future__ import annotations
@@ -41,13 +47,21 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.farm.checkpoint import CheckpointStore
 from repro.farm.scheduler import RTPBroadcast, Scheduler
 from repro.farm.workunit import UnitOutcome, WorkResult, WorkUnit
+from repro.obs.collector import (
+    FarmCollector,
+    WorkerCaptureConfig,
+    run_unit_captured,
+)
 from repro.obs.events import (
+    EventBus,
+    FarmRunStarted,
     FarmUnitCompleted,
     FarmUnitDispatched,
     FarmUnitRetried,
     FarmUnitSkipped,
     FarmWorkerPool,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.runtime import OBS
 
 #: A unit runner: executes one unit, returns its outcome.  Must be a
@@ -100,13 +114,33 @@ class _ExecutorBase:
         runner: UnitRunner,
         checkpoint: Optional[CheckpointStore] = None,
         rtp_broadcast: bool = False,
+        campaign: str = "",
     ) -> List[WorkResult]:
-        """Execute every unit; results in submission order."""
+        """Execute every unit; results in submission order.
+
+        ``campaign`` names the run for telemetry: it becomes the trace
+        id stamped onto every worker-side event and the
+        :class:`~repro.obs.events.FarmRunStarted` announcement.
+        """
         units = list(units)
         if not units:
             return []
         results: Dict[str, WorkResult] = {}
         wanted = {unit.key for unit in units}
+
+        collector: Optional[FarmCollector] = None
+        if OBS.enabled:
+            collector = FarmCollector(
+                campaign=campaign, unit_keys=[unit.key for unit in units]
+            )
+            OBS.bus.emit(
+                FarmRunStarted(
+                    campaign=collector.campaign,
+                    units=len(units),
+                    executor=self.name,
+                    workers=getattr(self, "workers", 1),
+                )
+            )
 
         if checkpoint is not None:
             for key, done in checkpoint.load().items():
@@ -118,19 +152,27 @@ class _ExecutorBase:
         pending = [unit for unit in units if unit.key not in results]
 
         broadcast = RTPBroadcast()
-        if rtp_broadcast and pending:
-            # Deterministic pilot: always the first *submitted* pending
-            # unit, so the broadcast value cannot depend on scheduling.
-            pilot, pending = pending[0], pending[1:]
-            self._execute(
-                [pilot], runner, results, checkpoint, broadcast
-            )
-        if pending:
-            ordered = [
-                broadcast.apply(unit)
-                for unit in self.scheduler.order(pending)
-            ]
-            self._execute(ordered, runner, results, checkpoint, broadcast)
+        try:
+            if rtp_broadcast and pending:
+                # Deterministic pilot: always the first *submitted* pending
+                # unit, so the broadcast value cannot depend on scheduling.
+                pilot, pending = pending[0], pending[1:]
+                self._execute(
+                    [pilot], runner, results, checkpoint, broadcast, collector
+                )
+            if pending:
+                ordered = [
+                    broadcast.apply(unit)
+                    for unit in self.scheduler.order(pending)
+                ]
+                self._execute(
+                    ordered, runner, results, checkpoint, broadcast, collector
+                )
+        finally:
+            # Merge even on FarmExecutionError: the units that did
+            # complete flush their telemetry, in submission order.
+            if collector is not None:
+                collector.merge()
         return [results[unit.key] for unit in units]
 
     # -- template methods -----------------------------------------------------
@@ -141,6 +183,7 @@ class _ExecutorBase:
         results: Dict[str, WorkResult],
         checkpoint: Optional[CheckpointStore],
         broadcast: RTPBroadcast,
+        collector: Optional[FarmCollector],
     ) -> None:
         raise NotImplementedError
 
@@ -178,6 +221,7 @@ class _ExecutorBase:
                     attempt=attempts,
                     elapsed_s=elapsed_s,
                     measurements=outcome.measurements,
+                    worker=worker,
                 )
             )
 
@@ -211,7 +255,8 @@ class SerialExecutor(_ExecutorBase):
 
     name = "serial"
 
-    def _execute(self, units, runner, results, checkpoint, broadcast):
+    def _execute(self, units, runner, results, checkpoint, broadcast,
+                 collector):
         failures: List[Tuple[WorkUnit, str]] = []
         for unit in units:
             reason = ""
@@ -219,7 +264,13 @@ class SerialExecutor(_ExecutorBase):
                 self._note_dispatch(unit, attempt)
                 start = time.perf_counter()
                 try:
-                    outcome = runner(unit)
+                    if collector is not None:
+                        # Identical capture path to a pool worker, so the
+                        # merged trace cannot depend on the worker count.
+                        with collector.capture_unit(unit.key):
+                            outcome = runner(unit)
+                    else:
+                        outcome = runner(unit)
                 except Exception as error:  # noqa: BLE001 — retried below
                     reason = f"{type(error).__name__}: {error}"
                     if attempt < self.max_attempts:
@@ -237,21 +288,35 @@ class SerialExecutor(_ExecutorBase):
             raise FarmExecutionError(failures)
 
 
-def _worker_call(runner: UnitRunner, unit: WorkUnit):
+def _worker_call(
+    runner: UnitRunner,
+    unit: WorkUnit,
+    config: Optional[WorkerCaptureConfig] = None,
+):
     """Per-unit entry point inside a pool worker.
 
-    Telemetry is force-disabled first: under the ``fork`` start method the
-    child inherits the parent's enabled switchboard *and* its open trace
-    file descriptors, and concurrent writes would interleave garbage.
-    Workers report their cost through :class:`UnitOutcome` instead.
+    The inherited switchboard is neutralized first: under the ``fork``
+    start method the child inherits the parent's enabled switchboard
+    *and* its open trace file descriptors, and concurrent writes would
+    interleave garbage.  The parent's sinks are detached (never closed —
+    the file handles belong to the parent) and, when a capture config
+    was shipped with the dispatch, the unit runs under a fresh
+    :class:`~repro.obs.collector.UnitCapture` whose spool travels back
+    with the outcome.
     """
     import multiprocessing
 
-    OBS.disable()
+    OBS.enabled = False
+    OBS.bus = EventBus()
+    OBS.metrics = MetricsRegistry()
+    worker = multiprocessing.current_process().name
     start = time.perf_counter()
-    outcome = runner(unit)
-    return outcome, time.perf_counter() - start, \
-        multiprocessing.current_process().name
+    if config is not None and config.capture:
+        outcome, telemetry = run_unit_captured(runner, unit, config, worker)
+    else:
+        outcome = runner(unit)
+        telemetry = None
+    return outcome, time.perf_counter() - start, worker, telemetry
 
 
 class ParallelExecutor(_ExecutorBase):
@@ -303,9 +368,11 @@ class ParallelExecutor(_ExecutorBase):
         if OBS.enabled:
             OBS.bus.emit(FarmWorkerPool(status=status, workers=self.workers))
 
-    def _execute(self, units, runner, results, checkpoint, broadcast):
+    def _execute(self, units, runner, results, checkpoint, broadcast,
+                 collector):
         pending: List[WorkUnit] = list(units)
         failures: List[Tuple[WorkUnit, str]] = []
+        config = collector.worker_config() if collector is not None else None
         pool = self._pool()
         try:
             for attempt in range(1, self.max_attempts + 1):
@@ -316,7 +383,12 @@ class ParallelExecutor(_ExecutorBase):
                     self._note_dispatch(unit, attempt)
                     try:
                         futures.append(
-                            (unit, pool.submit(_worker_call, runner, unit))
+                            (
+                                unit,
+                                pool.submit(
+                                    _worker_call, runner, unit, config
+                                ),
+                            )
                         )
                     except concurrent.futures.process.BrokenProcessPool:
                         # An earlier unit already killed the pool; count
@@ -325,7 +397,7 @@ class ParallelExecutor(_ExecutorBase):
                         recycle = True
                 for unit, future in futures:
                     try:
-                        outcome, elapsed, worker = future.result(
+                        outcome, elapsed, worker, telemetry = future.result(
                             timeout=self.timeout_s
                         )
                     except concurrent.futures.TimeoutError:
@@ -343,6 +415,8 @@ class ParallelExecutor(_ExecutorBase):
                             (unit, f"{type(error).__name__}: {error}")
                         )
                         continue
+                    if collector is not None:
+                        collector.collect(telemetry)
                     self._complete(
                         unit, outcome, attempt, elapsed, worker,
                         results, checkpoint, broadcast,

@@ -8,27 +8,50 @@ package turns every such cost into an observable:
 * :mod:`repro.obs.events` — typed events (one measurement, one SUTP walk
   step, one GA generation, one NN epoch, one campaign phase) on an
   :class:`EventBus`, with JSONL (:class:`TraceWriter`), in-memory
-  (:class:`RingBufferSink`) and logging (:class:`LoggingSink`) sinks;
+  (:class:`RingBufferSink`) and logging (:class:`LoggingSink`) sinks,
+  plus the process-local trace context (campaign/unit/worker ids)
+  stamped onto every serialized event;
 * :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
   gauges and streaming histograms (``ate.measurements``,
   ``sutp.fallbacks``, ``search.probes_per_trip``, ``ga.fitness_evals``,
   ``nn.epoch_loss``, ...);
 * :mod:`repro.obs.timing` — :func:`span`/:func:`timed` wall-clock phase
   timers feeding both;
-* :mod:`repro.obs.report` — text summaries, including the fig. 3 per-test
-  cost profile rebuilt from a live trace.
+* :mod:`repro.obs.collector` — cross-process farm telemetry: per-unit
+  worker spools, trace-context propagation, the deterministic
+  submission-order merge, and the live :class:`FarmProgressReporter`;
+* :mod:`repro.obs.timeline` — Chrome-trace / Perfetto export of a
+  merged farm trace (one track per worker);
+* :mod:`repro.obs.history` — the per-campaign ``runs.jsonl`` run store
+  and the cost-regression comparison behind ``repro obs compare``;
+* :mod:`repro.obs.report` — text summaries, including the fig. 3
+  per-test cost profile rebuilt from a live trace and the tolerant
+  :func:`load_trace` used by the ``repro obs`` commands.
 
 Everything hangs off the global :data:`OBS` switchboard and is **off by
 default**: the disabled path is a single attribute check, so benchmarks
 and production runs pay nothing.  See ``docs/observability.md``.
 """
 
+from repro.obs.collector import (
+    DEFAULT_SPOOL_CAPACITY,
+    FarmCollector,
+    FarmProgressReporter,
+    SpoolSink,
+    UnitCapture,
+    WorkerCaptureConfig,
+    WorkerTelemetry,
+    run_unit_captured,
+)
 from repro.obs.events import (
     CampaignPhase,
     Event,
     EventBus,
+    FarmCheckpointDropped,
+    FarmRunStarted,
     FarmUnitCompleted,
     FarmUnitDispatched,
+    FarmUnitMerged,
     FarmUnitRetried,
     FarmUnitSkipped,
     FarmWorkerPool,
@@ -42,13 +65,28 @@ from repro.obs.events import (
     SUTPFallback,
     SUTPWalkStep,
     TraceWriter,
+    clear_trace_context,
+    current_trace_context,
+    known_event_types,
+    set_trace_context,
+    trace_context,
+)
+from repro.obs.history import (
+    RunComparison,
+    RunHistory,
+    build_run_record,
+    compare_runs,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import (
+    TraceLoadResult,
+    load_trace,
     per_test_measurement_counts,
     read_trace,
     render_metrics_summary,
+    render_slowest,
     render_trace_cost_profile,
+    render_trace_summary,
 )
 from repro.obs.runtime import (
     OBS,
@@ -58,15 +96,22 @@ from repro.obs.runtime import (
     enable,
     reset,
 )
+from repro.obs.timeline import build_chrome_trace, write_chrome_trace
 from repro.obs.timing import span, timed
 
 __all__ = [
     "CampaignPhase",
     "Counter",
+    "DEFAULT_SPOOL_CAPACITY",
     "Event",
     "EventBus",
+    "FarmCheckpointDropped",
+    "FarmCollector",
+    "FarmProgressReporter",
+    "FarmRunStarted",
     "FarmUnitCompleted",
     "FarmUnitDispatched",
+    "FarmUnitMerged",
     "FarmUnitRetried",
     "FarmUnitSkipped",
     "FarmWorkerPool",
@@ -80,19 +125,39 @@ __all__ = [
     "OBS",
     "Observability",
     "RingBufferSink",
+    "RunComparison",
+    "RunHistory",
     "SUTPFallback",
     "SUTPWalkStep",
     "SearchConverged",
     "SearchStarted",
+    "SpoolSink",
+    "TraceLoadResult",
     "TraceWriter",
+    "UnitCapture",
+    "WorkerCaptureConfig",
+    "WorkerTelemetry",
+    "build_chrome_trace",
+    "build_run_record",
+    "clear_trace_context",
+    "compare_runs",
     "configure",
+    "current_trace_context",
     "disable",
     "enable",
+    "known_event_types",
+    "load_trace",
     "per_test_measurement_counts",
     "read_trace",
     "render_metrics_summary",
+    "render_slowest",
     "render_trace_cost_profile",
+    "render_trace_summary",
     "reset",
+    "run_unit_captured",
+    "set_trace_context",
     "span",
     "timed",
+    "trace_context",
+    "write_chrome_trace",
 ]

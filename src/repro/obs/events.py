@@ -21,6 +21,7 @@ nothing measurable.
 from __future__ import annotations
 
 import collections
+import contextlib
 import json
 import logging
 import time
@@ -29,6 +30,60 @@ from pathlib import Path
 from typing import Callable, ClassVar, Deque, Dict, List, Optional, Union
 
 logger = logging.getLogger("repro.obs")
+
+
+#: Process-local trace context: ``trace_id`` (campaign), ``span_id`` (work
+#: unit) and ``worker`` (process name).  Set by the farm collector around
+#: unit execution — in the parent *and* inside worker processes — so every
+#: serialized event can be attributed to the campaign and unit that
+#: produced it, across process boundaries.
+_TRACE_CONTEXT: Optional[Dict[str, str]] = None
+
+
+def set_trace_context(
+    trace_id: Optional[str] = None,
+    span_id: Optional[str] = None,
+    worker: Optional[str] = None,
+) -> None:
+    """Install the current trace context (``None`` fields are omitted)."""
+    global _TRACE_CONTEXT
+    context = {
+        key: value
+        for key, value in (
+            ("trace_id", trace_id),
+            ("span_id", span_id),
+            ("worker", worker),
+        )
+        if value
+    }
+    _TRACE_CONTEXT = context or None
+
+
+def clear_trace_context() -> None:
+    """Drop the current trace context."""
+    global _TRACE_CONTEXT
+    _TRACE_CONTEXT = None
+
+
+def current_trace_context() -> Optional[Dict[str, str]]:
+    """The installed trace context (a copy), or ``None``."""
+    return dict(_TRACE_CONTEXT) if _TRACE_CONTEXT else None
+
+
+@contextlib.contextmanager
+def trace_context(
+    trace_id: Optional[str] = None,
+    span_id: Optional[str] = None,
+    worker: Optional[str] = None,
+):
+    """Scoped :func:`set_trace_context`; restores the previous context."""
+    global _TRACE_CONTEXT
+    saved = _TRACE_CONTEXT
+    set_trace_context(trace_id=trace_id, span_id=span_id, worker=worker)
+    try:
+        yield
+    finally:
+        _TRACE_CONTEXT = saved
 
 
 @dataclass(frozen=True)
@@ -147,9 +202,22 @@ class FarmUnitDispatched(Event):
 
 
 @dataclass(frozen=True)
+class FarmRunStarted(Event):
+    """A farm executor accepted a batch of work units."""
+
+    type: ClassVar[str] = "farm_run_started"
+
+    campaign: str
+    units: int
+    executor: str  # "serial" | "parallel"
+    workers: int
+
+
+@dataclass(frozen=True)
 class FarmUnitCompleted(Event):
     """A work unit finished; cost flows back from the (possibly remote)
-    worker through the outcome, since worker-side telemetry is off."""
+    worker through the outcome, and — when a collector is active — its
+    spooled telemetry is merged into the parent's sinks afterwards."""
 
     type: ClassVar[str] = "farm_unit_completed"
 
@@ -158,6 +226,35 @@ class FarmUnitCompleted(Event):
     attempt: int
     elapsed_s: float
     measurements: int
+    worker: str = ""
+
+
+@dataclass(frozen=True)
+class FarmUnitMerged(Event):
+    """A unit's worker-side telemetry was merged into the parent sinks.
+
+    Emitted by the collector in submission order, after the whole batch
+    completed — the deterministic closing bracket of a unit's lifecycle
+    (queued -> running -> [retried ->] merged)."""
+
+    type: ClassVar[str] = "farm_unit_merged"
+
+    key: str
+    events: int
+    dropped_events: int
+    measurements: int
+    worker: str = ""
+
+
+@dataclass(frozen=True)
+class FarmCheckpointDropped(Event):
+    """A checkpoint load dropped corrupt/undecodable lines — data loss
+    that would otherwise only surface as a logging warning."""
+
+    type: ClassVar[str] = "farm_checkpoint_dropped"
+
+    path: str
+    lines: int
 
 
 @dataclass(frozen=True)
@@ -195,6 +292,36 @@ class FarmWorkerPool(Event):
 #: A sink is anything with ``handle(event)``; ``close()`` is optional.
 Sink = Callable
 
+#: What the bus carries: a typed :class:`Event`, or a pre-serialized event
+#: payload (a ``dict`` with a ``type`` key, and usually a ``ts`` and trace
+#: context) replayed from a worker spool by the farm collector.
+EventLike = Union[Event, Dict[str, object]]
+
+
+def known_event_types() -> "frozenset[str]":
+    """The ``type`` discriminators of every event class in this module."""
+    types = set()
+    stack = [Event]
+    while stack:
+        cls = stack.pop()
+        types.add(cls.type)
+        stack.extend(cls.__subclasses__())
+    return frozenset(types)
+
+
+def event_payload(event: EventLike) -> Dict[str, object]:
+    """``event`` as a plain serializable dict (a copy for dict inputs)."""
+    if isinstance(event, dict):
+        return dict(event)
+    return event.to_dict()
+
+
+def event_type(event: EventLike) -> str:
+    """The ``type`` discriminator of a typed or pre-serialized event."""
+    if isinstance(event, dict):
+        return str(event.get("type", "event"))
+    return event.type
+
 
 class EventBus:
     """Fan-out dispatcher from instrumented code to subscribed sinks."""
@@ -218,7 +345,7 @@ class EventBus:
         except ValueError:
             pass
 
-    def emit(self, event: Event) -> None:
+    def emit(self, event: EventLike) -> None:
         """Deliver ``event`` to every sink, in subscription order."""
         for sink in self._sinks:
             sink.handle(event)
@@ -238,22 +365,22 @@ class RingBufferSink:
     def __init__(self, capacity: int = 10_000) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
-        self._buffer: Deque[Event] = collections.deque(maxlen=capacity)
+        self._buffer: Deque[EventLike] = collections.deque(maxlen=capacity)
 
-    def handle(self, event: Event) -> None:
+    def handle(self, event: EventLike) -> None:
         """Store one event (oldest dropped at capacity)."""
         self._buffer.append(event)
 
     @property
-    def events(self) -> List[Event]:
+    def events(self) -> List[EventLike]:
         """Buffered events, oldest first."""
         return list(self._buffer)
 
-    def of_type(self, event_type: Union[str, type]) -> List[Event]:
+    def of_type(self, wanted: Union[str, type]) -> List[EventLike]:
         """Buffered events of one type (by ``type`` string or class)."""
-        if isinstance(event_type, str):
-            return [e for e in self._buffer if e.type == event_type]
-        return [e for e in self._buffer if isinstance(e, event_type)]
+        if isinstance(wanted, str):
+            return [e for e in self._buffer if event_type(e) == wanted]
+        return [e for e in self._buffer if isinstance(e, wanted)]
 
     def clear(self) -> None:
         """Drop all buffered events."""
@@ -264,19 +391,29 @@ class TraceWriter:
     """JSONL sink: one ``{"type": ..., "ts": ..., ...}`` object per line.
 
     The timestamp is wall-clock seconds (``time.time()``) stamped as the
-    event is written.  Use :func:`repro.obs.report.read_trace` to load the
-    file back.
+    event is written; a pre-serialized event (a worker-spool replay)
+    keeps the ``ts`` it was captured with, so merged traces preserve the
+    worker-side timeline.  The current trace context (campaign/unit/
+    worker ids) is stamped onto every line.  Each line is flushed as it
+    is written — the buffer is always empty, so a forked worker process
+    inheriting this sink can never replay buffered parent data.  Use
+    :func:`repro.obs.report.read_trace` to load the file back.
     """
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self._handle = self.path.open("w")
 
-    def handle(self, event: Event) -> None:
+    def handle(self, event: EventLike) -> None:
         """Serialize and append one event."""
-        payload = event.to_dict()
-        payload["ts"] = time.time()
+        payload = event_payload(event)
+        payload.setdefault("ts", time.time())
+        context = current_trace_context()
+        if context:
+            for key, value in context.items():
+                payload.setdefault(key, value)
         self._handle.write(json.dumps(payload) + "\n")
+        self._handle.flush()
 
     def close(self) -> None:
         """Flush and close the file (idempotent)."""
@@ -292,9 +429,11 @@ _INFO_EVENT_TYPES = frozenset(
         "search_converged",
         "ga_generation",
         "sutp_fallback",
+        "farm_run_started",
         "farm_unit_retried",
         "farm_unit_skipped",
         "farm_worker_pool",
+        "farm_checkpoint_dropped",
     }
 )
 
@@ -302,11 +441,18 @@ _INFO_EVENT_TYPES = frozenset(
 class LoggingSink:
     """Mirrors events onto the ``repro.obs`` stdlib logger."""
 
-    def handle(self, event: Event) -> None:
+    def handle(self, event: EventLike) -> None:
         """Log one event (INFO for phase-level types, DEBUG otherwise)."""
-        level = logging.INFO if event.type in _INFO_EVENT_TYPES else logging.DEBUG
+        name = event_type(event)
+        level = logging.INFO if name in _INFO_EVENT_TYPES else logging.DEBUG
         if logger.isEnabledFor(level):
-            fields = ", ".join(
-                f"{key}={value}" for key, value in asdict(event).items()
-            )
-            logger.log(level, "%s: %s", event.type, fields)
+            if isinstance(event, dict):
+                items = [
+                    (key, value)
+                    for key, value in event.items()
+                    if key != "type"
+                ]
+            else:
+                items = list(asdict(event).items())
+            fields = ", ".join(f"{key}={value}" for key, value in items)
+            logger.log(level, "%s: %s", name, fields)

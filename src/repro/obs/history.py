@@ -1,0 +1,236 @@
+"""Run-history store and cost-regression comparison.
+
+Sommeregger & Pilz (arXiv:2501.07115) motivate watching characterization
+cost drift *across* runs, not just within one.  This module gives each
+campaign a ``runs.jsonl``: one JSON line per run, recording the
+measurement cost (the paper's fig. 3 / eqs. 2-4 economics), wall clock
+and per-test breakdown, plus a comparison that flags regressions against
+a named baseline run — ``repro obs compare`` exits non-zero when the
+total measurement cost regresses beyond the threshold.
+
+The loader is deliberately tolerant: lines from unknown schema versions
+(or other writers) are counted and kept best-effort rather than
+rejected, so old baselines stay loadable as the format evolves.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+RUN_SCHEMA = 1
+RUN_KIND = "repro.obs.run"
+
+
+def build_run_record(
+    name: str,
+    registry: MetricsRegistry,
+    campaign: str = "",
+    command: str = "",
+    wall_s: float = 0.0,
+    workers: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> Dict[str, object]:
+    """One run's cost record, built from the live metrics registry."""
+    measurements = registry.counters.get("ate.measurements")
+    units = registry.counters.get("farm.units")
+    retries = registry.counters.get("farm.unit_retries")
+    dropped = registry.counters.get("farm.checkpoint.dropped_lines")
+    return {
+        "schema": RUN_SCHEMA,
+        "kind": RUN_KIND,
+        "run": name,
+        "campaign": campaign,
+        "command": command,
+        "ts": time.time(),
+        "wall_s": round(float(wall_s), 6),
+        "workers": workers,
+        "seed": seed,
+        "measurements": measurements.value if measurements else 0,
+        "per_test": dict(measurements.by_label) if measurements else {},
+        "farm_units": units.value if units else 0,
+        "farm_retries": retries.value if retries else 0,
+        "checkpoint_dropped_lines": dropped.value if dropped else 0,
+    }
+
+
+@dataclass
+class HistoryLoad:
+    """Result of a tolerant history load."""
+
+    records: List[Dict[str, object]] = field(default_factory=list)
+    dropped_lines: int = 0
+    unknown_schema: int = 0
+
+
+class RunHistory:
+    """Append-only ``runs.jsonl`` store of run records."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def append(self, record: Dict[str, object]) -> None:
+        """Append one record, flushed immediately."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+
+    def next_default_name(self) -> str:
+        """``run-<n>`` with ``n`` = number of records already stored."""
+        return f"run-{len(self.load().records)}"
+
+    def load(self) -> HistoryLoad:
+        """Every run record on disk, in append order — tolerantly.
+
+        Unparseable lines are dropped (and counted); parseable records
+        with an unrecognized ``schema`` are *kept* (and counted) so a
+        newer writer's baselines remain usable as far as their fields
+        overlap with ours.
+        """
+        loaded = HistoryLoad()
+        if not self.path.exists():
+            return loaded
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                loaded.dropped_lines += 1
+                continue
+            if not isinstance(record, dict) or record.get("kind") != RUN_KIND:
+                loaded.dropped_lines += 1
+                continue
+            if record.get("schema") != RUN_SCHEMA:
+                loaded.unknown_schema += 1
+            loaded.records.append(record)
+        return loaded
+
+    def find(self, name: str) -> Optional[Dict[str, object]]:
+        """The most recent record named ``name`` (``None`` if absent)."""
+        found = None
+        for record in self.load().records:
+            if record.get("run") == name:
+                found = record
+        return found
+
+    def latest(self) -> Optional[Dict[str, object]]:
+        """The most recently appended record."""
+        records = self.load().records
+        return records[-1] if records else None
+
+
+def _delta_pct(baseline: float, current: float) -> Optional[float]:
+    if not baseline:
+        return None
+    return (current - baseline) / baseline * 100.0
+
+
+@dataclass
+class RunComparison:
+    """A run measured against a baseline run."""
+
+    baseline: Dict[str, object]
+    run: Dict[str, object]
+    threshold_pct: float = 5.0
+
+    @property
+    def measurement_delta_pct(self) -> Optional[float]:
+        return _delta_pct(
+            float(self.baseline.get("measurements", 0) or 0),
+            float(self.run.get("measurements", 0) or 0),
+        )
+
+    @property
+    def wall_delta_pct(self) -> Optional[float]:
+        return _delta_pct(
+            float(self.baseline.get("wall_s", 0.0) or 0.0),
+            float(self.run.get("wall_s", 0.0) or 0.0),
+        )
+
+    @property
+    def regressed(self) -> bool:
+        """True when measurement cost regressed beyond the threshold.
+
+        Measurement count is the deterministic cost axis (the paper's
+        argument); wall clock is reported but advisory — it varies with
+        host load and worker count.
+        """
+        delta = self.measurement_delta_pct
+        return delta is not None and delta > self.threshold_pct
+
+    def per_test_regressions(self, count: int = 10) -> List[Dict[str, object]]:
+        """The largest per-test measurement increases, descending."""
+        base: Dict[str, int] = dict(self.baseline.get("per_test") or {})
+        cur: Dict[str, int] = dict(self.run.get("per_test") or {})
+        rows = []
+        for name in sorted(set(base) | set(cur)):
+            before, after = int(base.get(name, 0)), int(cur.get(name, 0))
+            if after > before:
+                rows.append(
+                    {"test": name, "baseline": before, "run": after,
+                     "delta": after - before}
+                )
+        rows.sort(key=lambda r: (-r["delta"], r["test"]))
+        return rows[:count]
+
+    def render(self) -> str:
+        """Human-readable comparison report."""
+
+        def fmt(delta: Optional[float]) -> str:
+            return "n/a" if delta is None else f"{delta:+.2f}%"
+
+        lines = [
+            f"== run comparison: {self.run.get('run')} vs baseline "
+            f"{self.baseline.get('run')} ==",
+            f"  measurements: {self.baseline.get('measurements', 0)} -> "
+            f"{self.run.get('measurements', 0)} "
+            f"({fmt(self.measurement_delta_pct)}, "
+            f"threshold {self.threshold_pct:+.1f}%)",
+            f"  wall clock:   {float(self.baseline.get('wall_s', 0) or 0):.3f}s"
+            f" -> {float(self.run.get('wall_s', 0) or 0):.3f}s "
+            f"({fmt(self.wall_delta_pct)}, advisory)",
+        ]
+        worst = self.per_test_regressions()
+        if worst:
+            lines.append("  costlier tests:")
+            for row in worst:
+                lines.append(
+                    f"    - {row['test']:<28} {row['baseline']:>6} -> "
+                    f"{row['run']:>6} (+{row['delta']})"
+                )
+        lines.append(
+            "  verdict: "
+            + ("MEASUREMENT COST REGRESSION" if self.regressed else "ok")
+        )
+        return "\n".join(lines)
+
+
+def compare_runs(
+    history: RunHistory,
+    baseline_name: str,
+    run_name: Optional[str] = None,
+    threshold_pct: float = 5.0,
+) -> RunComparison:
+    """Compare ``run_name`` (default: the latest run) to the baseline.
+
+    Raises
+    ------
+    KeyError
+        When either run is not found in the history.
+    """
+    baseline = history.find(baseline_name)
+    if baseline is None:
+        raise KeyError(f"baseline run {baseline_name!r} not in {history.path}")
+    run = history.find(run_name) if run_name else history.latest()
+    if run is None:
+        wanted = run_name if run_name else "<latest>"
+        raise KeyError(f"run {wanted!r} not in {history.path}")
+    return RunComparison(baseline=baseline, run=run, threshold_pct=threshold_pct)

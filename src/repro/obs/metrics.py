@@ -77,13 +77,17 @@ class Histogram:
         "total",
         "min",
         "max",
+        "raw",
         "_reservoir",
         "_reservoir_size",
         "_rng",
     )
 
     def __init__(
-        self, name: str, reservoir_size: int = DEFAULT_RESERVOIR_SIZE
+        self,
+        name: str,
+        reservoir_size: int = DEFAULT_RESERVOIR_SIZE,
+        keep_raw: bool = False,
     ) -> None:
         if reservoir_size < 1:
             raise ValueError("reservoir_size must be >= 1")
@@ -92,6 +96,10 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        #: Every observation in order, when ``keep_raw`` — the farm
+        #: collector uses this to replay a worker's histogram into the
+        #: parent registry exactly (reservoir state included).
+        self.raw: Optional[List[float]] = [] if keep_raw else None
         self._reservoir: List[float] = []
         self._reservoir_size = reservoir_size
         self._rng = random.Random(0x5EED)
@@ -105,6 +113,8 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if self.raw is not None:
+            self.raw.append(value)
         if len(self._reservoir) < self._reservoir_size:
             self._reservoir.append(value)
         else:
@@ -145,9 +155,15 @@ class MetricsRegistry:
     existing instrument or create it — so instrumented code needs no setup
     and a summary can show a counter at zero (the instrument exists the
     moment the instrumented path runs, even if it never fires).
+
+    With ``keep_raw=True`` every histogram keeps its full observation
+    stream (:attr:`Histogram.raw`) so the registry can be shipped across
+    a process boundary and replayed exactly — the farm collector builds
+    per-work-unit registries this way.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, keep_raw: bool = False) -> None:
+        self.keep_raw = keep_raw
         self.counters: Dict[str, Counter] = {}
         self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, Histogram] = {}
@@ -170,7 +186,9 @@ class MetricsRegistry:
         """The histogram called ``name``."""
         instrument = self.histograms.get(name)
         if instrument is None:
-            instrument = self.histograms[name] = Histogram(name)
+            instrument = self.histograms[name] = Histogram(
+                name, keep_raw=self.keep_raw
+            )
         return instrument
 
     def names(self) -> Iterable[str]:
@@ -200,6 +218,52 @@ class MetricsRegistry:
                 for name, h in self.histograms.items()
             },
         }
+
+    def dump_raw(self) -> Dict[str, object]:
+        """Transportable (picklable/JSON-able) form for exact replay.
+
+        Histograms dump their full observation stream when the registry
+        keeps raw values (the collector's per-unit registries do);
+        otherwise the reservoir sample stands in — still deterministic,
+        but a subsample beyond :data:`DEFAULT_RESERVOIR_SIZE`.
+        """
+        return {
+            "counters": {
+                name: {"value": c.value, "by_label": dict(c.by_label)}
+                for name, c in self.counters.items()
+            },
+            "gauges": {name: g.value for name, g in self.gauges.items()},
+            "histograms": {
+                name: list(h.raw if h.raw is not None else h._reservoir)
+                for name, h in self.histograms.items()
+            },
+        }
+
+    def merge_raw(self, payload: Dict[str, object]) -> None:
+        """Replay a :meth:`dump_raw` payload into this registry.
+
+        Deterministic: counters merge label-sorted, gauges last-write-
+        wins, histogram observations replay in recorded order — so
+        merging the same per-unit payloads in the same order always
+        yields an identical registry, no matter where the units ran.
+        """
+        for name, data in sorted(payload.get("counters", {}).items()):
+            counter = self.counter(name)
+            by_label = data.get("by_label") or {}
+            for label, amount in sorted(by_label.items()):
+                counter.inc(int(amount), label=label)
+            unlabelled = int(data.get("value", 0)) - sum(
+                int(v) for v in by_label.values()
+            )
+            if unlabelled > 0:
+                counter.inc(unlabelled)
+        for name, value in sorted(payload.get("gauges", {}).items()):
+            if value is not None:
+                self.gauge(name).set(float(value))
+        for name, values in sorted(payload.get("histograms", {}).items()):
+            histogram = self.histogram(name)
+            for value in values:
+                histogram.observe(float(value))
 
     def reset(self) -> None:
         """Drop every instrument (start of a fresh campaign)."""

@@ -16,9 +16,11 @@ Two views of one campaign:
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.obs.events import known_event_types
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -46,6 +48,45 @@ def read_trace(path: Union[str, Path]) -> List[Dict[str, object]]:
             )
         records.append(record)
     return records
+
+
+@dataclass
+class TraceLoadResult:
+    """A tolerantly-loaded trace plus what had to be forgiven."""
+
+    records: List[Dict[str, object]] = field(default_factory=list)
+    dropped_lines: int = 0
+    unknown_types: Dict[str, int] = field(default_factory=dict)
+
+
+def load_trace(path: Union[str, Path]) -> TraceLoadResult:
+    """Load a trace *tolerantly* (the ``repro obs`` commands use this).
+
+    Unlike :func:`read_trace`, a malformed line is counted and skipped
+    rather than fatal, and records whose ``type`` is not one of this
+    build's event classes are *kept* (and tallied in
+    :attr:`TraceLoadResult.unknown_types`) — so traces and ``runs.jsonl``
+    baselines written by older or newer schema versions stay loadable.
+    """
+    known = known_event_types()
+    loaded = TraceLoadResult()
+    text = Path(path).read_text()
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            loaded.dropped_lines += 1
+            continue
+        if not isinstance(record, dict) or "type" not in record:
+            loaded.dropped_lines += 1
+            continue
+        kind = str(record["type"])
+        if kind not in known:
+            loaded.unknown_types[kind] = loaded.unknown_types.get(kind, 0) + 1
+        loaded.records.append(record)
+    return loaded
 
 
 def render_metrics_summary(
@@ -138,4 +179,141 @@ def render_trace_cost_profile(
         f"total: {sum(c for _, c in groups)} measurements over "
         f"{len(groups)} test group(s)"
     )
+    return "\n".join(lines)
+
+
+def _farm_unit_rows(
+    records: Iterable[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """One row per completed unit (last completion wins on retry)."""
+    rows: Dict[str, Dict[str, object]] = {}
+    for record in records:
+        if record.get("type") != "farm_unit_completed":
+            continue
+        rows[str(record.get("key"))] = {
+            "key": str(record.get("key")),
+            "kind": record.get("kind", ""),
+            "attempt": int(record.get("attempt", 1) or 1),
+            "elapsed_s": float(record.get("elapsed_s", 0.0) or 0.0),
+            "measurements": int(record.get("measurements", 0) or 0),
+            "worker": str(record.get("worker", "") or "serial"),
+        }
+    return list(rows.values())
+
+
+def render_trace_summary(loaded: TraceLoadResult) -> str:
+    """``repro obs summary``: one screen describing a merged trace.
+
+    Event counts by type, the farm section (units, workers, retries,
+    merge bookkeeping), measurement totals with the costliest tests, and
+    an honesty footer for anything the tolerant loader had to forgive.
+    """
+    records = loaded.records
+    lines = [f"== trace summary: {len(records)} event(s) =="]
+    counts: Dict[str, int] = {}
+    for record in records:
+        kind = str(record.get("type"))
+        counts[kind] = counts.get(kind, 0) + 1
+    lines.append("events by type:")
+    for kind in sorted(counts, key=lambda k: (-counts[k], k)):
+        lines.append(f"  {kind:<30} {counts[kind]:>8}")
+
+    units = _farm_unit_rows(records)
+    if units:
+        by_worker: Dict[str, List[Dict[str, object]]] = {}
+        for row in units:
+            by_worker.setdefault(str(row["worker"]), []).append(row)
+        retries = counts.get("farm_unit_retried", 0)
+        skipped = counts.get("farm_unit_skipped", 0)
+        merged = counts.get("farm_unit_merged", 0)
+        lines.append(
+            f"farm: {len(units)} unit(s) completed on "
+            f"{len(by_worker)} worker(s), {skipped} restored from "
+            f"checkpoint, {retries} retry(ies), {merged} merged"
+        )
+        for worker in sorted(by_worker):
+            rows = by_worker[worker]
+            busy = sum(float(r["elapsed_s"]) for r in rows)
+            meas = sum(int(r["measurements"]) for r in rows)
+            lines.append(
+                f"  {worker:<24} {len(rows):>4} unit(s)"
+                f" {busy:>9.3f}s busy {meas:>9} meas"
+            )
+        dropped_events = sum(
+            int(r.get("dropped_events", 0) or 0)
+            for r in records
+            if r.get("type") == "farm_unit_merged"
+        )
+        if dropped_events:
+            lines.append(
+                f"  warning: {dropped_events} worker event(s) dropped "
+                f"(spool capacity)"
+            )
+    checkpoint_dropped = sum(
+        int(r.get("lines", 0) or 0)
+        for r in records
+        if r.get("type") == "farm_checkpoint_dropped"
+    )
+    if checkpoint_dropped:
+        lines.append(
+            f"  warning: {checkpoint_dropped} corrupt checkpoint "
+            f"line(s) dropped"
+        )
+
+    groups = per_test_measurement_counts(records)
+    if groups:
+        total = sum(count for _, count in groups)
+        totals: Dict[str, int] = {}
+        for name, count in groups:
+            totals[name] = totals.get(name, 0) + count
+        lines.append(
+            f"measurements: {total} over {len(groups)} test group(s); "
+            f"costliest:"
+        )
+        ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))[:10]
+        for name, count in ranked:
+            lines.append(f"  {name[:40]:<40} {count:>8}")
+
+    if loaded.dropped_lines:
+        lines.append(f"({loaded.dropped_lines} malformed line(s) skipped)")
+    if loaded.unknown_types:
+        detail = ", ".join(
+            f"{kind} x{count}"
+            for kind, count in sorted(loaded.unknown_types.items())
+        )
+        lines.append(f"({sum(loaded.unknown_types.values())} event(s) of "
+                     f"unknown type kept: {detail})")
+    return "\n".join(lines)
+
+
+def render_slowest(loaded: TraceLoadResult, count: int = 10) -> str:
+    """``repro obs slowest``: the wall-clock and cost hot spots."""
+    records = loaded.records
+    lines: List[str] = []
+    units = sorted(
+        _farm_unit_rows(records),
+        key=lambda r: (-float(r["elapsed_s"]), str(r["key"])),
+    )[:count]
+    if units:
+        lines.append(f"slowest {len(units)} unit(s):")
+        for row in units:
+            attempt = (
+                f" (attempt {row['attempt']})" if int(row["attempt"]) > 1
+                else ""
+            )
+            lines.append(
+                f"  {str(row['key'])[:32]:<32} {float(row['elapsed_s']):>9.3f}s"
+                f" {int(row['measurements']):>8} meas on {row['worker']}"
+                f"{attempt}"
+            )
+    totals: Dict[str, int] = {}
+    for name, meas in per_test_measurement_counts(records):
+        totals[name] = totals.get(name, 0) + meas
+    ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))[:count]
+    if ranked:
+        lines.append(f"costliest {len(ranked)} test(s):")
+        for name, meas in ranked:
+            lines.append(f"  {name[:40]:<40} {meas:>8} meas")
+    if not lines:
+        lines.append("(no farm units or measurements in trace)")
     return "\n".join(lines)

@@ -1,0 +1,208 @@
+"""Chrome-trace / Perfetto timeline export of a merged farm trace.
+
+Turns the JSONL trace of a (possibly parallel) campaign into the Chrome
+Trace Event Format — load the output at ``ui.perfetto.dev`` or
+``chrome://tracing`` to see the farm run as a timeline:
+
+* one track per worker process, a span per unit execution
+  (``farm_unit_completed`` carries the worker, end time and duration);
+* a ``farm queue`` track with each unit's queued period
+  (dispatch -> execution start) and retry markers;
+* a ``campaign`` track with the ``span()`` phase brackets
+  (``lot``, ``sweep``, ``optimization.ga``, ...);
+* a ``merge`` track with the deterministic per-unit merge points.
+
+Timestamps are microseconds relative to the earliest event in the
+trace; durations come from the events themselves, so the picture is the
+*live* execution — the merged measurement events keep their worker-side
+timestamps and are deliberately not drawn individually (a lot-sized
+trace holds hundreds of thousands; the unit spans carry their counts).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+#: Reserved track (tid) numbers; worker tracks are assigned from
+#: :data:`_FIRST_WORKER_TID` upward in order of first appearance.
+_PID = 1
+_TID_CAMPAIGN = 1
+_TID_QUEUE = 2
+_TID_MERGE = 3
+_FIRST_WORKER_TID = 10
+
+
+def _us(ts: float, t0: float) -> float:
+    return round((ts - t0) * 1e6, 3)
+
+
+class _Tracks:
+    """Stable worker-name -> tid assignment, first appearance wins."""
+
+    def __init__(self) -> None:
+        self._tids: Dict[str, int] = {}
+
+    def tid(self, worker: str) -> int:
+        worker = worker or "serial"
+        if worker not in self._tids:
+            self._tids[worker] = _FIRST_WORKER_TID + len(self._tids)
+        return self._tids[worker]
+
+    def items(self) -> List[Tuple[str, int]]:
+        return sorted(self._tids.items(), key=lambda kv: kv[1])
+
+
+def build_chrome_trace(
+    records: Iterable[Dict[str, object]],
+) -> Dict[str, object]:
+    """The Chrome-trace dict for a list of trace records.
+
+    ``records`` is what :func:`repro.obs.report.read_trace` /
+    :func:`~repro.obs.report.load_trace` return.  Unknown event types
+    are ignored, so traces from newer schemas still render.
+    """
+    records = [r for r in records if isinstance(r.get("ts"), (int, float))]
+    if not records:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    t0 = min(float(r["ts"]) for r in records)
+
+    events: List[Dict[str, object]] = []
+    tracks = _Tracks()
+    dispatch_ts: Dict[str, float] = {}
+    phase_stack: Dict[str, List[float]] = {}
+
+    for record in records:
+        kind = record.get("type")
+        ts = float(record["ts"])
+        if kind == "farm_unit_dispatched":
+            # Latest dispatch wins: a retried unit's queued period is
+            # measured from its final dispatch.
+            dispatch_ts[str(record.get("key"))] = ts
+        elif kind == "farm_unit_completed":
+            key = str(record.get("key"))
+            elapsed = float(record.get("elapsed_s", 0.0))
+            start = ts - elapsed
+            worker = str(record.get("worker", "") or "serial")
+            queued_from = dispatch_ts.get(key)
+            if queued_from is not None and queued_from < start:
+                events.append(
+                    {
+                        "name": key,
+                        "cat": "queued",
+                        "ph": "X",
+                        "pid": _PID,
+                        "tid": _TID_QUEUE,
+                        "ts": _us(queued_from, t0),
+                        "dur": round((start - queued_from) * 1e6, 3),
+                        "args": {"attempt": record.get("attempt", 1)},
+                    }
+                )
+            events.append(
+                {
+                    "name": key,
+                    "cat": "running",
+                    "ph": "X",
+                    "pid": _PID,
+                    "tid": tracks.tid(worker),
+                    "ts": _us(start, t0),
+                    "dur": round(elapsed * 1e6, 3),
+                    "args": {
+                        "kind": record.get("kind"),
+                        "attempt": record.get("attempt", 1),
+                        "measurements": record.get("measurements", 0),
+                    },
+                }
+            )
+        elif kind == "farm_unit_retried":
+            events.append(
+                {
+                    "name": f"retry {record.get('key')}",
+                    "cat": "retry",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": _PID,
+                    "tid": _TID_QUEUE,
+                    "ts": _us(ts, t0),
+                    "args": {"error": record.get("error", "")},
+                }
+            )
+        elif kind == "farm_unit_merged":
+            events.append(
+                {
+                    "name": f"merge {record.get('key')}",
+                    "cat": "merge",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": _PID,
+                    "tid": _TID_MERGE,
+                    "ts": _us(ts, t0),
+                    "args": {
+                        "events": record.get("events", 0),
+                        "measurements": record.get("measurements", 0),
+                        "worker": record.get("worker", ""),
+                    },
+                }
+            )
+        elif kind == "campaign_phase":
+            phase = str(record.get("phase"))
+            if record.get("status") == "start":
+                phase_stack.setdefault(phase, []).append(ts)
+            elif record.get("status") == "end":
+                stack = phase_stack.get(phase)
+                start = stack.pop() if stack else ts - float(
+                    record.get("duration_s") or 0.0
+                )
+                events.append(
+                    {
+                        "name": phase,
+                        "cat": "phase",
+                        "ph": "X",
+                        "pid": _PID,
+                        "tid": _TID_CAMPAIGN,
+                        "ts": _us(start, t0),
+                        "dur": max(0.0, _us(ts, t0) - _us(start, t0)),
+                        "args": {"duration_s": record.get("duration_s")},
+                    }
+                )
+
+    metadata: List[Dict[str, object]] = [
+        {
+            "ph": "M",
+            "pid": _PID,
+            "name": "process_name",
+            "args": {"name": "repro farm"},
+        },
+        _thread_name(_TID_CAMPAIGN, "campaign"),
+        _thread_name(_TID_QUEUE, "farm queue"),
+        _thread_name(_TID_MERGE, "merge"),
+    ]
+    metadata.extend(
+        _thread_name(tid, f"worker {name}") for name, tid in tracks.items()
+    )
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+    }
+
+
+def _thread_name(tid: int, name: str) -> Dict[str, object]:
+    return {
+        "ph": "M",
+        "pid": _PID,
+        "tid": tid,
+        "name": "thread_name",
+        "args": {"name": name},
+    }
+
+
+def write_chrome_trace(
+    records: Iterable[Dict[str, object]],
+    path: Union[str, Path],
+    indent: Optional[int] = None,
+) -> Path:
+    """Write the Chrome-trace JSON for ``records`` to ``path``."""
+    path = Path(path)
+    path.write_text(json.dumps(build_chrome_trace(records), indent=indent))
+    return path

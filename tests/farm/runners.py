@@ -10,6 +10,8 @@ import os
 import time
 
 from repro.farm.workunit import UnitOutcome, WorkUnit
+from repro.obs.events import MeasurementEvent
+from repro.obs.runtime import OBS
 
 
 def echo_runner(unit: WorkUnit) -> UnitOutcome:
@@ -58,6 +60,32 @@ def sleeping_runner(unit: WorkUnit) -> UnitOutcome:
     """Sleeps past any reasonable per-unit timeout."""
     time.sleep(unit.payload.get("sleep_s", 30.0))
     return UnitOutcome(value=unit.key)
+
+
+def emitting_runner(unit: WorkUnit) -> UnitOutcome:
+    """Emits telemetry like a real characterization runner would.
+
+    Per unit: ``unit.index + 1`` measurement events, the same counter
+    increments (labelled by the unit key), and one histogram observation
+    per measurement — enough to verify worker-side capture, trace-context
+    stamping and the deterministic merge.
+    """
+    n = unit.index + 1
+    for i in range(n):
+        if OBS.enabled:
+            OBS.metrics.counter("ate.measurements").inc(label=unit.key)
+            OBS.metrics.histogram("test.values").observe(
+                float(unit.index * 100 + i)
+            )
+            OBS.bus.emit(
+                MeasurementEvent(
+                    index=i,
+                    test_name=unit.key,
+                    strobe_ns=float(unit.index * 100 + i),
+                    passed=True,
+                )
+            )
+    return UnitOutcome(value=unit.key, measurements=n)
 
 
 def forbidden_key_runner(unit: WorkUnit) -> UnitOutcome:

@@ -89,3 +89,43 @@ class TestRobustness:
             handle.write(json.dumps({"unit": "bad", "index": 0,
                                      "value_b64": "!!!"}) + "\n")
         assert set(CheckpointStore(path).load()) == {"good"}
+
+
+class TestDroppedLineTelemetry:
+    def _corrupt_checkpoint(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        with CheckpointStore(path) as store:
+            store.record(_result("good"))
+        with path.open("a") as handle:
+            handle.write("{broken json\n")
+            handle.write(json.dumps({"unit": "bad", "index": 0,
+                                     "value_b64": "!!!"}) + "\n")
+        return path
+
+    def test_dropped_lines_counted_and_announced(self, tmp_path):
+        from repro import obs
+
+        path = self._corrupt_checkpoint(tmp_path)
+        sink = obs.RingBufferSink()
+        obs.enable(sink)
+        try:
+            loaded = CheckpointStore(path).load()
+        finally:
+            counter = obs.OBS.metrics.counters.get(
+                "farm.checkpoint.dropped_lines"
+            )
+            events = sink.of_type("farm_checkpoint_dropped")
+            obs.reset()
+        assert set(loaded) == {"good"}
+        assert counter is not None and counter.value == 2
+        assert len(events) == 1
+        assert events[0].path == str(path)
+        assert events[0].lines == 2
+
+    def test_no_telemetry_when_disabled(self, tmp_path):
+        from repro import obs
+
+        path = self._corrupt_checkpoint(tmp_path)
+        assert not obs.OBS.enabled
+        assert set(CheckpointStore(path).load()) == {"good"}
+        assert "farm.checkpoint.dropped_lines" not in obs.OBS.metrics.counters

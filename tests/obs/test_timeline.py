@@ -1,0 +1,101 @@
+"""Chrome-trace / Perfetto timeline export."""
+
+import json
+
+from repro.obs.timeline import build_chrome_trace, write_chrome_trace
+
+
+def _records():
+    """A tiny two-worker farm trace: dispatch, run, retry, merge, phase."""
+    return [
+        {"type": "campaign_phase", "phase": "lot", "status": "start",
+         "ts": 100.0},
+        {"type": "farm_unit_dispatched", "key": "a", "kind": "t",
+         "attempt": 1, "executor": "parallel", "ts": 100.1},
+        {"type": "farm_unit_dispatched", "key": "b", "kind": "t",
+         "attempt": 1, "executor": "parallel", "ts": 100.1},
+        {"type": "farm_unit_retried", "key": "b", "attempt": 1,
+         "error": "boom", "ts": 100.6},
+        {"type": "farm_unit_dispatched", "key": "b", "kind": "t",
+         "attempt": 2, "executor": "parallel", "ts": 100.6},
+        {"type": "farm_unit_completed", "key": "a", "kind": "t",
+         "attempt": 1, "elapsed_s": 0.5, "measurements": 10,
+         "worker": "ForkProcess-1", "ts": 100.7},
+        {"type": "farm_unit_completed", "key": "b", "kind": "t",
+         "attempt": 2, "elapsed_s": 0.3, "measurements": 7,
+         "worker": "ForkProcess-2", "ts": 101.0},
+        {"type": "farm_unit_merged", "key": "a", "events": 10,
+         "dropped_events": 0, "measurements": 10,
+         "worker": "ForkProcess-1", "ts": 101.1},
+        {"type": "campaign_phase", "phase": "lot", "status": "end",
+         "duration_s": 1.2, "ts": 101.2},
+    ]
+
+
+class TestBuildChromeTrace:
+    def test_empty_trace(self):
+        assert build_chrome_trace([]) == {
+            "traceEvents": [],
+            "displayTimeUnit": "ms",
+        }
+
+    def test_worker_tracks_and_spans(self):
+        doc = build_chrome_trace(_records())
+        events = doc["traceEvents"]
+        running = [e for e in events if e.get("cat") == "running"]
+        assert {e["name"] for e in running} == {"a", "b"}
+        # one distinct track (tid) per worker
+        assert len({e["tid"] for e in running}) == 2
+        a = next(e for e in running if e["name"] == "a")
+        # completed at 100.7 after 0.5s -> started at 100.2 -> 0.2s past t0
+        assert a["ts"] == 200000.0 and a["dur"] == 500000.0
+        assert a["args"]["measurements"] == 10
+
+    def test_queued_span_measured_from_latest_dispatch(self):
+        doc = build_chrome_trace(_records())
+        queued = [e for e in doc["traceEvents"] if e.get("cat") == "queued"]
+        b = next(e for e in queued if e["name"] == "b")
+        # redispatched at 100.6, started at 101.0 - 0.3 = 100.7
+        assert b["ts"] == 600000.0
+        assert round(b["dur"]) == 100000
+
+    def test_retry_and_merge_instants(self):
+        events = build_chrome_trace(_records())["traceEvents"]
+        assert any(
+            e["ph"] == "i" and e["cat"] == "retry" and "b" in e["name"]
+            for e in events
+        )
+        assert any(
+            e["ph"] == "i" and e["cat"] == "merge" and "a" in e["name"]
+            for e in events
+        )
+
+    def test_phase_span_on_campaign_track(self):
+        events = build_chrome_trace(_records())["traceEvents"]
+        phase = next(e for e in events if e.get("cat") == "phase")
+        assert phase["name"] == "lot"
+        assert phase["ts"] == 0.0 and phase["dur"] == 1200000.0
+
+    def test_metadata_names_every_track(self):
+        events = build_chrome_trace(_records())["traceEvents"]
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert {"campaign", "farm queue", "merge"} <= names
+        assert {"worker ForkProcess-1", "worker ForkProcess-2"} <= names
+
+    def test_unknown_types_and_missing_ts_are_ignored(self):
+        doc = build_chrome_trace(
+            [{"type": "mystery", "ts": 1.0}, {"type": "measurement"}]
+        )
+        assert all(e["ph"] == "M" for e in doc["traceEvents"])
+
+
+class TestWriteChromeTrace:
+    def test_round_trip(self, tmp_path):
+        path = write_chrome_trace(_records(), tmp_path / "t.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert loaded == build_chrome_trace(_records())
