@@ -83,10 +83,18 @@ def report_sink(request):
         "python": platform.python_version(),
         "data": data,
     }
-    json_record = RESULTS_DIR / f"BENCH_{request.node.name}.json"
-    json_record.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    _write_json_atomically(
+        RESULTS_DIR / f"BENCH_{request.node.name}.json", payload
     )
+
+
+def _write_json_atomically(path: Path, payload: dict) -> None:
+    """Write-then-rename so a crashed or interrupted bench never leaves a
+    truncated record for the CI gate (or EXPERIMENTS tooling) to choke on."""
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    staging = path.with_name(path.name + f".tmp{os.getpid()}")
+    staging.write_text(text)
+    os.replace(staging, path)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,131 @@
+"""Batched vs scalar strobe-grid evaluation.
+
+The batched measurement engine evaluates a whole strobe grid against one
+functional-simulation pass and one block noise draw, instead of one
+simulation + one draw per strobe.  Its contract is result identity: under
+the same seeds, batched and scalar paths produce bit-identical pass/fail
+maps and identical measurement counts — only the wall clock changes.
+This bench runs the same seeded WCR-screen grid (the costliest grid
+consumer: every test x every grid level) through both engines, asserts
+the identity, and records the speedup.  The ``*_measurements`` keys in
+the JSON record feed the CI cost gate via ``repro obs bench-import`` /
+``repro obs compare``.
+
+Test generation and per-test feature extraction happen once per campaign
+regardless of engine, so they are warmed outside the timed region — the
+clock measures grid evaluation, the part the engines differ on.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import SEARCH_RANGE, fresh_ate
+from repro.core.wcr import WCRScreen
+from repro.patterns.random_gen import RandomTestGenerator
+
+N_TESTS = 40
+STROBE_STEP = 0.1
+
+
+def make_tests():
+    return RandomTestGenerator(seed=31).batch(N_TESTS)
+
+
+def prepare_campaign():
+    """Fresh seeded tester + test list, one-time per-test work pre-paid.
+
+    Feature extraction and the functional simulation happen once per
+    test regardless of engine (both are cached per sequence), so they
+    are warmed here, outside the timed region.  A zero-count parametric
+    read warms the static-feature cache; neither warm-up touches the
+    thermal state or the noise stream, so both engines still start from
+    identical device state.
+    """
+    ate = fresh_ate(seed=31, noise_sigma=0.04)
+    tests = make_tests()
+    for test in tests:
+        ate.chip.true_parameter_values(test, 0)
+        ate.chip.run_functional(test.sequence)
+    return ate, tests
+
+
+def run_grid(engine, campaign):
+    ate, tests = campaign
+    return WCRScreen(ate).run(
+        tests, *SEARCH_RANGE, STROBE_STEP, engine=engine
+    )
+
+
+def datalog_snapshot(ate):
+    return [
+        (r.index, r.test_name, r.strobe_ns, r.passed) for r in ate.datalog
+    ]
+
+
+ROUNDS = 3
+
+
+def timed_rounds(engine):
+    """Best-of-N seconds plus the (deterministic) campaign outcome.
+
+    Every round replays the identical seeded campaign, so the reports are
+    equal by construction; best-of-N absorbs GC pauses and host noise that
+    would make a single-shot ratio flaky.
+    """
+    best_s = None
+    for _ in range(ROUNDS):
+        campaign = prepare_campaign()
+        started = time.perf_counter()
+        report = run_grid(engine, campaign)
+        elapsed = time.perf_counter() - started
+        best_s = elapsed if best_s is None else min(best_s, elapsed)
+    ate = campaign[0]
+    return best_s, report, ate.measurement_count, datalog_snapshot(ate)
+
+
+@pytest.mark.benchmark(group="batched")
+def test_batched_vs_scalar_grid(benchmark, report_sink):
+    grid_points = int(
+        (SEARCH_RANGE[1] - SEARCH_RANGE[0]) / STROBE_STEP + 1
+    )
+
+    scalar_s, scalar_report, scalar_count, scalar_log = timed_rounds("scalar")
+    batched_s, batched_report, batched_count, batched_log = timed_rounds(
+        "batched"
+    )
+    benchmark.pedantic(
+        run_grid, args=("batched", prepare_campaign()), rounds=1, iterations=1
+    )
+
+    # The hard contract: identical trip points, classes, measurement
+    # counts and datalog under the same seeds.
+    assert batched_report == scalar_report
+    assert batched_count == scalar_count
+    assert batched_log == scalar_log
+
+    speedup = scalar_s / batched_s
+    report_sink.json(
+        tests=N_TESTS,
+        grid_points=grid_points,
+        scalar_measurements=scalar_count,
+        batched_measurements=batched_count,
+        scalar_s=round(scalar_s, 6),
+        batched_s=round(batched_s, 6),
+        speedup=round(speedup, 3),
+    )
+    report_sink(
+        f"batched vs scalar — {N_TESTS} tests x {grid_points} strobe "
+        f"levels ({scalar_count} measurements each way):"
+    )
+    report_sink(f"  scalar engine:  {scalar_s:8.3f} s")
+    report_sink(f"  batched engine: {batched_s:8.3f} s")
+    report_sink(f"  speedup: {speedup:.1f}x, results bit-identical")
+    worst = batched_report.worst()
+    report_sink(
+        f"  worst test: {worst.test_name} "
+        f"(WCR {worst.wcr:.3f}, {worst.wcr_class.name})"
+    )
+
+    # Shape: the batch face must pay off decisively, not marginally.
+    assert speedup >= 3.0

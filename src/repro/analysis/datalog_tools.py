@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.ate.datalog import Datalog, DatalogRecord
+from repro.ate.datalog import Datalog
 from repro.search.base import PassRegion
 
 

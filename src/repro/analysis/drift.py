@@ -9,7 +9,7 @@ over the fig. 6 regions, and side-by-side technique comparisons.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from repro.analysis.statistics import SummaryStats, summarize
 from repro.core.trip_point import DesignSpecificationValues

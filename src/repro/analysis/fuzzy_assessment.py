@@ -17,7 +17,7 @@ its activity profile says it sits on the edge of the weakness mechanism.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.core.wcr import worst_case_ratio
 from repro.device.parameters import DeviceParameter

@@ -16,7 +16,7 @@ recommends a final spec limit with an explicit guard philosophy:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

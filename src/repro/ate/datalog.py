@@ -11,7 +11,7 @@ from __future__ import annotations
 import collections
 import io
 from dataclasses import dataclass
-from typing import Callable, Deque, Iterator, List, Optional, Union
+from typing import Callable, Deque, Iterable, Iterator, List, Optional, Union
 
 
 def _quote_name(name: str) -> str:
@@ -112,6 +112,10 @@ class Datalog:
     def append(self, record: DatalogRecord) -> None:
         """Store one record; drops the oldest when over capacity."""
         self._records.append(record)
+
+    def extend(self, records: Iterable[DatalogRecord]) -> None:
+        """Store a batch of records in order; evicts like :meth:`append`."""
+        self._records.extend(records)
 
     def __len__(self) -> int:
         return len(self._records)

@@ -37,6 +37,23 @@ class MeasurementModel:
             return true_value
         return true_value + float(self._rng.normal(0.0, self.noise_sigma_ns))
 
+    def observed_values(self, true_values: np.ndarray) -> np.ndarray:
+        """Noisy observations of a batch of true values, one block draw.
+
+        Draw-order contract: a batch of ``n`` observations consumes the
+        noise stream exactly as ``n`` sequential :meth:`observed_value`
+        calls would — numpy's ``Generator.normal(0, sigma, size=n)``
+        produces the same variates, in the same order, as ``n`` scalar
+        ``normal(0, sigma)`` calls.  Element ``k`` of the result is
+        therefore bit-identical to the scalar path's ``k``-th observation,
+        so batched and scalar campaigns under one seed see identical data.
+        """
+        true_values = np.asarray(true_values, dtype=float)
+        if self.noise_sigma_ns == 0.0:
+            return true_values
+        noise = self._rng.normal(0.0, self.noise_sigma_ns, size=true_values.shape)
+        return true_values + noise
+
     def reseed(self, seed: int) -> None:
         """Restart the noise stream (new characterization insertion)."""
         self._rng = np.random.default_rng(seed)

@@ -10,7 +10,6 @@ the full cost picture (measurements *and* pattern traffic).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
 
 from repro.patterns.vectors import VectorSequence
 

@@ -19,7 +19,7 @@ Two modes are offered:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -116,16 +116,29 @@ class ShmooPlotter:
         test: TestCase,
         vdd_values: Sequence[float],
         strobe_values: Sequence[float],
+        engine: str = "batched",
     ) -> ShmooPlot:
-        """Exhaustive grid shmoo of a single test."""
+        """Exhaustive grid shmoo of a single test.
+
+        Each Vdd row is one full strobe grid, i.e. one legal batch: the
+        default ``engine="batched"`` evaluates a whole row through
+        :meth:`~repro.ate.tester.ATE.apply_batch` with results, counters
+        and datalog bit-identical to the scalar cell-by-cell loop
+        (``engine="scalar"``, kept for parity tests and benchmarking).
+        """
+        if engine not in ("batched", "scalar"):
+            raise ValueError(f"unknown engine {engine!r}")
         vdds = np.asarray(list(vdd_values), dtype=float)
         strobes = np.asarray(list(strobe_values), dtype=float)
         counts = np.zeros((len(vdds), len(strobes)), dtype=int)
         for i, vdd in enumerate(vdds):
             conditioned = test.with_condition(test.condition.with_vdd(float(vdd)))
-            for j, strobe in enumerate(strobes):
-                if self.ate.apply(conditioned, float(strobe)):
-                    counts[i, j] = 1
+            if engine == "batched":
+                counts[i, :] = self.ate.apply_batch(conditioned, strobes)
+            else:
+                for j, strobe in enumerate(strobes):
+                    if self.ate.apply(conditioned, float(strobe)):
+                        counts[i, j] = 1
         return ShmooPlot(vdds, strobes, counts, total_tests=1)
 
     def overlay(

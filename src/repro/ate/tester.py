@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro.ate.datalog import Datalog, DatalogRecord
 from repro.ate.measurement import MeasurementModel
 from repro.ate.pattern_memory import PatternMemory
@@ -152,6 +154,78 @@ class ATE:
                     passed=passed,
                 )
             )
+        return passed
+
+    def apply_batch(self, test: TestCase, strobes_ns) -> np.ndarray:
+        """Apply ``test`` once per strobe level; vectorized pass/fail.
+
+        Element ``k`` of the result is bit-identical to the ``k``-th of
+        ``len(strobes_ns)`` sequential :meth:`apply` calls with the same
+        levels: quantization, self-heating drift, the measurement-noise
+        stream, counters, and datalog records all advance exactly as the
+        scalar loop's would (see ``docs/performance.md`` for the contract).
+        The pattern is loaded and functionally evaluated once per batch —
+        the amortization that makes grid sweeps cheap — and a functional
+        failure fails every element without consuming noise draws, just
+        like the scalar early-out.
+        """
+        strobes = np.asarray(strobes_ns, dtype=float)
+        if strobes.ndim != 1:
+            raise ValueError("strobes must be a one-dimensional batch")
+        n = strobes.size
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        strobes_q = self.timing_generator.quantize_many(strobes)
+        self.pattern_memory.load(test.sequence)
+
+        functional = self.chip.run_functional(test.sequence)
+        if functional.passed:
+            true_values = self.chip.true_parameter_values(test, n)
+            observed = self.measurement.observed_values(true_values)
+            if self.chip.parameter.direction is SpecDirection.MIN_IS_WORST:
+                passed = strobes_q <= observed
+            else:
+                passed = observed <= strobes_q
+        else:
+            passed = np.zeros(n, dtype=bool)
+
+        base_index = self._measurement_count
+        self._measurement_count += n
+        self._executed_cycles += len(test.sequence) * n
+        test_name = test.name or test.sequence.name or "unnamed"
+        # Bulk-convert once: per-element float(strobes_q[k]) / bool(passed[k])
+        # indexing costs more than the record construction itself.
+        strobe_list = strobes_q.tolist()
+        passed_list = passed.tolist()
+        condition = test.condition
+        self.datalog.extend(
+            DatalogRecord(
+                index=base_index + k,
+                test_name=test_name,
+                vdd=condition.vdd,
+                temperature=condition.temperature,
+                clock_period=condition.clock_period,
+                strobe_ns=strobe,
+                passed=ok,
+            )
+            for k, (strobe, ok) in enumerate(
+                zip(strobe_list, passed_list), start=1
+            )
+        )
+        if OBS.enabled:
+            OBS.metrics.counter("ate.measurements").inc(n, label=test_name)
+            OBS.metrics.counter("ate.executed_cycles").inc(len(test.sequence) * n)
+            for k, (strobe, ok) in enumerate(
+                zip(strobe_list, passed_list), start=1
+            ):
+                OBS.bus.emit(
+                    MeasurementEvent(
+                        index=base_index + k,
+                        test_name=test_name,
+                        strobe_ns=strobe,
+                        passed=ok,
+                    )
+                )
         return passed
 
     def functional_test(self, test: TestCase) -> FunctionalResult:

@@ -42,6 +42,19 @@ class TimingGenerator:
         steps = round(clamped / self.resolution_ns)
         return float(steps * self.resolution_ns)
 
+    def quantize_many(self, edges_ns) -> np.ndarray:
+        """Vectorized :meth:`quantize`; element-for-element identical.
+
+        ``np.rint`` rounds half to even, matching Python's ``round`` in the
+        scalar path, so each element is bit-identical to a scalar
+        ``quantize`` of the same request.
+        """
+        clamped = np.clip(
+            np.asarray(edges_ns, dtype=float), self.min_edge_ns, self.max_edge_ns
+        )
+        steps = np.rint(clamped / self.resolution_ns)
+        return steps * self.resolution_ns
+
     def is_programmable(self, edge_ns: float) -> bool:
         """True if the request lies inside the programmable range."""
         return self.min_edge_ns <= edge_ns <= self.max_edge_ns

@@ -7,6 +7,7 @@ Exposes the characterization campaigns as subcommands::
     repro-characterize table1  [--random-tests 300] [--fast]
     repro-characterize hunt    [--weights out.json] [--database db.json]
     repro-characterize shmoo   [--tests 40]
+    repro-characterize screen  [--tests 40] [--engine batched]
     repro-characterize sweep
     repro-characterize lot     [--dies 8] [--tests 10]
 
@@ -38,6 +39,7 @@ The ``obs`` subcommand family inspects what the flags above record::
     repro-characterize obs slowest  trace.jsonl -n 10
     repro-characterize obs timeline trace.jsonl -o timeline.json
     repro-characterize obs compare  runs.jsonl --baseline nightly
+    repro-characterize obs bench-import runs.jsonl BENCH_*.json --suffix @ci
 
 ``obs timeline`` writes Chrome-trace JSON loadable at ui.perfetto.dev;
 ``obs compare`` exits non-zero when the latest (or named) run's total
@@ -50,6 +52,7 @@ import argparse
 import logging
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.drift import DriftAnalysis
@@ -118,7 +121,7 @@ def _add_telemetry_arguments(parser, suppress_defaults: bool = False) -> None:
 
 
 #: Subcommands that route their work through the tester farm.
-_FARM_COMMANDS = ("lot", "wafer", "sweep", "campaign")
+_FARM_COMMANDS = ("lot", "wafer", "sweep", "campaign", "screen")
 
 
 def _add_farm_arguments(parser, suppress_defaults: bool = False) -> None:
@@ -222,6 +225,22 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     shmoo.add_argument("--tests", type=int, default=40)
 
+    screen = commands.add_parser(
+        "screen",
+        help="fig. 6 grid-based WCR classification screen (batched rows)",
+        parents=[telemetry],
+    )
+    screen.add_argument("--tests", type=int, default=40)
+    screen.add_argument(
+        "--step", type=float, default=0.25, help="strobe grid spacing in ns"
+    )
+    screen.add_argument(
+        "--engine",
+        default="batched",
+        choices=("batched", "scalar"),
+        help="row evaluation engine (results are identical; batched is faster)",
+    )
+
     commands.add_parser(
         "sweep",
         help="Vdd x temperature environmental sweep of a march test",
@@ -301,6 +320,30 @@ def _build_parser() -> argparse.ArgumentParser:
     obs_compare.add_argument(
         "--threshold", type=float, default=5.0, metavar="PCT",
         help="allowed measurement-cost increase in percent (default: 5)",
+    )
+    obs_compare.add_argument(
+        "--wall-threshold", type=float, default=None, metavar="PCT",
+        help=(
+            "also gate on wall clock: allowed increase in percent "
+            "(default: wall clock stays advisory)"
+        ),
+    )
+
+    obs_bench = obs_sub.add_parser(
+        "bench-import",
+        help=(
+            "append BENCH_<name>.json benchmark records to a run history "
+            "so 'obs compare' can gate them"
+        ),
+    )
+    obs_bench.add_argument("history_file", metavar="RUNS")
+    obs_bench.add_argument(
+        "bench_files", nargs="+", metavar="BENCH_JSON",
+        help="BENCH_*.json records written by the benchmark suite",
+    )
+    obs_bench.add_argument(
+        "--suffix", default="",
+        help="append to each record's run name (e.g. '@ci')",
     )
 
     return parser
@@ -415,6 +458,41 @@ def _cmd_shmoo(args) -> int:
     return 0
 
 
+def _cmd_screen(args) -> int:
+    characterizer = DeviceCharacterizer.with_default_setup(seed=args.seed)
+    tests = [
+        t.with_condition(NOMINAL_CONDITION)
+        for t in RandomTestGenerator(seed=args.seed).batch(args.tests)
+    ]
+    if args.workers or args.resume:
+        from repro.core.wcr import run_screen_farm
+
+        low, high = characterizer.search_range
+        report = run_screen_farm(
+            tests,
+            low,
+            high,
+            args.step,
+            die=characterizer.ate.chip.die,
+            parameter=characterizer.ate.chip.parameter,
+            noise_sigma=characterizer.ate.measurement.noise_sigma_ns,
+            campaign_seed=args.seed,
+            **_farm_kwargs(args),
+        )
+    else:
+        report = characterizer.wcr_screen(
+            tests, strobe_step=args.step, engine=args.engine
+        )
+    print(report.render())
+    worst = report.worst()
+    wcr = "unbounded" if worst.wcr is None else f"{worst.wcr:.3f}"
+    print(
+        f"worst test: {worst.test_name} (WCR {wcr}, "
+        f"{report.measurements} measurements)"
+    )
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     characterizer = DeviceCharacterizer.with_default_setup(seed=args.seed)
     test, _ = characterizer.characterize_march()
@@ -517,12 +595,42 @@ def _cmd_obs(args) -> int:
                 baseline_name=args.baseline,
                 run_name=args.run,
                 threshold_pct=args.threshold,
+                wall_threshold_pct=args.wall_threshold,
             )
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
         print(comparison.render())
         return 1 if comparison.regressed else 0
+
+    if args.obs_command == "bench-import":
+        import json
+
+        history = obs.RunHistory(args.history_file)
+        for bench_file in args.bench_files:
+            try:
+                payload = json.loads(Path(bench_file).read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                print(
+                    f"error: cannot read bench record {bench_file}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+            if not isinstance(payload, dict) or "bench" not in payload:
+                print(
+                    f"error: {bench_file} is not a BENCH_*.json record",
+                    file=sys.stderr,
+                )
+                return 2
+            name = str(payload["bench"]) + args.suffix
+            record = obs.bench_run_record(payload, name=name)
+            history.append(record)
+            print(
+                f"bench {record['run']!r} imported: "
+                f"{record['measurements']} measurements, "
+                f"{record['wall_s']:.3f}s wall"
+            )
+        return 0
 
     try:
         loaded = obs.load_trace(args.trace_file)
@@ -552,6 +660,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "hunt": _cmd_hunt,
     "shmoo": _cmd_shmoo,
+    "screen": _cmd_screen,
     "sweep": _cmd_sweep,
     "lot": _cmd_lot,
     "wafer": _cmd_wafer,

@@ -16,7 +16,7 @@ plus the shmoo overlay of fig. 8 and the Table-1 report builder.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.analysis.reporting import Table1Report, Table1Row
 from repro.ate.shmoo import ShmooPlot, ShmooPlotter
@@ -45,7 +45,6 @@ from repro.patterns.march import compile_march, get_march_test
 from repro.patterns.random_gen import RandomTestGenerator
 from repro.patterns.testcase import TestCase
 from repro.search.base import PassRegion
-from repro.search.successive import SuccessiveApproximation
 
 #: Default generous characterization range for the T_DQ strobe, in ns
 #: (the paper's S1/S2 example scaled to the T_DQ axis).
@@ -330,6 +329,27 @@ class DeviceCharacterizer:
             )
         )
         return report, dsv, optimization
+
+    # -- fig. 6 screen ----------------------------------------------------------------
+    def wcr_screen(
+        self,
+        tests: Sequence[TestCase],
+        strobe_step: float = 0.5,
+        engine: str = "batched",
+    ):
+        """Grid-based WCR classification screen over the search range.
+
+        Every test is measured on the same full strobe grid (one batched
+        row per test by default) and classified pass/weakness/fail per
+        fig. 6; returns a :class:`~repro.core.wcr.ScreenReport`.
+        """
+        from repro.core.wcr import WCRScreen
+
+        low, high = self.search_range
+        with span("screen"):
+            return WCRScreen(self.ate).run(
+                tests, low, high, strobe_step, engine=engine
+            )
 
     # -- fig. 8 ---------------------------------------------------------------------
     def shmoo_overlay(

@@ -15,7 +15,7 @@ is exactly the escape-prevention the paper promises.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 from repro.ate.tester import ATE
 from repro.core.database import WorstCaseDatabase

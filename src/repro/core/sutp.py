@@ -25,7 +25,7 @@ from typing import Optional, Tuple
 
 from repro.obs.events import SUTPFallback, SUTPWalkStep
 from repro.obs.runtime import OBS
-from repro.search.base import Oracle, PassRegion, SearchOutcome, TripPointSearcher
+from repro.search.base import Oracle, PassRegion, TripPointSearcher
 from repro.search.successive import SuccessiveApproximation
 
 

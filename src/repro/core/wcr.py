@@ -15,9 +15,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.device.parameters import DeviceParameter, SpecDirection
+
+if TYPE_CHECKING:  # lazy at runtime: repro.farm pulls in repro.ate
+    from repro.farm.workunit import UnitOutcome, WorkUnit
 
 
 class WCRClass(enum.Enum):
@@ -101,3 +106,273 @@ def worst_of(
     ratios = batch_wcr(values, parameter)
     worst_index = max(range(len(ratios)), key=ratios.__getitem__)
     return worst_index, ratios[worst_index]
+
+
+# -- grid-based classification screen ------------------------------------------------
+#: Work-unit kind for one chunk of a WCR classification screen.
+WCR_SCREEN_UNIT = "wcr_screen"
+
+
+@dataclass(frozen=True)
+class ScreenEntry:
+    """One test's outcome in a WCR classification screen.
+
+    ``trip_point`` is the last passing grid strobe (grid-resolution trip
+    point); ``None`` when the test never passed on the grid (functional
+    failure or a boundary outside the screened range), in which case the
+    test is reported as :attr:`WCRClass.FAIL` with no ratio.
+    """
+
+    test_name: str
+    trip_point: Optional[float]
+    wcr: Optional[float]
+    wcr_class: WCRClass
+    measurements: int
+
+
+@dataclass(frozen=True)
+class ScreenReport:
+    """A full classification screen: per-test entries over one strobe grid."""
+
+    entries: Tuple[ScreenEntry, ...]
+
+    def counts(self) -> Dict[WCRClass, int]:
+        """Tests per fig. 6 region."""
+        counts = {cls: 0 for cls in WCRClass}
+        for entry in self.entries:
+            counts[entry.wcr_class] += 1
+        return counts
+
+    def worst(self) -> ScreenEntry:
+        """The worst entry: largest WCR, with tripless tests worst of all."""
+        if not self.entries:
+            raise ValueError("empty screen has no worst case")
+        return max(
+            self.entries,
+            key=lambda e: float("inf") if e.wcr is None else e.wcr,
+        )
+
+    @property
+    def measurements(self) -> int:
+        """Total strobed measurements spent on the screen."""
+        return sum(entry.measurements for entry in self.entries)
+
+    def render(self) -> str:
+        """One line per test: name, trip, WCR, region."""
+        lines = ["test                          trip (ns)      WCR  class"]
+        for e in self.entries:
+            trip = "-" if e.trip_point is None else f"{e.trip_point:9.4f}"
+            wcr = "-" if e.wcr is None else f"{e.wcr:7.4f}"
+            lines.append(
+                f"{e.test_name:<28}  {trip:>9}  {wcr:>7}  {e.wcr_class.value}"
+            )
+        counts = self.counts()
+        lines.append(
+            "totals: "
+            + ", ".join(f"{cls.value}={counts[cls]}" for cls in WCRClass)
+        )
+        return "\n".join(lines)
+
+
+class WCRScreen:
+    """Grid-based WCR classification sweep over many tests (fig. 6 screen).
+
+    Unlike the trip-point searches, a screen measures every test on the
+    *same* full strobe grid — the production-style "characterize the lot
+    at fixed levels" flow — and classifies each test's grid trip point
+    against the spec limit.  The whole grid row is one legal batch, so
+    the screen is the prime consumer of the batched measurement engine:
+    ``engine="batched"`` routes each row through
+    :meth:`~repro.ate.tester.ATE.apply_batch`, with results, counters and
+    datalog bit-identical to the scalar loop (``engine="scalar"``).
+    """
+
+    def __init__(self, ate, classifier: WCRClassifier = WCRClassifier()) -> None:
+        self.ate = ate
+        self.classifier = classifier
+
+    def run(
+        self,
+        tests: Sequence,
+        strobe_start: float,
+        strobe_stop: float,
+        strobe_step: float = 0.5,
+        engine: str = "batched",
+    ) -> ScreenReport:
+        """Screen every test over ``[start, stop]`` with ``step`` spacing."""
+        if engine not in ("batched", "scalar"):
+            raise ValueError(f"unknown engine {engine!r}")
+        grid = np.arange(strobe_start, strobe_stop + 1e-9, strobe_step)
+        if grid.size == 0:
+            raise ValueError("empty strobe grid")
+        parameter = self.ate.chip.parameter
+        entries: List[ScreenEntry] = []
+        for index, test in enumerate(tests):
+            if engine == "batched":
+                row = self.ate.apply_batch(test, grid)
+            else:
+                row = np.array(
+                    [self.ate.apply(test, float(s)) for s in grid], dtype=bool
+                )
+            name = test.name or f"test_{index}"
+            passing = np.flatnonzero(row)
+            if passing.size == 0:
+                entries.append(
+                    ScreenEntry(name, None, None, WCRClass.FAIL, grid.size)
+                )
+                continue
+            # The trip point is the last passing grid level: the largest
+            # for a min-limited parameter (pass region below the boundary),
+            # the smallest for a max-limited one.
+            if parameter.direction is SpecDirection.MIN_IS_WORST:
+                trip = float(grid[passing[-1]])
+            else:
+                trip = float(grid[passing[0]])
+            wcr, wcr_class = self.classifier.classify_value(trip, parameter)
+            entries.append(
+                ScreenEntry(name, trip, wcr, wcr_class, grid.size)
+            )
+        return ScreenReport(entries=tuple(entries))
+
+
+# -- tester-farm sharding --------------------------------------------------------
+def wcr_screen_units(
+    tests: Sequence,
+    strobe_start: float,
+    strobe_stop: float,
+    strobe_step: float,
+    die,
+    parameter: DeviceParameter,
+    noise_sigma: float,
+    campaign_seed: int = 0,
+    classifier: WCRClassifier = WCRClassifier(),
+    chunk_size: int = 25,
+) -> List["WorkUnit"]:
+    """Shard a classification screen into chunked work units.
+
+    Each unit screens ``chunk_size`` consecutive tests on a fresh chip with
+    a seed derived from ``(campaign_seed, unit_key)``;
+    :func:`merge_screens` recombines the per-chunk reports in unit order.
+    """
+    from repro.farm.workunit import WorkUnit, derive_seed
+
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    units: List["WorkUnit"] = []
+    for index, start in enumerate(range(0, len(tests), chunk_size)):
+        chunk = list(tests[start : start + chunk_size])
+        key = f"wcr/{index:03d}"
+        units.append(
+            WorkUnit(
+                key=key,
+                kind=WCR_SCREEN_UNIT,
+                payload={
+                    "tests": chunk,
+                    "strobe_start": float(strobe_start),
+                    "strobe_stop": float(strobe_stop),
+                    "strobe_step": float(strobe_step),
+                    "die": die,
+                    "parameter": parameter,
+                    "noise_sigma": float(noise_sigma),
+                    "classifier": classifier,
+                },
+                seed=derive_seed(campaign_seed, key),
+                index=index,
+                cost_hint=float(sum(t.cycles for t in chunk)),
+                test_names=tuple(
+                    t.name or f"test_{start + i}" for i, t in enumerate(chunk)
+                ),
+            )
+        )
+    return units
+
+
+def run_wcr_unit(unit) -> "UnitOutcome":
+    """Execute one ``wcr_screen`` work unit: one chunk's screen rows.
+
+    Module-level and self-contained (fresh chip and tester, noise stream
+    from the unit seed) so it can run in a farm worker process.
+    """
+    from repro.ate.measurement import MeasurementModel
+    from repro.ate.tester import ATE
+    from repro.device.memory_chip import MemoryTestChip
+    from repro.farm.workunit import UnitOutcome
+
+    cfg = unit.payload
+    chip = MemoryTestChip(die=cfg["die"], parameter=cfg["parameter"])
+    chip.reset_state()
+    ate = ATE(
+        chip,
+        measurement=MeasurementModel(cfg["noise_sigma"], seed=unit.seed),
+    )
+    report = WCRScreen(ate, classifier=cfg["classifier"]).run(
+        cfg["tests"],
+        strobe_start=cfg["strobe_start"],
+        strobe_stop=cfg["strobe_stop"],
+        strobe_step=cfg["strobe_step"],
+    )
+    return UnitOutcome(value=report, measurements=ate.measurement_count)
+
+
+def merge_screens(reports: Sequence[ScreenReport]) -> ScreenReport:
+    """Deterministically merge per-chunk screen reports into one.
+
+    Entries are concatenated in the given order, so merging farm results
+    (returned in submission order) yields the same report regardless of
+    worker count.
+    """
+    if not reports:
+        raise ValueError("merge needs at least one report")
+    entries: List[ScreenEntry] = []
+    for report in reports:
+        entries.extend(report.entries)
+    return ScreenReport(entries=tuple(entries))
+
+
+def run_screen_farm(
+    tests: Sequence,
+    strobe_start: float,
+    strobe_stop: float,
+    strobe_step: float,
+    die,
+    parameter: DeviceParameter,
+    noise_sigma: float,
+    campaign_seed: int = 0,
+    classifier: WCRClassifier = WCRClassifier(),
+    chunk_size: int = 25,
+    workers: Optional[int] = None,
+    executor=None,
+    checkpoint=None,
+) -> ScreenReport:
+    """Run a classification screen through the tester farm.
+
+    Shards the tests into chunked work units, executes them serially or on
+    ``workers`` processes, and merges the per-chunk reports in submission
+    order — the merged report is identical for any worker count (each
+    chunk's noise stream comes from its own derived seed).
+    """
+    from repro.core.lot import _resolve_checkpoint
+    from repro.farm.executor import make_executor
+
+    units = wcr_screen_units(
+        tests,
+        strobe_start,
+        strobe_stop,
+        strobe_step,
+        die,
+        parameter,
+        noise_sigma,
+        campaign_seed=campaign_seed,
+        classifier=classifier,
+        chunk_size=chunk_size,
+    )
+    campaign_id = (
+        f"wcr-screen:seed={campaign_seed}:tests={len(tests)}"
+        f":grid=[{strobe_start},{strobe_stop},{strobe_step}]"
+    )
+    store = _resolve_checkpoint(checkpoint, campaign_id)
+    farm = make_executor(workers, executor)
+    results = farm.run(
+        units, run_wcr_unit, checkpoint=store, campaign=campaign_id
+    )
+    return merge_screens([r.value for r in results])

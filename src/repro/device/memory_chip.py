@@ -14,7 +14,8 @@ exactly the two faces real silicon shows a tester:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -149,6 +150,12 @@ class MemoryTestChip:
         # sequence object is pinned in the value so ids cannot be recycled.
         self._feature_cache: Dict[int, Tuple[VectorSequence, PatternFeatures]] = {}
         self._functional_cache: Dict[int, Tuple[VectorSequence, FunctionalResult]] = {}
+        # Heating-independent parametric values memoized per (sequence,
+        # condition) — a small LRU, since a characterization campaign probes
+        # the same few (die, test) pairs thousands of times.
+        self._static_cache: "OrderedDict[Tuple[int, object], Tuple[VectorSequence, float, float]]" = (
+            OrderedDict()
+        )
 
     # -- functional face -------------------------------------------------------
     def run_functional(self, sequence: VectorSequence) -> FunctionalResult:
@@ -191,6 +198,39 @@ class MemoryTestChip:
         self._feature_cache[id(sequence)] = (sequence, features)
         return features
 
+    #: Entries kept in the per-(sequence, condition) static-value LRU.
+    _STATIC_CACHE_SIZE = 128
+
+    def _parametric_static(self, test: TestCase) -> Tuple[float, float]:
+        """Memoized ``(static value, peak activity)`` for one test.
+
+        The static value is the heating-independent part of the chip's
+        parameter for ``test`` (``static_t_dq_ns`` for timing parameters,
+        the full value for ``idd_peak``, which has no thermal term).  Keyed
+        by ``(id(sequence), condition)`` with the sequence object pinned in
+        the value so a recycled ``id`` can never alias a stale entry; the
+        :class:`~repro.patterns.conditions.TestCondition` is a frozen,
+        hashable dataclass.
+        """
+        key = (id(test.sequence), test.condition)
+        cached = self._static_cache.get(key)
+        if cached is not None and cached[0] is test.sequence:
+            self._static_cache.move_to_end(key)
+            return cached[1], cached[2]
+        features = self.features_of(test.sequence)
+        if self.parameter.name == "idd_peak":
+            static = self.timing.idd_peak_ma(features, test.condition)
+            activity = 0.0
+        else:
+            static = self.timing.static_t_dq_ns(
+                features, test.condition, self.die
+            )
+            activity = features["peak_window_activity"]
+        self._static_cache[key] = (test.sequence, static, activity)
+        if len(self._static_cache) > self._STATIC_CACHE_SIZE:
+            self._static_cache.popitem(last=False)
+        return static, activity
+
     def true_parameter_value(
         self, test: TestCase, account_heating: bool = True
     ) -> float:
@@ -199,17 +239,42 @@ class MemoryTestChip:
         Only the ATE measurement layer should call this; algorithms observe
         the device exclusively through strobed pass/fail decisions.
         """
-        features = self.features_of(test.sequence)
+        static, activity = self._parametric_static(test)
         if self.parameter.name == "idd_peak":
-            return self.timing.idd_peak_ma(features, test.condition)
+            return static
+        if account_heating:
+            self.timing.heating.apply(activity)
+        t_dq = float(static - self.timing.heating.derating_ns)
         if self.parameter.name == "f_max":
-            return self.timing.f_max_mhz(
-                features, test.condition, self.die,
-                account_heating=account_heating,
-            )
-        return self.timing.t_dq_ns(
-            features, test.condition, self.die, account_heating=account_heating
-        )
+            return self.timing.f_max_from_t_dq(t_dq)
+        return t_dq
+
+    def true_parameter_values(
+        self, test: TestCase, count: int, account_heating: bool = True
+    ) -> np.ndarray:
+        """True parameter values of ``count`` successive applications.
+
+        The vectorized parametric face: element ``k`` is bit-identical to
+        the ``k``-th of ``count`` sequential :meth:`true_parameter_value`
+        calls, including the self-heating drift those calls would deposit
+        (the thermal state is advanced by the full batch).  With
+        ``account_heating=False`` no heat is deposited and every element
+        sees the current derating.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        static, activity = self._parametric_static(test)
+        if self.parameter.name == "idd_peak":
+            return np.full(count, static)
+        heating = self.timing.heating
+        if account_heating:
+            deratings = heating.derating_sequence(activity, count)
+        else:
+            deratings = np.full(count, heating.derating_ns)
+        t_dq = static - deratings
+        if self.parameter.name == "f_max":
+            return self.timing.f_max_from_t_dq(t_dq)
+        return t_dq
 
     def strobe_passes(self, test: TestCase, strobe_ns: float) -> bool:
         """Pass/fail of ``test`` with the compare level at ``strobe_ns``.
@@ -226,6 +291,23 @@ class MemoryTestChip:
             return strobe_ns <= value
         return value <= strobe_ns
 
+    def strobes_pass(self, test: TestCase, strobes_ns: Sequence[float]) -> np.ndarray:
+        """Noise-free pass/fail of one batch of strobe levels.
+
+        Element ``k`` matches ``strobe_passes(test, strobes_ns[k])`` called
+        ``k``-th in sequence (each element models one application, so the
+        batch advances self-heating just like the scalar loop would).  A
+        functional failure fails the whole batch without touching the
+        thermal state, mirroring the scalar early return.
+        """
+        strobes = np.asarray(strobes_ns, dtype=float)
+        if not self.run_functional(test.sequence).passed:
+            return np.zeros(strobes.shape, dtype=bool)
+        values = self.true_parameter_values(test, strobes.size)
+        if self.parameter.direction is SpecDirection.MIN_IS_WORST:
+            return strobes <= values
+        return values <= strobes
+
     def reset_state(self) -> None:
         """Cool the die and clear the array (new characterization insertion)."""
         self.timing.reset()
@@ -240,4 +322,5 @@ class MemoryTestChip:
         state = self.__dict__.copy()
         state["_feature_cache"] = {}
         state["_functional_cache"] = {}
+        state["_static_cache"] = OrderedDict()
         return state

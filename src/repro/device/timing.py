@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.device.process import NOMINAL_DIE, ProcessInstance
 from repro.device.sensitivity import SensitivityModel
 from repro.patterns.conditions import TestCondition
@@ -63,6 +65,27 @@ class SelfHeatingModel:
     def derating_ns(self) -> float:
         """Current ``T_DQ`` derating caused by self-heating."""
         return self._rise_kelvin * self.derating_ns_per_kelvin
+
+    def derating_sequence(self, activity: float, count: int) -> np.ndarray:
+        """Deratings after each of ``count`` successive applications.
+
+        Advances the thermal state exactly as ``count`` calls of
+        :meth:`apply` would (same float operations in the same order), and
+        returns the post-application derating of each step — the batched
+        measurement engine's replacement for the per-probe
+        ``apply(); derating_ns`` pair.  Element ``k`` is bit-identical to
+        the scalar path's derating on the ``k``-th application.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        deratings = np.empty(count, dtype=float)
+        rise = self._rise_kelvin
+        heat = self.heating_per_application * activity
+        for k in range(count):
+            rise = min(self.max_rise_kelvin, rise * self.decay + heat)
+            deratings[k] = rise * self.derating_ns_per_kelvin
+        self._rise_kelvin = rise
+        return deratings
 
     def reset(self) -> None:
         """Cool the die back to ambient (device handler soak)."""
@@ -129,6 +152,35 @@ class TimingModel:
         )
         return vdd_term + temp_term + clock_term
 
+    def static_t_dq_ns(
+        self,
+        features: PatternFeatures,
+        condition: TestCondition,
+        die: ProcessInstance = NOMINAL_DIE,
+    ) -> float:
+        """The heating-independent part of ``T_DQ`` for one (test, die).
+
+        Base window plus environmental derating minus the pattern-activity
+        penalties — everything in :meth:`t_dq_ns` except the self-heating
+        derating.  This value is constant across repeated applications of
+        the same test, which is what the per-(die, test) memo cache in
+        :class:`~repro.device.memory_chip.MemoryTestChip` and the batched
+        measurement engine exploit.  The float operations (and their
+        association order) are exactly the scalar path's, so
+        ``static - derating`` reproduces the legacy result bit for bit.
+        """
+        cfg = self.config
+        base = cfg.base_ns + die.total_timing_shift_ns
+        base += self.environmental_shift_ns(condition, die)
+
+        linear = self.sensitivity.linear_drop_ns(features)
+        weakness = self.sensitivity.weakness_drop_ns(features)
+        undervolt = max(0.0, cfg.nominal_vdd - condition.vdd)
+        weakness *= die.weakness_scale * (
+            1.0 + cfg.weakness_vdd_gain_per_v * undervolt
+        )
+        return base - linear - weakness
+
     def t_dq_ns(
         self,
         features: PatternFeatures,
@@ -142,21 +194,43 @@ class TimingModel:
         heat into the self-heating state (i.e. it models an actual
         application of the pattern, not a what-if query).
         """
-        cfg = self.config
-        base = cfg.base_ns + die.total_timing_shift_ns
-        base += self.environmental_shift_ns(condition, die)
-
-        linear = self.sensitivity.linear_drop_ns(features)
-        weakness = self.sensitivity.weakness_drop_ns(features)
-        undervolt = max(0.0, cfg.nominal_vdd - condition.vdd)
-        weakness *= die.weakness_scale * (
-            1.0 + cfg.weakness_vdd_gain_per_v * undervolt
-        )
-
+        static = self.static_t_dq_ns(features, condition, die)
         if account_heating:
             self.heating.apply(features["peak_window_activity"])
-        value = base - linear - weakness - self.heating.derating_ns
-        return float(value)
+        return float(static - self.heating.derating_ns)
+
+    def t_dq_ns_batch(
+        self,
+        features: PatternFeatures,
+        condition: TestCondition,
+        die: ProcessInstance = NOMINAL_DIE,
+        count: int = 1,
+        account_heating: bool = True,
+    ) -> np.ndarray:
+        """``T_DQ`` of ``count`` successive applications, vectorized.
+
+        Element ``k`` is bit-identical to the ``k``-th of ``count``
+        successive :meth:`t_dq_ns` calls: the static part is computed once
+        and the self-heating recurrence advanced application by
+        application.  With ``account_heating=False`` the thermal state is
+        left untouched and every element sees the current derating (the
+        what-if query semantics of the scalar path).
+        """
+        static = self.static_t_dq_ns(features, condition, die)
+        if account_heating:
+            deratings = self.heating.derating_sequence(
+                features["peak_window_activity"], count
+            )
+        else:
+            deratings = np.full(count, self.heating.derating_ns)
+        return static - deratings
+
+    def f_max_from_t_dq(self, t_dq):
+        """Map ``T_DQ`` (scalar or array) to maximum operating frequency."""
+        cfg = self.config
+        return cfg.f_max_quiet_mhz - cfg.f_max_slope_mhz_per_ns * (
+            cfg.base_ns - t_dq
+        )
 
     def idd_peak_ma(
         self, features: PatternFeatures, condition: TestCondition

@@ -21,7 +21,6 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.device.parameters import DeviceParameter, T_DQ_PARAMETER
 from repro.device.process import ProcessInstance, ProcessModel
 
 @dataclass(frozen=True)

@@ -15,7 +15,7 @@ Fitness is attached after ATE evaluation; individuals are immutable
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 import numpy as np

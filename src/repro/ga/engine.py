@@ -16,7 +16,7 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.ga.chromosome import TestIndividual
-from repro.ga.fitness import CachingFitness, FitnessFunction
+from repro.ga.fitness import CachingFitness
 from repro.obs.events import GAGeneration
 from repro.obs.runtime import OBS
 from repro.ga.operators import (

@@ -7,7 +7,7 @@ of these and migrates individuals between them.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

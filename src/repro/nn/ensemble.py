@@ -20,7 +20,6 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.nn.losses import Loss
 from repro.nn.mlp import MLP
 from repro.nn.trainer import Trainer, TrainingHistory
 from repro.obs.runtime import OBS

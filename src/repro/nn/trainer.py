@@ -9,7 +9,7 @@ early stopping and restoration of the best weights.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

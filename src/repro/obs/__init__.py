@@ -74,6 +74,7 @@ from repro.obs.events import (
 from repro.obs.history import (
     RunComparison,
     RunHistory,
+    bench_run_record,
     build_run_record,
     compare_runs,
 )
@@ -137,6 +138,7 @@ __all__ = [
     "UnitCapture",
     "WorkerCaptureConfig",
     "WorkerTelemetry",
+    "bench_run_record",
     "build_chrome_trace",
     "build_run_record",
     "clear_trace_context",

@@ -59,6 +59,44 @@ def build_run_record(
     }
 
 
+def bench_run_record(
+    payload: Dict[str, object], name: Optional[str] = None
+) -> Dict[str, object]:
+    """Convert a ``BENCH_<bench>.json`` payload into a run record.
+
+    A bench's machine-readable numbers live under ``data``; every key
+    named ``measurements`` or ending in ``_measurements`` is treated as a
+    measurement-cost series: the keys become ``per_test`` entries and
+    their sum the record's gated ``measurements`` total, so
+    :func:`compare_runs` (and ``repro obs compare``) gate benches exactly
+    like campaign runs.  The record is named after the bench unless
+    ``name`` overrides it (CI appends a suffix to compare a fresh run
+    against the committed baseline of the same bench).
+    """
+    data = payload.get("data") or {}
+    per_test: Dict[str, int] = {}
+    if isinstance(data, dict):
+        for key in sorted(data):
+            if key == "measurements" or key.endswith("_measurements"):
+                per_test[key] = int(data[key])
+    return {
+        "schema": RUN_SCHEMA,
+        "kind": RUN_KIND,
+        "run": name or str(payload.get("bench", "bench")),
+        "campaign": "bench",
+        "command": "bench",
+        "ts": time.time(),
+        "wall_s": round(float(payload.get("wall_s", 0.0) or 0.0), 6),
+        "workers": None,
+        "seed": None,
+        "measurements": sum(per_test.values()),
+        "per_test": per_test,
+        "farm_units": 0,
+        "farm_retries": 0,
+        "checkpoint_dropped_lines": 0,
+    }
+
+
 @dataclass
 class HistoryLoad:
     """Result of a tolerant history load."""
@@ -140,6 +178,10 @@ class RunComparison:
     baseline: Dict[str, object]
     run: Dict[str, object]
     threshold_pct: float = 5.0
+    #: Optional wall-clock gate, in percent.  ``None`` (the default) keeps
+    #: wall clock purely advisory — the right setting for CI runners,
+    #: whose speed varies run to run.
+    wall_threshold_pct: Optional[float] = None
 
     @property
     def measurement_delta_pct(self) -> Optional[float]:
@@ -156,15 +198,26 @@ class RunComparison:
         )
 
     @property
+    def wall_regressed(self) -> bool:
+        """True when a wall-clock gate is set and exceeded."""
+        if self.wall_threshold_pct is None:
+            return False
+        delta = self.wall_delta_pct
+        return delta is not None and delta > self.wall_threshold_pct
+
+    @property
     def regressed(self) -> bool:
         """True when measurement cost regressed beyond the threshold.
 
         Measurement count is the deterministic cost axis (the paper's
         argument); wall clock is reported but advisory — it varies with
-        host load and worker count.
+        host load and worker count — unless an explicit
+        ``wall_threshold_pct`` opts it into the gate.
         """
         delta = self.measurement_delta_pct
-        return delta is not None and delta > self.threshold_pct
+        if delta is not None and delta > self.threshold_pct:
+            return True
+        return self.wall_regressed
 
     def per_test_regressions(self, count: int = 10) -> List[Dict[str, object]]:
         """The largest per-test measurement increases, descending."""
@@ -196,7 +249,12 @@ class RunComparison:
             f"threshold {self.threshold_pct:+.1f}%)",
             f"  wall clock:   {float(self.baseline.get('wall_s', 0) or 0):.3f}s"
             f" -> {float(self.run.get('wall_s', 0) or 0):.3f}s "
-            f"({fmt(self.wall_delta_pct)}, advisory)",
+            f"({fmt(self.wall_delta_pct)}, "
+            + (
+                "advisory)"
+                if self.wall_threshold_pct is None
+                else f"threshold {self.wall_threshold_pct:+.1f}%)"
+            ),
         ]
         worst = self.per_test_regressions()
         if worst:
@@ -206,10 +264,18 @@ class RunComparison:
                     f"    - {row['test']:<28} {row['baseline']:>6} -> "
                     f"{row['run']:>6} (+{row['delta']})"
                 )
-        lines.append(
-            "  verdict: "
-            + ("MEASUREMENT COST REGRESSION" if self.regressed else "ok")
-        )
+        if self.regressed:
+            verdict = (
+                "WALL CLOCK REGRESSION"
+                if self.wall_regressed and not (
+                    self.measurement_delta_pct is not None
+                    and self.measurement_delta_pct > self.threshold_pct
+                )
+                else "MEASUREMENT COST REGRESSION"
+            )
+        else:
+            verdict = "ok"
+        lines.append("  verdict: " + verdict)
         return "\n".join(lines)
 
 
@@ -218,6 +284,7 @@ def compare_runs(
     baseline_name: str,
     run_name: Optional[str] = None,
     threshold_pct: float = 5.0,
+    wall_threshold_pct: Optional[float] = None,
 ) -> RunComparison:
     """Compare ``run_name`` (default: the latest run) to the baseline.
 
@@ -233,4 +300,9 @@ def compare_runs(
     if run is None:
         wanted = run_name if run_name else "<latest>"
         raise KeyError(f"run {wanted!r} not in {history.path}")
-    return RunComparison(baseline=baseline, run=run, threshold_pct=threshold_pct)
+    return RunComparison(
+        baseline=baseline,
+        run=run,
+        threshold_pct=threshold_pct,
+        wall_threshold_pct=wall_threshold_pct,
+    )

@@ -23,7 +23,7 @@ march compiler.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from repro.patterns.vectors import (
     DEFAULT_ADDR_BITS,

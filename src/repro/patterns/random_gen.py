@@ -30,7 +30,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.patterns.conditions import ConditionSpace, NOMINAL_CONDITION, TestCondition
+from repro.patterns.conditions import ConditionSpace, NOMINAL_CONDITION
 from repro.patterns.testcase import TestCase
 from repro.patterns.vectors import (
     DEFAULT_ADDR_BITS,

@@ -8,8 +8,7 @@ learning, GA optimization, shmoo analysis — consumes and produces
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
 from repro.patterns.conditions import NOMINAL_CONDITION, TestCondition
 from repro.patterns.vectors import VectorSequence

@@ -19,14 +19,30 @@ from __future__ import annotations
 
 import abc
 import enum
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.obs.events import SearchConverged, SearchStarted
 from repro.obs.runtime import OBS
 
 #: A pass/fail probe of the device at one sweep value.
 Oracle = Callable[[float], bool]
+
+
+def probe_batch(oracle: Oracle, values: Sequence[float]) -> List[bool]:
+    """Probe an oracle at a batch of sweep values, in request order.
+
+    The *batch-oracle protocol*: an oracle exposing a ``probe_many(values)``
+    method evaluates the whole batch in one call (one pattern load, one
+    vectorized device evaluation, one block of noise draws — see
+    ``docs/performance.md``); a plain callable is probed elementwise.
+    Either way the result is one bool per value and the measurement cost is
+    exactly ``len(values)``, so batching never changes counts or results.
+    """
+    batch = getattr(oracle, "probe_many", None)
+    if batch is not None:
+        return [bool(p) for p in batch(values)]
+    return [bool(oracle(v)) for v in values]
 
 
 class SearchError(RuntimeError):
@@ -84,6 +100,12 @@ class _ProbeRecorder:
         passed = bool(self._oracle(value))
         self.history.append((value, passed))
         return passed
+
+    def probe_many(self, values: Sequence[float]) -> List[bool]:
+        """Record a batch of probes; delegates to the oracle's batch face."""
+        results = probe_batch(self._oracle, values)
+        self.history.extend(zip(values, results))
+        return results
 
     @property
     def measurements(self) -> int:

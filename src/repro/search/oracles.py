@@ -8,27 +8,40 @@ for cost studies on synthetic oracles.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, List, Sequence
 
 from repro.patterns.testcase import TestCase
-from repro.search.base import Oracle
+from repro.search.base import Oracle, probe_batch
 
 if TYPE_CHECKING:  # avoid a runtime repro.ate <-> repro.search import cycle
     from repro.ate.tester import ATE
 
 
-def make_ate_oracle(ate: "ATE", test: TestCase) -> Oracle:
-    """Bind a tester and a test case into a strobe pass/fail oracle.
+class ATEOracle:
+    """Tester-bound strobe oracle implementing the batch-oracle protocol.
 
-    Probing the oracle at ``x`` applies the pattern with the output strobe at
-    ``x`` ns and returns the tester's decision; every probe is one charged
-    measurement.
+    Probing at ``x`` applies the pattern with the output strobe at ``x`` ns
+    and returns the tester's decision; every probe is one charged
+    measurement.  :meth:`probe_many` routes a whole batch of levels through
+    :meth:`~repro.ate.tester.ATE.apply_batch` — same results and counts as
+    elementwise probes, one pattern load.
     """
 
-    def oracle(strobe_ns: float) -> bool:
-        return ate.apply(test, strobe_ns)
+    def __init__(self, ate: "ATE", test: TestCase) -> None:
+        self.ate = ate
+        self.test = test
 
-    return oracle
+    def __call__(self, strobe_ns: float) -> bool:
+        return self.ate.apply(self.test, strobe_ns)
+
+    def probe_many(self, strobes_ns: Sequence[float]) -> List[bool]:
+        """Batch face: pass/fail of every level, in request order."""
+        return [bool(p) for p in self.ate.apply_batch(self.test, strobes_ns)]
+
+
+def make_ate_oracle(ate: "ATE", test: TestCase) -> Oracle:
+    """Bind a tester and a test case into a strobe pass/fail oracle."""
+    return ATEOracle(ate, test)
 
 
 def majority_oracle(oracle: Oracle, votes: int = 3) -> Oracle:
@@ -48,12 +61,34 @@ def majority_oracle(oracle: Oracle, votes: int = 3) -> Oracle:
         raise ValueError("votes must be a positive odd number")
     if votes == 1:
         return oracle
+    return _MajorityOracle(oracle, votes)
 
-    def voted(value: float) -> bool:
-        passes = sum(1 for _ in range(votes) if oracle(value))
-        return passes * 2 > votes
 
-    return voted
+class _MajorityOracle:
+    """Per-point repeated-measurement voting, batch-protocol aware.
+
+    All ``votes`` repeated measurements are always taken (no short
+    circuit), exactly like the historical scalar implementation, so the
+    underlying measurement stream is identical whichever face is probed.
+    """
+
+    def __init__(self, oracle: Oracle, votes: int) -> None:
+        self._oracle = oracle
+        self.votes = votes
+
+    def __call__(self, value: float) -> bool:
+        passes = sum(probe_batch(self._oracle, [value] * self.votes))
+        return passes * 2 > self.votes
+
+    def probe_many(self, values: Sequence[float]) -> List[bool]:
+        """Vote every value; one flattened batch when the oracle allows."""
+        votes = self.votes
+        flat = [value for value in values for _ in range(votes)]
+        raw = probe_batch(self._oracle, flat)
+        return [
+            sum(raw[i * votes : (i + 1) * votes]) * 2 > votes
+            for i in range(len(values))
+        ]
 
 
 class CountingOracle:
@@ -66,6 +101,11 @@ class CountingOracle:
     def __call__(self, value: float) -> bool:
         self.count += 1
         return self._oracle(value)
+
+    def probe_many(self, values: Sequence[float]) -> List[bool]:
+        """Count and forward a whole batch."""
+        self.count += len(values)
+        return probe_batch(self._oracle, values)
 
     def reset(self) -> None:
         """Zero the probe counter."""

@@ -52,8 +52,10 @@ class SuccessiveApproximation(TripPointSearcher):
         fail_side = self._fail_end(low, high)
         middle = 0.5 * (pass_side + fail_side)
 
-        first = probe(pass_side)
-        second = probe(middle)
+        # Both openers are probed unconditionally in the scalar algorithm,
+        # so they form a legal batch: one pattern load, identical results
+        # and measurement counts (the batch-oracle protocol contract).
+        first, second = probe.probe_many([pass_side, middle])
         if not first:
             # Expected-pass boundary failed: no pass region reachable from
             # this end of the bracket.

@@ -7,6 +7,7 @@ import pytest
 from repro.obs.history import (
     RUN_KIND,
     RunHistory,
+    bench_run_record,
     build_run_record,
     compare_runs,
 )
@@ -138,3 +139,80 @@ class TestCompareRuns:
         comparison = compare_runs(history, "base", "run")
         assert comparison.measurement_delta_pct is None
         assert not comparison.regressed
+
+    def test_wall_clock_is_advisory_by_default(self, tmp_path):
+        history = self._history(
+            tmp_path,
+            _record("base", {"t": 100}, wall_s=1.0),
+            _record("run", {"t": 100}, wall_s=9.0),
+        )
+        comparison = compare_runs(history, "base", "run")
+        assert comparison.wall_delta_pct == pytest.approx(800.0)
+        assert not comparison.regressed
+        assert "advisory" in comparison.render()
+
+    def test_wall_clock_gate_opt_in(self, tmp_path):
+        history = self._history(
+            tmp_path,
+            _record("base", {"t": 100}, wall_s=1.0),
+            _record("run", {"t": 100}, wall_s=2.0),
+        )
+        comparison = compare_runs(
+            history, "base", "run", wall_threshold_pct=50.0
+        )
+        assert comparison.wall_regressed
+        assert comparison.regressed
+        assert "WALL CLOCK REGRESSION" in comparison.render()
+        # measurement regressions still take verdict precedence
+        loose = compare_runs(
+            history, "base", "run", wall_threshold_pct=200.0
+        )
+        assert not loose.regressed
+
+
+class TestBenchRunRecord:
+    PAYLOAD = {
+        "bench": "test_batched_vs_scalar_grid",
+        "wall_s": 4.25,
+        "data": {
+            "scalar_measurements": 2404,
+            "batched_measurements": 2404,
+            "speedup": 5.1,
+            "grid_points": 601,
+        },
+    }
+
+    def test_measurement_keys_become_per_test(self):
+        record = bench_run_record(self.PAYLOAD)
+        assert record["kind"] == RUN_KIND
+        assert record["run"] == "test_batched_vs_scalar_grid"
+        assert record["campaign"] == "bench"
+        assert record["wall_s"] == 4.25
+        assert record["per_test"] == {
+            "batched_measurements": 2404,
+            "scalar_measurements": 2404,
+        }
+        assert record["measurements"] == 4808
+
+    def test_name_override_and_missing_data(self):
+        record = bench_run_record({"bench": "b"}, name="b@ci")
+        assert record["run"] == "b@ci"
+        assert record["measurements"] == 0
+        assert record["per_test"] == {}
+
+    def test_bench_records_gate_like_runs(self, tmp_path):
+        history = RunHistory(tmp_path / "baselines.jsonl")
+        history.append(bench_run_record(self.PAYLOAD))
+        fresh = dict(
+            self.PAYLOAD,
+            data=dict(self.PAYLOAD["data"], scalar_measurements=3000),
+        )
+        history.append(bench_run_record(fresh, name="test_batched_vs_scalar_grid@ci"))
+        comparison = compare_runs(
+            history,
+            "test_batched_vs_scalar_grid",
+            "test_batched_vs_scalar_grid@ci",
+            threshold_pct=10.0,
+        )
+        assert comparison.regressed
+        assert "scalar_measurements" in comparison.render()
