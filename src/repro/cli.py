@@ -37,13 +37,19 @@ The ``obs`` subcommand family inspects what the flags above record::
 
     repro-characterize obs summary  trace.jsonl
     repro-characterize obs slowest  trace.jsonl -n 10
+    repro-characterize obs insight  trace.jsonl
+    repro-characterize obs report   trace.jsonl out.html --runs runs.jsonl
     repro-characterize obs timeline trace.jsonl -o timeline.json
     repro-characterize obs compare  runs.jsonl --baseline nightly
     repro-characterize obs bench-import runs.jsonl BENCH_*.json --suffix @ci
 
-``obs timeline`` writes Chrome-trace JSON loadable at ui.perfetto.dev;
-``obs compare`` exits non-zero when the latest (or named) run's total
-measurement cost regressed beyond the threshold vs the baseline run.
+``obs insight`` prints the decision-level story of a trace (SUTP audit,
+NN votes, GA convergence, WCR classes); ``obs report`` renders the same
+views plus the shmoo heatmap and run history as one self-contained HTML
+file; ``obs timeline`` writes Chrome-trace JSON loadable at
+ui.perfetto.dev; ``obs compare`` exits non-zero when the latest (or
+named) run's total measurement cost regressed beyond the threshold vs
+the baseline run.
 """
 
 from __future__ import annotations
@@ -327,6 +333,36 @@ def _build_parser() -> argparse.ArgumentParser:
             "also gate on wall clock: allowed increase in percent "
             "(default: wall clock stays advisory)"
         ),
+    )
+
+    obs_insight = obs_sub.add_parser(
+        "insight",
+        help=(
+            "decision-level introspection of a trace: SUTP audit, NN "
+            "votes, GA convergence, WCR classes"
+        ),
+    )
+    obs_insight.add_argument("trace_file", metavar="TRACE")
+
+    obs_report = obs_sub.add_parser(
+        "report",
+        help=(
+            "render a trace (+ optional runs.jsonl) as one self-contained "
+            "HTML file: inline SVG charts, no scripts, no external assets"
+        ),
+    )
+    obs_report.add_argument("trace_file", metavar="TRACE")
+    obs_report.add_argument(
+        "output", nargs="?", metavar="OUT",
+        help="output path (default: TRACE with a .html suffix)",
+    )
+    obs_report.add_argument(
+        "--runs", metavar="FILE",
+        help="runs.jsonl history to include as the run-history table",
+    )
+    obs_report.add_argument(
+        "--title", default="Characterization run report",
+        help="report heading",
     )
 
     obs_bench = obs_sub.add_parser(
@@ -651,6 +687,31 @@ def _cmd_obs(args) -> int:
         )
         print(f"timeline written: {path} ({spans} span(s); "
               f"open at ui.perfetto.dev)")
+    elif args.obs_command == "insight":
+        print(obs.render_insight(obs.build_insight(loaded.records)))
+    elif args.obs_command == "report":
+        runs = None
+        if args.runs:
+            try:
+                runs = obs.RunHistory(args.runs).load().records
+            except OSError as exc:
+                print(
+                    f"error: cannot read run history: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+        html = obs.build_html_report(
+            loaded.records, runs=runs, title=args.title
+        )
+        output = Path(args.output or f"{args.trace_file}.html")
+        output.write_text(html)
+        insight = obs.build_insight(loaded.records)
+        decisions = len(obs.insight_events(loaded.records))
+        note = " (no decision-level events)" if insight.empty else ""
+        print(
+            f"report written: {output} ({len(loaded.records)} event(s), "
+            f"{decisions} decision event(s){note})"
+        )
     return 0
 
 

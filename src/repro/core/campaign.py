@@ -29,6 +29,8 @@ from repro.core.learning import LearningConfig
 from repro.core.lot import _resolve_checkpoint
 from repro.core.optimization import OptimizationConfig
 from repro.farm.executor import make_executor
+from repro.obs.events import WCRClassified
+from repro.obs.runtime import OBS
 from repro.obs.timing import span
 from repro.patterns.conditions import NOMINAL_CONDITION, TestCondition
 from repro.patterns.random_gen import RandomTestGenerator
@@ -101,6 +103,35 @@ class CampaignReport:
         return target
 
 
+def _emit_wcr_classifications(database: WorstCaseDatabase) -> None:
+    """One ``wcr_classified`` event per worst-case database record."""
+    for record in database.ranked():
+        wcr_class = (
+            record.wcr_class.value if record.wcr_class is not None else "unknown"
+        )
+        OBS.metrics.counter("wcr.classified").inc(label=wcr_class)
+        OBS.bus.emit(
+            WCRClassified(
+                test_name=record.test.name or "unnamed",
+                technique=record.technique,
+                wcr=record.wcr,
+                wcr_class=wcr_class,
+                value=record.measured_value,
+            )
+        )
+    for record in database.failures():
+        OBS.metrics.counter("wcr.classified").inc(label="functional_fail")
+        OBS.bus.emit(
+            WCRClassified(
+                test_name=record.test.name or "unnamed",
+                technique=record.technique,
+                wcr=record.wcr,
+                wcr_class="functional_fail",
+                value=record.measured_value,
+            )
+        )
+
+
 def run_campaign(
     characterizer: DeviceCharacterizer,
     march_name: str = "march_c-",
@@ -140,6 +171,8 @@ def run_campaign(
             report_condition,
         )
         drift = DriftAnalysis.from_dsv(dsv)
+        if OBS.enabled:
+            _emit_wcr_classifications(optimization.database)
 
         # Spec proposal from everything measured at the report condition,
         # anchored by the discovered worst case.

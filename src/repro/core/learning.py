@@ -39,6 +39,7 @@ from repro.nn.losses import CrossEntropyLoss
 from repro.nn.mlp import MLP
 from repro.nn.trainer import Trainer
 from repro.nn.weights_io import save_weights
+from repro.obs.events import NNCalibration, NNVote
 from repro.obs.runtime import OBS
 from repro.obs.timing import span, timed
 from repro.patterns.conditions import ConditionSpace, TestCondition
@@ -269,8 +270,46 @@ class LearningScheme:
             if OBS.enabled:
                 OBS.metrics.gauge("nn.train_accuracy").set(train_acc)
                 OBS.metrics.gauge("nn.val_accuracy").set(val_acc)
+                intro = ensemble.introspect(inputs[val_idx])
                 OBS.metrics.gauge("nn.ensemble_agreement").set(
-                    float(ensemble.vote_agreement(inputs[val_idx]).mean())
+                    float(intro.agreement.mean())
+                )
+                OBS.metrics.gauge("nn.vote_mean_entropy").set(
+                    float(intro.entropy.mean())
+                )
+                OBS.metrics.gauge("nn.vote_mean_margin").set(
+                    float(intro.margin.mean())
+                )
+                measured = labels[val_idx]
+                matrix = np.zeros(
+                    (coder.n_classes, coder.n_classes), dtype=int
+                )
+                for i in range(len(intro)):
+                    actual = int(measured[i])
+                    predicted = int(intro.predicted[i])
+                    matrix[actual, predicted] += 1
+                    OBS.bus.emit(
+                        NNVote(
+                            sample=i,
+                            votes=intro.votes_for(i),
+                            predicted=predicted,
+                            actual=actual,
+                            entropy=float(intro.entropy[i]),
+                            margin=float(intro.margin[i]),
+                            agreement=float(intro.agreement[i]),
+                        )
+                    )
+                OBS.bus.emit(
+                    NNCalibration(
+                        round=rounds,
+                        labels=tuple(coder.labels),
+                        matrix=tuple(
+                            tuple(int(v) for v in row) for row in matrix
+                        ),
+                        accuracy=val_acc,
+                        mean_entropy=float(intro.entropy.mean()),
+                        mean_margin=float(intro.margin.mean()),
+                    )
                 )
 
             if check.verdict is LearningVerdict.ACCEPT:

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.obs.events import SUTPFallback, SUTPWalkStep
+from repro.obs.events import SUTPFallback, SUTPWalkStep, SUTPWindowEscalated
 from repro.obs.runtime import OBS
 from repro.search.base import Oracle, PassRegion, TripPointSearcher
 from repro.search.successive import SuccessiveApproximation
@@ -203,6 +203,9 @@ class SearchUntilTripPoint:
                 if OBS.enabled:
                     OBS.metrics.counter("sutp.fallbacks").inc()
                     OBS.bus.emit(SUTPFallback(iteration=iteration, value=x))
+                    self._emit_escalation(
+                        iteration, measurements, fallback=True
+                    )
                 fallback = self._full_search(oracle)
                 return SUTPResult(
                     trip_point=fallback.trip_point,
@@ -217,6 +220,8 @@ class SearchUntilTripPoint:
                 )
             if state != rtp_passes:
                 # Bracketed between `previous` and `x`; refine.
+                if OBS.enabled and iteration >= 2:
+                    self._emit_escalation(iteration, measurements)
                 if rtp_passes:
                     pass_side, fail_side = previous, x
                 else:
@@ -235,6 +240,24 @@ class SearchUntilTripPoint:
             measurements=measurements,
             used_full_search=False,
             iterations=self.max_iterations,
+        )
+
+    def _emit_escalation(
+        self, iteration: int, probes: int, fallback: bool = False
+    ) -> None:
+        """One ``sutp_window_escalated`` event per escalated walk."""
+        step = self.search_factor * iteration
+        window = self.search_factor * iteration * (iteration + 1) / 2.0
+        OBS.metrics.counter("sutp.window_escalations").inc()
+        OBS.metrics.histogram("sutp.escalation_window").observe(window)
+        OBS.bus.emit(
+            SUTPWindowEscalated(
+                iteration=iteration,
+                step=step,
+                window=window,
+                probes=probes,
+                fallback=fallback,
+            )
         )
 
     def _refine(

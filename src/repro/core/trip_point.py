@@ -22,6 +22,8 @@ import numpy as np
 
 from repro.ate.tester import ATE
 from repro.core.sutp import SearchUntilTripPoint, SUTPResult
+from repro.obs.events import SUTPTestMeasured
+from repro.obs.runtime import OBS
 from repro.device.parameters import DeviceParameter, SpecDirection
 from repro.patterns.testcase import TestCase
 from repro.search.base import PassRegion, TripPointSearcher
@@ -167,7 +169,29 @@ class MultipleTripPointRunner:
         """Measure a single test's trip point with the configured strategy."""
         oracle = make_ate_oracle(self.ate, test)
         if self.strategy == "sutp":
+            rtp_before = self.sutp.reference_trip_point
             result: SUTPResult = self.sutp.measure(oracle)
+            if OBS.enabled:
+                drift = (
+                    result.trip_point - rtp_before
+                    if result.trip_point is not None and rtp_before is not None
+                    else None
+                )
+                OBS.bus.emit(
+                    SUTPTestMeasured(
+                        test_name=test.name or "unnamed",
+                        trip_point=result.trip_point,
+                        measurements=result.measurements,
+                        used_full_search=result.used_full_search,
+                        iterations=result.iterations,
+                        rtp=rtp_before,
+                        drift=drift,
+                    )
+                )
+                if drift is not None:
+                    OBS.metrics.histogram("sutp.trip_point_drift").observe(
+                        drift
+                    )
             return TripPointValue(
                 test=test,
                 value=result.trip_point,

@@ -11,7 +11,7 @@ as the worst case is detected by the worst-case-ratio stop rule.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -108,6 +108,11 @@ class MultiPopulationGA:
         else:
             self.fitness = CachingFitness(fitness, condition_space)
         self._rng = np.random.default_rng(seed)
+        # Operator attribution for the insight layer: maps the id() of each
+        # individual created this generation to the operator chain that
+        # produced it.  Cleared at the top of every generation; only live
+        # objects (still referenced by a population) are ever looked up.
+        self._operator_log: Dict[int, str] = {}
 
     # -- population construction -----------------------------------------------
     def _initial_populations(
@@ -143,6 +148,8 @@ class MultiPopulationGA:
     def _offspring(self, population: Population) -> List[TestIndividual]:
         cfg = self.config
         next_gen: List[TestIndividual] = list(population.elite(cfg.elite_count))
+        for elite in next_gen:
+            self._operator_log[id(elite)] = "elite"
         while len(next_gen) < cfg.population_size:
             parent_a = tournament_select(
                 population.individuals, self._rng, cfg.tournament_k
@@ -157,28 +164,35 @@ class MultiPopulationGA:
                 genes_a, genes_b = crossover_conditions(
                     parent_a.condition_genes, parent_b.condition_genes, self._rng
                 )
+                base_op = "crossover"
             else:
                 seq_a, seq_b = parent_a.sequence, parent_b.sequence
                 genes_a, genes_b = (
                     parent_a.condition_genes,
                     parent_b.condition_genes,
                 )
+                base_op = "clone"
             for sequence, genes in ((seq_a, genes_a), (seq_b, genes_b)):
                 if len(next_gen) >= cfg.population_size:
                     break
+                ops = base_op
                 sequence = point_mutate_sequence(
                     sequence, self._rng, cfg.point_mutation_rate
                 )
                 if self._rng.random() < cfg.motif_mutation_prob:
                     sequence = motif_mutate_sequence(sequence, self._rng)
+                    ops += "+motif"
                 if self._rng.random() < cfg.resize_mutation_prob:
                     sequence = resize_mutate_sequence(sequence, self._rng)
+                    ops += "+resize"
                 if cfg.evolve_conditions:
                     genes = mutate_conditions(
                         genes, self._rng, cfg.condition_sigma
                     )
                 child = TestIndividual(sequence=sequence, condition_genes=genes)
-                next_gen.append(self.fitness.evaluate(child))
+                evaluated = self.fitness.evaluate(child)
+                self._operator_log[id(evaluated)] = ops
+                next_gen.append(evaluated)
         return next_gen
 
     def _migrate(self, populations: List[Population]) -> None:
@@ -224,6 +238,7 @@ class MultiPopulationGA:
         restarts = 0
 
         for generation in range(1, cfg.max_generations + 1):
+            self._operator_log.clear()
             for population in populations:
                 population.replace(self._offspring(population))
                 if population.stagnant_for(cfg.stagnation_patience):
@@ -266,6 +281,29 @@ class MultiPopulationGA:
                 OBS.metrics.gauge("ga.best_fitness").set(
                     result.best.fitness or float("nan")
                 )
+                std_fitness = (
+                    float(np.std(fitnesses))
+                    if len(fitnesses) >= 2
+                    else 0.0
+                )
+                sequence_diversity = float(
+                    np.mean([pop.sequence_diversity() for pop in populations])
+                )
+                condition_diversity = float(
+                    np.mean([pop.condition_diversity() for pop in populations])
+                )
+                best_operator = self._operator_log.get(
+                    id(generation_best), "carryover"
+                )
+                OBS.metrics.counter("ga.best_operator").inc(
+                    label=best_operator
+                )
+                OBS.metrics.gauge("ga.sequence_diversity").set(
+                    sequence_diversity
+                )
+                OBS.metrics.gauge("ga.condition_diversity").set(
+                    condition_diversity
+                )
                 OBS.bus.emit(
                     GAGeneration(
                         generation=generation,
@@ -273,6 +311,10 @@ class MultiPopulationGA:
                         mean_fitness=mean_fitness,
                         evaluations=evals_total,
                         restarts=restarts,
+                        std_fitness=std_fitness,
+                        sequence_diversity=sequence_diversity,
+                        condition_diversity=condition_diversity,
+                        best_operator=best_operator,
                     )
                 )
 
@@ -299,12 +341,15 @@ class MultiPopulationGA:
     ) -> None:
         """Re-seed a stagnant population, keeping one elite survivor."""
         survivor = population.best()
+        self._operator_log[id(survivor)] = "elite"
         fresh: List[TestIndividual] = [survivor]
         while len(fresh) < population.size:
             if restart_factory is not None:
                 candidate = restart_factory()
             else:
                 candidate = self._variant(survivor)
-            fresh.append(self.fitness.evaluate(candidate))
+            evaluated = self.fitness.evaluate(candidate)
+            self._operator_log[id(evaluated)] = "restart"
+            fresh.append(evaluated)
         population.individuals = fresh
         population.best_history.clear()

@@ -78,6 +78,44 @@ class Population:
         ]
         return float(np.mean(values)) if values else float("nan")
 
+    def fitness_std(self) -> float:
+        """Fitness standard deviation over evaluated individuals."""
+        values = [
+            ind.fitness for ind in self.individuals if ind.fitness is not None
+        ]
+        return float(np.std(values)) if len(values) >= 2 else 0.0
+
+    def sequence_diversity(self) -> float:
+        """Sequence-chromosome spread: mean normalized Hamming distance.
+
+        Each individual's vector sequence is compared cycle-by-cycle
+        against the population best's; differing cycles and any length
+        difference both count as mismatches, normalized by the longer
+        sequence.  0 means every sequence equals the best's; 1 means no
+        cycle agrees anywhere.
+        """
+        reference = list(self.best().sequence)
+        distances = []
+        for individual in self.individuals:
+            sequence = list(individual.sequence)
+            longest = max(len(reference), len(sequence))
+            if longest == 0:
+                distances.append(0.0)
+                continue
+            mismatches = sum(
+                1 for a, b in zip(reference, sequence) if a != b
+            )
+            mismatches += abs(len(reference) - len(sequence))
+            distances.append(mismatches / longest)
+        return float(np.mean(distances))
+
+    def condition_diversity(self) -> float:
+        """Condition-chromosome spread: mean absolute gene deviation."""
+        genes = np.stack(
+            [individual.condition_genes for individual in self.individuals]
+        )
+        return float(np.mean(np.abs(genes - genes.mean(axis=0))))
+
     def stagnant_for(self, patience: int, tolerance: float = 1e-6) -> bool:
         """True when the best fitness has not improved for ``patience`` gens."""
         if len(self.best_history) < patience + 1:

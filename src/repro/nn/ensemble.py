@@ -16,7 +16,7 @@ metric plus a per-sample vote-agreement confidence.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,6 +41,50 @@ class EnsembleTrainingReport:
         Lower is more consistent/confident.  ``nan`` without validation.
         """
         return self.mean_val_loss
+
+
+@dataclass(frozen=True)
+class VoteIntrospection:
+    """Decision-level record of one ensemble vote over a batch.
+
+    Everything the insight layer needs to explain *why* each sample was
+    classified the way it was: the raw vote tally per class, the
+    disagreement entropy of that tally (bits), the fuzzy-class margin
+    (soft-probability gap between the top two classes), and the fraction
+    of members agreeing with the winner.
+
+    Attributes
+    ----------
+    counts:
+        ``(n_samples, n_classes)`` vote tallies; each row sums to the
+        ensemble size.
+    predicted:
+        Majority class per sample (ties resolved by the soft vote, the
+        same rule as :meth:`VotingEnsemble.classify`).
+    probabilities:
+        Soft-vote class probabilities, ``(n_samples, n_classes)``.
+    entropy:
+        Shannon entropy of each sample's vote tally in bits; 0 for a
+        unanimous vote, ``log2(n_classes)`` at maximum disagreement.
+    margin:
+        Soft-probability difference between the best and runner-up class.
+    agreement:
+        Fraction of members voting with the majority.
+    """
+
+    counts: np.ndarray
+    predicted: np.ndarray
+    probabilities: np.ndarray
+    entropy: np.ndarray
+    margin: np.ndarray
+    agreement: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.predicted)
+
+    def votes_for(self, sample: int) -> Tuple[int, ...]:
+        """The vote tally of one sample as a plain tuple (event payload)."""
+        return tuple(int(v) for v in self.counts[sample])
 
 
 class VotingEnsemble:
@@ -148,6 +192,50 @@ class VotingEnsemble:
         votes = np.stack([member.classify(inputs) for member in self.members])
         majority = self.classify(inputs)
         return (votes == majority[None, :]).mean(axis=0)
+
+    def introspect(self, inputs: np.ndarray) -> VoteIntrospection:
+        """Full vote breakdown for a batch (one member pass, all metrics).
+
+        Computes the tally, winner, soft probabilities, disagreement
+        entropy, fuzzy-class margin and agreement in a single stacked
+        member evaluation, so the insight layer costs no extra forward
+        passes beyond what :meth:`classify` already spends.
+        """
+        stacked = np.stack([member.predict(inputs) for member in self.members])
+        probabilities = stacked.mean(axis=0)
+        votes = stacked.argmax(axis=2)
+        n_samples = votes.shape[1]
+        n_classes = self.output_dim
+        counts = np.zeros((n_samples, n_classes), dtype=int)
+        for member_votes in votes:
+            counts[np.arange(n_samples), member_votes] += 1
+        winners = counts.argmax(axis=1)
+        top_count = counts.max(axis=1)
+        tied = (counts == top_count[:, None]).sum(axis=1) > 1
+        if tied.any():
+            winners[tied] = probabilities.argmax(axis=1)[tied]
+        fractions = counts / float(self.n_networks)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            terms = np.where(
+                fractions > 0, fractions * np.log2(fractions), 0.0
+            )
+        entropy = -terms.sum(axis=1)
+        ordered = np.sort(probabilities, axis=1)
+        if n_classes >= 2:
+            margin = ordered[:, -1] - ordered[:, -2]
+        else:
+            margin = ordered[:, -1]
+        agreement = counts[np.arange(n_samples), winners] / float(
+            self.n_networks
+        )
+        return VoteIntrospection(
+            counts=counts,
+            predicted=winners,
+            probabilities=probabilities,
+            entropy=entropy,
+            margin=margin,
+            agreement=agreement,
+        )
 
     def accuracy(self, inputs: np.ndarray, target_classes: np.ndarray) -> float:
         """Majority-vote accuracy against integer labels."""

@@ -26,7 +26,14 @@ package turns every such cost into an observable:
   and the cost-regression comparison behind ``repro obs compare``;
 * :mod:`repro.obs.report` — text summaries, including the fig. 3
   per-test cost profile rebuilt from a live trace and the tolerant
-  :func:`load_trace` used by the ``repro obs`` commands.
+  :func:`load_trace` used by the ``repro obs`` commands;
+* :mod:`repro.obs.insight` — decision-level introspection: the SUTP
+  search audit (RTP reuse vs. window escalation, drift, wasted probes),
+  NN ensemble vote breakdowns with calibration, GA convergence and
+  operator attribution, and the WCR classification tally;
+* :mod:`repro.obs.html` — ``repro obs report``: every insight view plus
+  the shmoo heatmap and run history rendered into one self-contained
+  HTML file (inline SVG, no scripts, no external assets).
 
 Everything hangs off the global :data:`OBS` switchboard and is **off by
 default**: the disabled path is a single attribute check, so benchmarks
@@ -58,13 +65,18 @@ from repro.obs.events import (
     GAGeneration,
     LoggingSink,
     MeasurementEvent,
+    NNCalibration,
     NNEpoch,
+    NNVote,
     RingBufferSink,
     SearchConverged,
     SearchStarted,
     SUTPFallback,
+    SUTPTestMeasured,
     SUTPWalkStep,
+    SUTPWindowEscalated,
     TraceWriter,
+    WCRClassified,
     clear_trace_context,
     current_trace_context,
     known_event_types,
@@ -77,6 +89,20 @@ from repro.obs.history import (
     bench_run_record,
     build_run_record,
     compare_runs,
+)
+from repro.obs.html import build_html_report
+from repro.obs.insight import (
+    GAInsight,
+    INSIGHT_EVENT_TYPES,
+    RunInsight,
+    SUTPAudit,
+    SUTPAuditRow,
+    VoteInsight,
+    VoteRecord,
+    WCRInsight,
+    build_insight,
+    insight_events,
+    render_insight,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import (
@@ -117,29 +143,44 @@ __all__ = [
     "FarmUnitSkipped",
     "FarmWorkerPool",
     "GAGeneration",
+    "GAInsight",
     "Gauge",
     "Histogram",
+    "INSIGHT_EVENT_TYPES",
     "LoggingSink",
     "MeasurementEvent",
     "MetricsRegistry",
+    "NNCalibration",
     "NNEpoch",
+    "NNVote",
     "OBS",
     "Observability",
     "RingBufferSink",
     "RunComparison",
     "RunHistory",
+    "RunInsight",
+    "SUTPAudit",
+    "SUTPAuditRow",
     "SUTPFallback",
+    "SUTPTestMeasured",
     "SUTPWalkStep",
+    "SUTPWindowEscalated",
     "SearchConverged",
     "SearchStarted",
     "SpoolSink",
     "TraceLoadResult",
     "TraceWriter",
     "UnitCapture",
+    "VoteInsight",
+    "VoteRecord",
+    "WCRClassified",
+    "WCRInsight",
     "WorkerCaptureConfig",
     "WorkerTelemetry",
     "bench_run_record",
     "build_chrome_trace",
+    "build_html_report",
+    "build_insight",
     "build_run_record",
     "clear_trace_context",
     "compare_runs",
@@ -147,10 +188,12 @@ __all__ = [
     "current_trace_context",
     "disable",
     "enable",
+    "insight_events",
     "known_event_types",
     "load_trace",
     "per_test_measurement_counts",
     "read_trace",
+    "render_insight",
     "render_metrics_summary",
     "render_slowest",
     "render_trace_cost_profile",

@@ -27,7 +27,7 @@ import logging
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Callable, ClassVar, Deque, Dict, List, Optional, Union
+from typing import Callable, ClassVar, Deque, Dict, List, Optional, Tuple, Union
 
 logger = logging.getLogger("repro.obs")
 
@@ -155,8 +155,69 @@ class SUTPFallback(Event):
 
 
 @dataclass(frozen=True)
+class SUTPWindowEscalated(Event):
+    """The incremental walk needed more than one ±SF step (eqs. 3/4).
+
+    Emitted once per incremental search whose bracketing took ``IT >= 2``
+    (or that fell off the range entirely): the SF·IT window *escalated*
+    past the base step before the state flip.  A test absent from these
+    events reused the RTP cheaply — bracketing on the very first step.
+
+    Attributes
+    ----------
+    iteration:
+        Final ``IT`` of the walk.
+    step:
+        Last step size ``SF * IT``.
+    window:
+        Cumulative distance walked from the RTP, ``SF * IT(IT+1)/2``.
+    probes:
+        Oracle probes the walk had spent when it escalated.
+    fallback:
+        True when the escalation ended in a full-range fallback.
+    """
+
+    type: ClassVar[str] = "sutp_window_escalated"
+
+    iteration: int
+    step: float
+    window: float
+    probes: int
+    fallback: bool = False
+
+
+@dataclass(frozen=True)
+class SUTPTestMeasured(Event):
+    """One test's complete SUTP outcome, with the test's identity.
+
+    Emitted by :class:`~repro.core.trip_point.MultipleTripPointRunner`
+    (which, unlike the searcher, knows the test name) after every SUTP
+    measurement.  The sequence of these events is the per-parameter
+    trip-point *drift series*, and the per-test audit table of
+    :mod:`repro.obs.insight` is built from them.
+    """
+
+    type: ClassVar[str] = "sutp_test_measured"
+
+    test_name: str
+    trip_point: Optional[float]
+    measurements: int
+    used_full_search: bool
+    iterations: int
+    rtp: Optional[float] = None
+    drift: Optional[float] = None
+
+
+@dataclass(frozen=True)
 class GAGeneration(Event):
-    """End of one GA generation across all populations."""
+    """End of one GA generation across all populations.
+
+    The trailing fields are the decision-level extension (fig. 5
+    convergence telemetry): fitness dispersion, chromosome diversity for
+    both species, and which variation operators produced the generation's
+    best individual.  They default so traces written by older builds stay
+    loadable.
+    """
 
     type: ClassVar[str] = "ga_generation"
 
@@ -165,6 +226,10 @@ class GAGeneration(Event):
     mean_fitness: float
     evaluations: int
     restarts: int
+    std_fitness: float = float("nan")
+    sequence_diversity: float = float("nan")
+    condition_diversity: float = float("nan")
+    best_operator: str = ""
 
 
 @dataclass(frozen=True)
@@ -176,6 +241,60 @@ class NNEpoch(Event):
     epoch: int
     train_loss: float
     val_loss: Optional[float]
+
+
+@dataclass(frozen=True)
+class NNVote(Event):
+    """One validation sample's ensemble vote (fig. 4 voting machine).
+
+    ``votes`` is the per-class member vote vector; ``entropy`` the
+    disagreement entropy of that vector in bits (0 = unanimous);
+    ``margin`` the soft-vote probability gap between the top two
+    classes; ``agreement`` the fraction of members voting with the
+    majority.
+    """
+
+    type: ClassVar[str] = "nn_vote"
+
+    sample: int
+    votes: "Tuple[int, ...]"
+    predicted: int
+    actual: int
+    entropy: float
+    margin: float
+    agreement: float
+
+
+@dataclass(frozen=True)
+class NNCalibration(Event):
+    """Calibration of predicted fuzzy class vs. measured TPV class.
+
+    Emitted once per learning round over the validation split:
+    ``matrix[i][j]`` counts samples whose *measured* trip point coded to
+    class ``i`` and whose ensemble prediction was class ``j``.
+    """
+
+    type: ClassVar[str] = "nn_calibration"
+
+    round: int
+    labels: "Tuple[str, ...]"
+    matrix: "Tuple[Tuple[int, ...], ...]"
+    accuracy: float
+    mean_entropy: float
+    mean_margin: float
+
+
+@dataclass(frozen=True)
+class WCRClassified(Event):
+    """One worst-case-database record's fig. 6 classification."""
+
+    type: ClassVar[str] = "wcr_classified"
+
+    test_name: str
+    technique: str
+    wcr: Optional[float]
+    wcr_class: str
+    value: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -428,6 +547,7 @@ _INFO_EVENT_TYPES = frozenset(
         "campaign_phase",
         "search_converged",
         "ga_generation",
+        "nn_calibration",
         "sutp_fallback",
         "farm_run_started",
         "farm_unit_retried",

@@ -24,6 +24,18 @@ from repro.obs.events import known_event_types
 from repro.obs.metrics import MetricsRegistry
 
 
+def _iter_trace_lines(path: Union[str, Path]):
+    """Stream ``(line_number, line)`` pairs without loading the file.
+
+    Farm traces can reach multiple gigabytes; both loaders iterate the
+    file handle directly so memory stays proportional to the kept
+    records, never to the file size.
+    """
+    with open(Path(path), "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            yield line_number, line
+
+
 def read_trace(path: Union[str, Path]) -> List[Dict[str, object]]:
     """Load a :class:`~repro.obs.events.TraceWriter` JSONL file.
 
@@ -34,8 +46,7 @@ def read_trace(path: Union[str, Path]) -> List[Dict[str, object]]:
         (line-numbered, so a truncated trace is easy to diagnose).
     """
     records: List[Dict[str, object]] = []
-    text = Path(path).read_text()
-    for line_number, line in enumerate(text.splitlines(), start=1):
+    for line_number, line in _iter_trace_lines(path):
         if not line.strip():
             continue
         try:
@@ -70,8 +81,7 @@ def load_trace(path: Union[str, Path]) -> TraceLoadResult:
     """
     known = known_event_types()
     loaded = TraceLoadResult()
-    text = Path(path).read_text()
-    for line in text.splitlines():
+    for _, line in _iter_trace_lines(path):
         if not line.strip():
             continue
         try:
@@ -277,10 +287,18 @@ def render_trace_summary(loaded: TraceLoadResult) -> str:
     if loaded.dropped_lines:
         lines.append(f"({loaded.dropped_lines} malformed line(s) skipped)")
     if loaded.unknown_types:
-        detail = ", ".join(
-            f"{kind} x{count}"
-            for kind, count in sorted(loaded.unknown_types.items())
+        # Name the drifted schemas, most frequent first, so "what wrote
+        # this trace?" is answerable from the summary alone.
+        ranked_unknown = sorted(
+            loaded.unknown_types.items(), key=lambda kv: (-kv[1], kv[0])
         )
+        shown_unknown = ranked_unknown[:5]
+        detail = ", ".join(
+            f"{kind} x{count}" for kind, count in shown_unknown
+        )
+        hidden = len(ranked_unknown) - len(shown_unknown)
+        if hidden > 0:
+            detail += f", ... {hidden} more type(s)"
         lines.append(f"({sum(loaded.unknown_types.values())} event(s) of "
                      f"unknown type kept: {detail})")
     return "\n".join(lines)

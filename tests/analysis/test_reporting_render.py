@@ -1,0 +1,74 @@
+"""Render paths of :mod:`repro.analysis.reporting`.
+
+Covers the previously untested ``TextTable.render_markdown`` output and
+the ``Table1Report.winner`` tie rule (``max`` keeps the first row on an
+exact WCR tie).
+"""
+
+import pytest
+
+from repro.analysis.reporting import Table1Report, Table1Row, TextTable
+from repro.device.parameters import DeviceParameter, SpecDirection
+
+
+@pytest.fixture
+def parameter():
+    return DeviceParameter(
+        "t_dq", "ns", SpecDirection.MIN_IS_WORST, 42.0
+    )
+
+
+class TestRenderMarkdown:
+    def test_header_rule_and_rows(self):
+        table = TextTable(["Test", "WCR"])
+        table.add_row("march_c-", "0.812")
+        table.add_row("rnd_0042", "0.907")
+        lines = table.render_markdown().splitlines()
+        assert lines[0] == "| Test | WCR |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| march_c- | 0.812 |"
+        assert lines[3] == "| rnd_0042 | 0.907 |"
+
+    def test_empty_table_renders_header_only(self):
+        table = TextTable(["only"])
+        lines = table.render_markdown().splitlines()
+        assert lines == ["| only |", "|---|"]
+
+    def test_cells_are_stringified(self):
+        table = TextTable(["a", "b"])
+        table.add_row(1, None)
+        assert "| 1 | None |" in table.render_markdown()
+
+    def test_row_width_mismatch_rejected(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+
+class TestTable1Winner:
+    def test_largest_wcr_wins(self, parameter):
+        report = Table1Report(parameter=parameter, vdd=1.8)
+        report.add(Table1Row("march", "march C-", 0.7, 30.0))
+        report.add(Table1Row("nnga", "NN+GA", 0.9, 28.0))
+        assert report.winner().test_name == "nnga"
+
+    def test_tie_keeps_first_row(self, parameter):
+        # ``max`` is stable on ties: the first row added at the shared
+        # peak WCR is the reported worst case.
+        report = Table1Report(parameter=parameter, vdd=1.8)
+        report.add(Table1Row("first", "march C-", 0.9, 30.0))
+        report.add(Table1Row("second", "random", 0.9, 30.0))
+        report.add(Table1Row("third", "NN+GA", 0.8, 31.0))
+        assert report.winner().test_name == "first"
+
+    def test_empty_report_raises(self, parameter):
+        report = Table1Report(parameter=parameter, vdd=1.8)
+        with pytest.raises(ValueError):
+            report.winner()
+
+    def test_winner_survives_markdown_round_trip(self, parameter):
+        report = Table1Report(parameter=parameter, vdd=1.8)
+        report.add(Table1Row("nnga", "NN+GA", 0.905, 28.4))
+        text = report.to_markdown()
+        assert "| nnga | NN+GA | 0.905 | 28.4 |" in text
+        assert "t_dq (ns)" in text.splitlines()[0]

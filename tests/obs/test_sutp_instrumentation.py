@@ -44,24 +44,37 @@ class TestScriptedRun:
         second = sutp.measure(threshold_oracle(52.0))
         assert not second.used_full_search
         walk = sink.events
-        assert [e.type for e in walk] == ["sutp_walk_step", "sutp_walk_step"]
-        assert [e.iteration for e in walk] == [1, 2]
+        # The two-step walk escalated past IT=1, so the bracket also emits
+        # a window-escalation insight event.
+        assert [e.type for e in walk] == [
+            "sutp_walk_step",
+            "sutp_walk_step",
+            "sutp_window_escalated",
+        ]
+        assert [e.iteration for e in walk] == [1, 2, 2]
         assert walk[0].passed and not walk[1].passed
         assert walk[0].value < walk[1].value  # walking toward the fail region
+        escalation = walk[2]
+        assert escalation.step == 2.0  # SF * IT = 1.0 * 2
+        assert escalation.window == 3.0  # SF * IT(IT+1)/2
+        assert escalation.probes == 3  # RTP probe + two walk probes
+        assert not escalation.fallback
         sink.clear()
 
         # 3. Runaway drift: the walk leaves CR, falls back to full search.
         third = sutp.measure(lambda x: True)
         assert third.used_full_search
         types = [e.type for e in sink.events]
-        assert types[:-3] == ["sutp_walk_step"] * (len(types) - 3)
-        assert types[-3:] == [
+        assert types[:-4] == ["sutp_walk_step"] * (len(types) - 4)
+        assert types[-4:] == [
             "sutp_fallback",
+            "sutp_window_escalated",
             "search_started",
             "search_converged",
         ]
-        fallback = sink.events[-3]
+        fallback = sink.events[-4]
         assert fallback.value > 100.0  # the step that left the range
+        assert sink.events[-3].fallback
 
     def test_counters_after_scripted_run(self):
         obs.enable()
