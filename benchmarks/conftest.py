@@ -24,6 +24,7 @@ import pytest
 
 from repro.ate.measurement import MeasurementModel
 from repro.ate.tester import ATE
+from repro.obs.profile import process_cpu_seconds
 from repro.core.characterizer import DeviceCharacterizer
 from repro.core.learning import LearningConfig, LearningScheme
 from repro.core.trip_point import MultipleTripPointRunner
@@ -75,10 +76,16 @@ def report_sink(request):
 
     sink.json = data.update
     started = time.perf_counter()
+    cpu_started = process_cpu_seconds(include_children=True)
     yield sink
+    cpu_ended = process_cpu_seconds(include_children=True)
     payload = {
         "bench": request.node.name,
         "wall_s": round(time.perf_counter() - started, 6),
+        "cpu_s": round(
+            (cpu_ended[0] - cpu_started[0]) + (cpu_ended[1] - cpu_started[1]),
+            6,
+        ),
         "host_cpus": host_cpus(),
         "python": platform.python_version(),
         "data": data,

@@ -23,7 +23,13 @@ Global telemetry flags (before the subcommand):
 * ``--progress`` — live per-unit progress lines on stderr during farm
   runs;
 * ``--run-log FILE.jsonl`` / ``--run-name NAME`` — append this run's
-  cost record to a run-history file (see ``repro obs compare``);
+  cost record (wall clock *and* CPU time) to a run-history file (see
+  ``repro obs compare``);
+* ``--profile`` — continuous profiling & resource telemetry: sampled
+  hot-path stacks per campaign phase plus periodic CPU/RSS/GC resource
+  samples, recorded into the trace (``--profile-mode cprofile`` for the
+  deterministic per-phase profiler, ``--profile-interval`` to change
+  the sampling cadence);
 * ``-v`` / ``-vv`` — phase-level / per-event stdlib logging.
 
 Global tester-farm flags (``lot``, ``wafer``, ``sweep``, ``campaign``):
@@ -35,21 +41,27 @@ Global tester-farm flags (``lot``, ``wafer``, ``sweep``, ``campaign``):
 
 The ``obs`` subcommand family inspects what the flags above record::
 
-    repro-characterize obs summary  trace.jsonl
+    repro-characterize obs summary  trace.jsonl [--json]
     repro-characterize obs slowest  trace.jsonl -n 10
     repro-characterize obs insight  trace.jsonl
+    repro-characterize obs profile  trace.jsonl -n 15 [--phase P] [--json]
+    repro-characterize obs flame    trace.jsonl out.folded
     repro-characterize obs report   trace.jsonl out.html --runs runs.jsonl
     repro-characterize obs timeline trace.jsonl -o timeline.json
     repro-characterize obs compare  runs.jsonl --baseline nightly
     repro-characterize obs bench-import runs.jsonl BENCH_*.json --suffix @ci
 
 ``obs insight`` prints the decision-level story of a trace (SUTP audit,
-NN votes, GA convergence, WCR classes); ``obs report`` renders the same
-views plus the shmoo heatmap and run history as one self-contained HTML
-file; ``obs timeline`` writes Chrome-trace JSON loadable at
-ui.perfetto.dev; ``obs compare`` exits non-zero when the latest (or
-named) run's total measurement cost regressed beyond the threshold vs
-the baseline run.
+NN votes, GA convergence, WCR classes); ``obs profile`` the per-phase
+hot-path table of a ``--profile`` trace and ``obs flame`` its collapsed
+stacks (flamegraph.pl / speedscope format); ``obs report`` renders the
+insight views plus the shmoo heatmap, resource utilization and run
+history as one self-contained HTML file; ``obs timeline`` writes
+Chrome-trace JSON loadable at ui.perfetto.dev (with per-worker CPU/RSS
+counter tracks for profiled runs); ``obs compare`` exits non-zero when
+the latest (or named) run's total measurement cost regressed beyond the
+threshold vs the baseline run (``--wall-threshold`` / ``--cpu-threshold``
+opt wall clock and CPU time into the gate).
 """
 
 from __future__ import annotations
@@ -116,6 +128,32 @@ def _add_telemetry_arguments(parser, suppress_defaults: bool = False) -> None:
         metavar="NAME",
         default=suppress if suppress_defaults else None,
         help="name for the --run-log record (default: run-<n>)",
+    )
+    group.add_argument(
+        "--profile",
+        action="store_true",
+        default=suppress if suppress_defaults else False,
+        help=(
+            "record hot-path stacks and CPU/RSS resource samples into "
+            "the telemetry trace (inspect with 'obs profile'/'obs flame')"
+        ),
+    )
+    group.add_argument(
+        "--profile-mode",
+        choices=("sampling", "cprofile"),
+        default=suppress if suppress_defaults else "sampling",
+        help=(
+            "profiler to use with --profile: 'sampling' (default, "
+            "near-zero overhead) or 'cprofile' (deterministic per-phase "
+            "call counts, higher overhead)"
+        ),
+    )
+    group.add_argument(
+        "--profile-interval",
+        type=float,
+        metavar="SECONDS",
+        default=suppress if suppress_defaults else 0.01,
+        help="sampling-profiler interval in seconds (default: 0.01)",
     )
     group.add_argument(
         "-v",
@@ -287,6 +325,48 @@ def _build_parser() -> argparse.ArgumentParser:
         "summary", help="one-screen summary of a telemetry trace"
     )
     obs_summary.add_argument("trace_file", metavar="TRACE")
+    obs_summary.add_argument(
+        "--json", action="store_true",
+        help="machine-readable JSON instead of the text table",
+    )
+
+    obs_profile = obs_sub.add_parser(
+        "profile",
+        help=(
+            "per-phase hot-path table from a --profile trace "
+            "(self/cumulative weight per function)"
+        ),
+    )
+    obs_profile.add_argument("trace_file", metavar="TRACE")
+    obs_profile.add_argument(
+        "-n", "--top", type=int, default=15, metavar="N",
+        help="functions shown per phase (default: 15)",
+    )
+    obs_profile.add_argument(
+        "--phase", metavar="NAME",
+        help="restrict to one campaign phase (e.g. 'lot', 'optimization.ga')",
+    )
+    obs_profile.add_argument(
+        "--json", action="store_true",
+        help="machine-readable JSON instead of the text table",
+    )
+
+    obs_flame = obs_sub.add_parser(
+        "flame",
+        help=(
+            "export a --profile trace as collapsed stacks "
+            "(flamegraph.pl / speedscope folded format)"
+        ),
+    )
+    obs_flame.add_argument("trace_file", metavar="TRACE")
+    obs_flame.add_argument(
+        "output", metavar="OUT",
+        help="output path for the folded stacks (e.g. out.folded)",
+    )
+    obs_flame.add_argument(
+        "--phase", metavar="NAME",
+        help="restrict to one campaign phase",
+    )
 
     obs_slowest = obs_sub.add_parser(
         "slowest", help="slowest work units and costliest tests in a trace"
@@ -332,6 +412,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "also gate on wall clock: allowed increase in percent "
             "(default: wall clock stays advisory)"
+        ),
+    )
+    obs_compare.add_argument(
+        "--cpu-threshold", type=float, default=None, metavar="PCT",
+        help=(
+            "also gate on CPU time: allowed increase in percent "
+            "(default: CPU time stays advisory; records without cpu_s "
+            "compare as n/a)"
         ),
     )
 
@@ -632,6 +720,7 @@ def _cmd_obs(args) -> int:
                 run_name=args.run,
                 threshold_pct=args.threshold,
                 wall_threshold_pct=args.wall_threshold,
+                cpu_threshold_pct=args.cpu_threshold,
             )
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
@@ -674,7 +763,42 @@ def _cmd_obs(args) -> int:
         print(f"error: cannot read trace: {exc}", file=sys.stderr)
         return 2
     if args.obs_command == "summary":
-        print(obs.render_trace_summary(loaded))
+        if args.json:
+            import json
+
+            print(json.dumps(obs.trace_summary_data(loaded), indent=2,
+                             sort_keys=True))
+        else:
+            print(obs.render_trace_summary(loaded))
+    elif args.obs_command == "profile":
+        summary = obs.build_profile_summary(loaded.records, phase=args.phase)
+        if args.json:
+            import json
+
+            print(json.dumps(obs.profile_summary_data(summary, top=args.top),
+                             indent=2, sort_keys=True))
+        else:
+            print(obs.render_profile(summary, top=args.top))
+            rows = obs.worker_utilization(loaded.records)
+            if rows:
+                print("per-worker utilization:")
+                print(obs.render_worker_utilization(rows))
+        if summary.empty and not args.json:
+            return 1
+    elif args.obs_command == "flame":
+        stacks = obs.write_folded(
+            loaded.records, args.output, phase=args.phase
+        )
+        if stacks == 0:
+            print(
+                "warning: no profile events in trace - record one with "
+                "--profile",
+                file=sys.stderr,
+            )
+        print(
+            f"folded stacks written: {args.output} ({stacks} stack(s); "
+            f"load in speedscope.app or flamegraph.pl)"
+        )
     elif args.obs_command == "slowest":
         print(obs.render_slowest(loaded, count=args.count))
     elif args.obs_command == "timeline":
@@ -733,7 +857,7 @@ _COMMANDS = {
 def _telemetry_requested(args) -> bool:
     return bool(
         args.trace or args.metrics or args.verbose or args.progress
-        or args.run_log
+        or args.run_log or args.profile
     )
 
 
@@ -750,8 +874,17 @@ def _setup_observability(args) -> None:
     if _telemetry_requested(args):
         from repro import obs
 
+        profile = None
+        if args.profile:
+            profile = obs.ProfileConfig(
+                mode=args.profile_mode, interval_s=args.profile_interval
+            )
         try:
-            obs.configure(trace_path=args.trace, log_events=bool(args.verbose))
+            obs.configure(
+                trace_path=args.trace,
+                log_events=bool(args.verbose),
+                profile=profile,
+            )
         except OSError as exc:
             raise SystemExit(f"cannot open trace file: {exc}")
         if args.progress:
@@ -763,6 +896,8 @@ def _record_run(args, wall_s: float) -> None:
     from repro import obs
 
     history = obs.RunHistory(args.run_log)
+    # Children included: a farm run's worker CPU belongs to the campaign.
+    cpu_user_s, cpu_system_s = obs.process_cpu_seconds(include_children=True)
     record = obs.build_run_record(
         name=args.run_name or history.next_default_name(),
         registry=obs.OBS.metrics,
@@ -770,6 +905,8 @@ def _record_run(args, wall_s: float) -> None:
         wall_s=wall_s,
         workers=getattr(args, "workers", None),
         seed=getattr(args, "seed", None),
+        cpu_user_s=cpu_user_s,
+        cpu_system_s=cpu_system_s,
     )
     history.append(record)
     print(f"run {record['run']!r} recorded: {args.run_log}")
@@ -781,6 +918,10 @@ def _teardown_observability(args, wall_s: float = 0.0) -> None:
         return
     from repro import obs
 
+    # Stop profiling first so the session's profile event and final
+    # resource sample land in the trace (and metrics) before they close.
+    if args.profile:
+        obs.stop_profiling()
     if args.metrics:
         print()
         print(obs.render_metrics_summary(obs.OBS.metrics))

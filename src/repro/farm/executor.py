@@ -32,10 +32,14 @@ runs under a :class:`~repro.obs.collector.UnitCapture` that spools its
 events and metric observations, and the parent replays all spools in
 submission order after the batch (:class:`~repro.obs.collector.
 FarmCollector.merge`), so a 4-worker run's merged trace and metric
-histograms are identical to the serial run's.  Farm lifecycle events
-(dispatch/complete/retry, pool lifecycle) stay live on the parent's
-:mod:`repro.obs` bus in real completion order — they drive progress
-reporting and the Perfetto timeline.
+histograms are identical to the serial run's.  When the parent is
+profiling (``--profile``), the capture config ships the
+:class:`~repro.obs.profile.ProfileConfig` too, so every unit runs its
+own sampling profiler and resource sampler inside the executing process
+and the profile/resource events merge with the rest.  Farm lifecycle
+events (dispatch/complete/retry, pool lifecycle) stay live on the
+parent's :mod:`repro.obs` bus in real completion order — they drive
+progress reporting and the Perfetto timeline.
 """
 
 from __future__ import annotations

@@ -32,8 +32,16 @@ package turns every such cost into an observable:
   NN ensemble vote breakdowns with calibration, GA convergence and
   operator attribution, and the WCR classification tally;
 * :mod:`repro.obs.html` — ``repro obs report``: every insight view plus
-  the shmoo heatmap and run history rendered into one self-contained
-  HTML file (inline SVG, no scripts, no external assets).
+  the shmoo heatmap, resource utilization and run history rendered into
+  one self-contained HTML file (inline SVG, no scripts, no external
+  assets);
+* :mod:`repro.obs.profile` — continuous profiling & resource telemetry:
+  a background sampling profiler (optional deterministic per-phase
+  ``cProfile`` mode) folding stacks per campaign phase, a resource
+  sampler (``getrusage`` CPU, RSS, GC) emitting ``resource_sample``
+  events, per-worker sessions that ride the farm telemetry merge, and
+  the hot-path / folded-stack / utilization analysis behind
+  ``repro obs profile`` and ``repro obs flame``.
 
 Everything hangs off the global :data:`OBS` switchboard and is **off by
 default**: the disabled path is a single attribute check, so benchmarks
@@ -68,6 +76,8 @@ from repro.obs.events import (
     NNCalibration,
     NNEpoch,
     NNVote,
+    ProfileRecorded,
+    ResourceSample,
     RingBufferSink,
     SearchConverged,
     SearchStarted,
@@ -105,6 +115,25 @@ from repro.obs.insight import (
     render_insight,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import (
+    ProfileConfig,
+    ProfileSession,
+    ProfileSummary,
+    ResourceSampler,
+    SamplingProfiler,
+    WorkerUtilization,
+    active_profile_config,
+    build_profile_summary,
+    process_cpu_seconds,
+    profile_summary_data,
+    read_resource_sample,
+    render_profile,
+    render_worker_utilization,
+    start_profiling,
+    stop_profiling,
+    worker_utilization,
+    write_folded,
+)
 from repro.obs.report import (
     TraceLoadResult,
     load_trace,
@@ -114,6 +143,7 @@ from repro.obs.report import (
     render_slowest,
     render_trace_cost_profile,
     render_trace_summary,
+    trace_summary_data,
 )
 from repro.obs.runtime import (
     OBS,
@@ -155,6 +185,12 @@ __all__ = [
     "NNVote",
     "OBS",
     "Observability",
+    "ProfileConfig",
+    "ProfileRecorded",
+    "ProfileSession",
+    "ProfileSummary",
+    "ResourceSample",
+    "ResourceSampler",
     "RingBufferSink",
     "RunComparison",
     "RunHistory",
@@ -165,6 +201,7 @@ __all__ = [
     "SUTPTestMeasured",
     "SUTPWalkStep",
     "SUTPWindowEscalated",
+    "SamplingProfiler",
     "SearchConverged",
     "SearchStarted",
     "SpoolSink",
@@ -177,10 +214,13 @@ __all__ = [
     "WCRInsight",
     "WorkerCaptureConfig",
     "WorkerTelemetry",
+    "WorkerUtilization",
+    "active_profile_config",
     "bench_run_record",
     "build_chrome_trace",
     "build_html_report",
     "build_insight",
+    "build_profile_summary",
     "build_run_record",
     "clear_trace_context",
     "compare_runs",
@@ -192,17 +232,27 @@ __all__ = [
     "known_event_types",
     "load_trace",
     "per_test_measurement_counts",
+    "process_cpu_seconds",
+    "profile_summary_data",
+    "read_resource_sample",
     "read_trace",
     "render_insight",
     "render_metrics_summary",
+    "render_profile",
     "render_slowest",
     "render_trace_cost_profile",
     "render_trace_summary",
+    "render_worker_utilization",
     "reset",
     "run_unit_captured",
     "set_trace_context",
     "span",
+    "start_profiling",
+    "stop_profiling",
     "timed",
     "trace_context",
+    "trace_summary_data",
+    "worker_utilization",
     "write_chrome_trace",
+    "write_folded",
 ]

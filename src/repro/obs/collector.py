@@ -46,6 +46,11 @@ from repro.obs.events import (
     set_trace_context,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import (
+    ProfileConfig,
+    ProfileSession,
+    active_profile_config,
+)
 from repro.obs.runtime import OBS
 
 #: Default per-unit spool bound.  A unit past this many events keeps
@@ -60,12 +65,16 @@ class WorkerCaptureConfig:
 
     Picklable and tiny — the parent ships it with every dispatch.
     ``trace_id`` is the campaign identity; the span id is derived from
-    the unit key on the worker side.
+    the unit key on the worker side.  When the parent process is
+    profiling (``--profile``), ``profile`` carries its
+    :class:`~repro.obs.profile.ProfileConfig` so each unit runs its own
+    sampler pair inside the executing process.
     """
 
     trace_id: str
     capture: bool = True
     spool_capacity: int = DEFAULT_SPOOL_CAPACITY
+    profile: Optional[ProfileConfig] = None
 
 
 @dataclass
@@ -145,10 +154,19 @@ class UnitCapture:
         set_trace_context(
             trace_id=config.trace_id, span_id=unit_key, worker=worker
         )
+        # Per-unit profiling: the session starts *after* the switchboard
+        # swap, so it binds the spool bus — its profile/resource events
+        # ride back inside this unit's WorkerTelemetry like any other.
+        self._profile: Optional[ProfileSession] = None
+        if config.profile is not None:
+            self._profile = ProfileSession(config.profile).start()
         self.started_ts = time.time()
 
     def finish(self) -> WorkerTelemetry:
         """Restore the switchboard; the captured telemetry."""
+        if self._profile is not None:
+            self._profile.stop()
+            self._profile = None
         telemetry = WorkerTelemetry(
             unit_key=self.unit_key,
             worker=self.worker,
@@ -164,6 +182,9 @@ class UnitCapture:
     def abort(self) -> None:
         """Restore the switchboard, discarding the capture (failed
         attempt — matches a worker death, which loses its spool too)."""
+        if self._profile is not None:
+            self._profile.stop(emit=False)
+            self._profile = None
         self._restore()
 
     def _restore(self) -> None:
@@ -225,7 +246,9 @@ class FarmCollector:
     def worker_config(self) -> WorkerCaptureConfig:
         """The capture config shipped with every dispatch."""
         return WorkerCaptureConfig(
-            trace_id=self.campaign, spool_capacity=self.spool_capacity
+            trace_id=self.campaign,
+            spool_capacity=self.spool_capacity,
+            profile=active_profile_config(),
         )
 
     @contextmanager

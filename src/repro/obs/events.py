@@ -298,6 +298,53 @@ class WCRClassified(Event):
 
 
 @dataclass(frozen=True)
+class ResourceSample(Event):
+    """One periodic reading of this process's resource consumption.
+
+    Emitted by :class:`~repro.obs.profile.ResourceSampler` (the parent
+    process under ``--profile``, and each farm worker around its unit).
+    CPU times are cumulative process totals (``getrusage``), so series
+    consumers difference consecutive samples; RSS comes from
+    ``/proc/self/status`` where available with a ``ru_maxrss``-derived
+    portable fallback.
+    """
+
+    type: ClassVar[str] = "resource_sample"
+
+    cpu_user_s: float
+    cpu_system_s: float
+    rss_kb: int
+    max_rss_kb: int
+    gc_gen0: int
+    gc_gen1: int
+    gc_gen2: int
+    phase: str = ""
+
+
+@dataclass(frozen=True)
+class ProfileRecorded(Event):
+    """One finished profiling session's folded call stacks.
+
+    ``folded`` holds ``(phase, stack, weight)`` triples where ``stack``
+    is a ``;``-joined root-to-leaf frame list (``module:function``) —
+    the flamegraph.pl collapsed-stack format, phase-attributed.  The
+    weight unit depends on the mode: stack *samples* for the background
+    sampling profiler, self-time *milliseconds* for the deterministic
+    ``cProfile`` mode (whose "stacks" are single frames).
+    """
+
+    type: ClassVar[str] = "profile"
+
+    mode: str  # "sampling" | "cprofile"
+    unit: str  # "samples" | "ms"
+    samples: int
+    interval_s: float
+    duration_s: float
+    folded: "Tuple[Tuple[str, str, int], ...]"
+    truncated: int = 0
+
+
+@dataclass(frozen=True)
 class CampaignPhase(Event):
     """Start/end of a named campaign phase (``duration_s`` on end)."""
 

@@ -35,12 +35,24 @@ def build_run_record(
     wall_s: float = 0.0,
     workers: Optional[int] = None,
     seed: Optional[int] = None,
+    cpu_user_s: Optional[float] = None,
+    cpu_system_s: Optional[float] = None,
 ) -> Dict[str, object]:
-    """One run's cost record, built from the live metrics registry."""
+    """One run's cost record, built from the live metrics registry.
+
+    ``cpu_user_s``/``cpu_system_s`` are the process's cumulative CPU
+    split (children included — see
+    :func:`repro.obs.profile.process_cpu_seconds`); their sum is stored
+    as ``cpu_s`` so comparisons gate one number.  ``None`` (old callers)
+    records ``cpu_s: null`` and keeps CPU comparison advisory-n/a.
+    """
     measurements = registry.counters.get("ate.measurements")
     units = registry.counters.get("farm.units")
     retries = registry.counters.get("farm.unit_retries")
     dropped = registry.counters.get("farm.checkpoint.dropped_lines")
+    cpu_s: Optional[float] = None
+    if cpu_user_s is not None or cpu_system_s is not None:
+        cpu_s = round((cpu_user_s or 0.0) + (cpu_system_s or 0.0), 6)
     return {
         "schema": RUN_SCHEMA,
         "kind": RUN_KIND,
@@ -49,6 +61,9 @@ def build_run_record(
         "command": command,
         "ts": time.time(),
         "wall_s": round(float(wall_s), 6),
+        "cpu_user_s": None if cpu_user_s is None else round(cpu_user_s, 6),
+        "cpu_system_s": None if cpu_system_s is None else round(cpu_system_s, 6),
+        "cpu_s": cpu_s,
         "workers": workers,
         "seed": seed,
         "measurements": measurements.value if measurements else 0,
@@ -87,6 +102,11 @@ def bench_run_record(
         "command": "bench",
         "ts": time.time(),
         "wall_s": round(float(payload.get("wall_s", 0.0) or 0.0), 6),
+        "cpu_s": (
+            round(float(payload["cpu_s"]), 6)
+            if isinstance(payload.get("cpu_s"), (int, float))
+            else None
+        ),
         "workers": None,
         "seed": None,
         "measurements": sum(per_test.values()),
@@ -182,6 +202,11 @@ class RunComparison:
     #: wall clock purely advisory — the right setting for CI runners,
     #: whose speed varies run to run.
     wall_threshold_pct: Optional[float] = None
+    #: Optional CPU-time gate, in percent.  CPU seconds are steadier than
+    #: wall clock (no scheduling noise) but still host-dependent, so the
+    #: delta is always *reported* and only gates when a threshold is set
+    #: (``obs compare --cpu-threshold``).
+    cpu_threshold_pct: Optional[float] = None
 
     @property
     def measurement_delta_pct(self) -> Optional[float]:
@@ -206,6 +231,26 @@ class RunComparison:
         return delta is not None and delta > self.wall_threshold_pct
 
     @property
+    def cpu_delta_pct(self) -> Optional[float]:
+        """CPU-seconds delta in percent (``None`` when either record
+        predates the ``cpu_s`` field)."""
+        baseline = self.baseline.get("cpu_s")
+        current = self.run.get("cpu_s")
+        if not isinstance(baseline, (int, float)) or not isinstance(
+            current, (int, float)
+        ):
+            return None
+        return _delta_pct(float(baseline), float(current))
+
+    @property
+    def cpu_regressed(self) -> bool:
+        """True when a CPU-time gate is set and exceeded."""
+        if self.cpu_threshold_pct is None:
+            return False
+        delta = self.cpu_delta_pct
+        return delta is not None and delta > self.cpu_threshold_pct
+
+    @property
     def regressed(self) -> bool:
         """True when measurement cost regressed beyond the threshold.
 
@@ -217,7 +262,7 @@ class RunComparison:
         delta = self.measurement_delta_pct
         if delta is not None and delta > self.threshold_pct:
             return True
-        return self.wall_regressed
+        return self.wall_regressed or self.cpu_regressed
 
     def per_test_regressions(self, count: int = 10) -> List[Dict[str, object]]:
         """The largest per-test measurement increases, descending."""
@@ -256,6 +301,20 @@ class RunComparison:
                 else f"threshold {self.wall_threshold_pct:+.1f}%)"
             ),
         ]
+
+        def cpu(record: Dict[str, object]) -> str:
+            value = record.get("cpu_s")
+            return f"{float(value):.3f}s" if isinstance(value, (int, float)) else "n/a"
+
+        lines.append(
+            f"  cpu time:     {cpu(self.baseline)} -> {cpu(self.run)} "
+            f"({fmt(self.cpu_delta_pct)}, "
+            + (
+                "advisory)"
+                if self.cpu_threshold_pct is None
+                else f"threshold {self.cpu_threshold_pct:+.1f}%)"
+            )
+        )
         worst = self.per_test_regressions()
         if worst:
             lines.append("  costlier tests:")
@@ -265,14 +324,16 @@ class RunComparison:
                     f"{row['run']:>6} (+{row['delta']})"
                 )
         if self.regressed:
-            verdict = (
-                "WALL CLOCK REGRESSION"
-                if self.wall_regressed and not (
-                    self.measurement_delta_pct is not None
-                    and self.measurement_delta_pct > self.threshold_pct
-                )
-                else "MEASUREMENT COST REGRESSION"
+            measurement_hit = (
+                self.measurement_delta_pct is not None
+                and self.measurement_delta_pct > self.threshold_pct
             )
+            if measurement_hit:
+                verdict = "MEASUREMENT COST REGRESSION"
+            elif self.wall_regressed:
+                verdict = "WALL CLOCK REGRESSION"
+            else:
+                verdict = "CPU TIME REGRESSION"
         else:
             verdict = "ok"
         lines.append("  verdict: " + verdict)
@@ -285,6 +346,7 @@ def compare_runs(
     run_name: Optional[str] = None,
     threshold_pct: float = 5.0,
     wall_threshold_pct: Optional[float] = None,
+    cpu_threshold_pct: Optional[float] = None,
 ) -> RunComparison:
     """Compare ``run_name`` (default: the latest run) to the baseline.
 
@@ -305,4 +367,5 @@ def compare_runs(
         run=run,
         threshold_pct=threshold_pct,
         wall_threshold_pct=wall_threshold_pct,
+        cpu_threshold_pct=cpu_threshold_pct,
     )

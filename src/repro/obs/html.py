@@ -16,6 +16,8 @@ The report assembles, from a campaign trace plus an optional
 * the NN vote-disagreement entropy histogram and calibration matrix;
 * the WCR classification bar (fig. 6 classes as status colors);
 * the SUTP search-audit table (escalations, drift, wasted probes);
+* the resource-utilization section (RSS / CPU% series per process and
+  the per-worker busy/idle table) when the run was profiled;
 * the run-history cost table.
 """
 
@@ -24,6 +26,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.obs.insight import RunInsight, build_insight
+from repro.obs.profile import worker_utilization
 from repro.obs.report import per_test_measurement_counts
 
 # Sequential blue ramp (light -> dark) for the heatmap's pass fraction.
@@ -671,6 +674,130 @@ def _sutp_section(insight: RunInsight) -> str:
     return _section("SUTP search audit (eqs. 3/4)", *parts)
 
 
+#: Per-worker series colors, cycled in worker order.
+_SERIES_CYCLE = (
+    "--series-1",
+    "--series-2",
+    "--status-good",
+    "--status-warning",
+    "--status-critical",
+)
+
+
+def _resource_section(records: Sequence[Dict[str, object]]) -> str:
+    """RSS / CPU% charts per process plus the worker-utilization table.
+
+    ``resource_sample`` events only exist when the run was profiled
+    (``--profile``); the section renders a note otherwise so the report
+    layout is stable either way.
+    """
+    by_worker: Dict[str, List[Dict[str, object]]] = {}
+    for record in records:
+        if record.get("type") != "resource_sample":
+            continue
+        if not isinstance(record.get("ts"), (int, float)):
+            continue
+        worker = str(record.get("worker", "") or "serial")
+        by_worker.setdefault(worker, []).append(record)
+    util_rows = worker_utilization(records)
+    if not by_worker:
+        return _section(
+            "Resources & utilization",
+            '<p class="note">(no resource_sample events in trace - '
+            "record one with --profile)</p>",
+        )
+    for samples in by_worker.values():
+        samples.sort(key=lambda r: float(r["ts"]))
+
+    def color(index: int) -> str:
+        return _SERIES_CYCLE[index % len(_SERIES_CYCLE)]
+
+    workers = sorted(by_worker)
+    rss_series = []
+    cpu_series = []
+    for i, worker in enumerate(workers):
+        samples = by_worker[worker]
+        rss_series.append(
+            (
+                worker,
+                [float(s.get("rss_kb", 0) or 0) / 1024.0 for s in samples],
+                color(i),
+            )
+        )
+        # CPU% from consecutive cumulative-CPU deltas (needs 2 samples).
+        pct: List[float] = []
+        for prev, cur in zip(samples, samples[1:]):
+            dt = float(cur["ts"]) - float(prev["ts"])
+            if dt <= 0:
+                continue
+            cpu_prev = float(prev.get("cpu_user_s", 0) or 0) + float(
+                prev.get("cpu_system_s", 0) or 0
+            )
+            cpu_cur = float(cur.get("cpu_user_s", 0) or 0) + float(
+                cur.get("cpu_system_s", 0) or 0
+            )
+            pct.append(max(0.0, 100.0 * (cpu_cur - cpu_prev) / dt))
+        if pct:
+            cpu_series.append((worker, pct, color(i)))
+    total = sum(len(samples) for samples in by_worker.values())
+    parts = [
+        f'<p class="sub">{total} resource sample(s) across '
+        f"{len(workers)} process(es).</p>",
+        _legend([(name, col) for name, _, col in rss_series]),
+        _line_chart(
+            rss_series,
+            "resource samples (time order) - RSS in MB",
+            height=180,
+            label="resident set size per process",
+        ),
+    ]
+    if cpu_series:
+        parts.append(
+            _line_chart(
+                cpu_series,
+                "resource samples (time order) - CPU %",
+                height=180,
+                label="CPU utilization per process",
+            )
+        )
+    if util_rows:
+        rows = []
+        for row in util_rows:
+            rows.append(
+                [
+                    row.worker,
+                    row.units,
+                    _fmt(row.busy_s),
+                    f"{100.0 * row.utilization:.1f}%",
+                    _fmt(row.cpu_s) if row.cpu_s else "n/a",
+                    (
+                        _fmt(row.peak_rss_kb / 1024.0, 1)
+                        if row.peak_rss_kb
+                        else "n/a"
+                    ),
+                ]
+            )
+        parts.append(
+            '<p class="sub">Per-worker utilization: busy time from unit '
+            "spans against the whole run span (idle = scheduling gaps + "
+            "tail imbalance).</p>"
+        )
+        parts.append(
+            _table(
+                [
+                    ("worker", False),
+                    ("units", True),
+                    ("busy s", True),
+                    ("util", True),
+                    ("cpu s", True),
+                    ("peak rss MB", True),
+                ],
+                rows,
+            )
+        )
+    return _section("Resources & utilization", *parts)
+
+
 def _history_section(runs: Optional[Sequence[Dict[str, object]]]) -> str:
     if not runs:
         return _section(
@@ -749,6 +876,7 @@ def build_html_report(
         _votes_section(insight),
         _ga_section(insight),
         _wcr_section(insight),
+        _resource_section(materialized),
         _history_section(runs),
         '<p class="note">Generated by repro obs report &#8212; '
         "self-contained, no external assets, no scripts.</p>",

@@ -211,6 +211,90 @@ def _farm_unit_rows(
     return list(rows.values())
 
 
+def _resource_rollup(
+    records: Iterable[Dict[str, object]],
+) -> Optional[Dict[str, object]]:
+    """Totals over the trace's ``resource_sample`` events (None if none).
+
+    CPU seconds are summed per process (the samples carry *cumulative*
+    ``getrusage`` values, so each process contributes max - min); peak
+    RSS is the maximum across processes.
+    """
+    bounds: Dict[str, Tuple[float, float]] = {}
+    peak_rss = 0
+    samples = 0
+    for record in records:
+        if record.get("type") != "resource_sample":
+            continue
+        samples += 1
+        worker = str(record.get("worker", "") or "serial")
+        cpu = float(record.get("cpu_user_s", 0.0) or 0.0) + float(
+            record.get("cpu_system_s", 0.0) or 0.0
+        )
+        low, high = bounds.get(worker, (cpu, cpu))
+        bounds[worker] = (min(low, cpu), max(high, cpu))
+        peak_rss = max(peak_rss, int(record.get("max_rss_kb", 0) or 0))
+    if not samples:
+        return None
+    return {
+        "samples": samples,
+        "workers": len(bounds),
+        "cpu_s": round(sum(high - low for low, high in bounds.values()), 6),
+        "peak_rss_kb": peak_rss,
+    }
+
+
+def trace_summary_data(loaded: TraceLoadResult) -> Dict[str, object]:
+    """``repro obs summary --json``: the summary as plain data.
+
+    Mirrors :func:`render_trace_summary` section for section so CI can
+    assert on fields instead of scraping the text table.
+    """
+    records = loaded.records
+    counts: Dict[str, int] = {}
+    for record in records:
+        kind = str(record.get("type"))
+        counts[kind] = counts.get(kind, 0) + 1
+    units = _farm_unit_rows(records)
+    by_worker: Dict[str, Dict[str, object]] = {}
+    for row in units:
+        worker = str(row["worker"])
+        agg = by_worker.setdefault(
+            worker, {"units": 0, "busy_s": 0.0, "measurements": 0}
+        )
+        agg["units"] = int(agg["units"]) + 1
+        agg["busy_s"] = round(
+            float(agg["busy_s"]) + float(row["elapsed_s"]), 6
+        )
+        agg["measurements"] = int(agg["measurements"]) + int(
+            row["measurements"]
+        )
+    groups = per_test_measurement_counts(records)
+    per_test: Dict[str, int] = {}
+    for name, count in groups:
+        per_test[name] = per_test.get(name, 0) + count
+    return {
+        "events": len(records),
+        "events_by_type": counts,
+        "farm": {
+            "units": len(units),
+            "workers": by_worker,
+            "retries": counts.get("farm_unit_retried", 0),
+            "skipped": counts.get("farm_unit_skipped", 0),
+            "merged": counts.get("farm_unit_merged", 0),
+        },
+        "measurements": {
+            "total": sum(per_test.values()),
+            "groups": len(groups),
+            "per_test": per_test,
+        },
+        "resources": _resource_rollup(records),
+        "profile_sessions": counts.get("profile", 0),
+        "dropped_lines": loaded.dropped_lines,
+        "unknown_types": dict(loaded.unknown_types),
+    }
+
+
 def render_trace_summary(loaded: TraceLoadResult) -> str:
     """``repro obs summary``: one screen describing a merged trace.
 
@@ -283,6 +367,26 @@ def render_trace_summary(loaded: TraceLoadResult) -> str:
         ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))[:10]
         for name, count in ranked:
             lines.append(f"  {name[:40]:<40} {count:>8}")
+
+    resources = _resource_rollup(records)
+    if resources is not None:
+        lines.append(
+            f"resources: {resources['samples']} sample(s), "
+            f"cpu {resources['cpu_s']:.3f}s, "
+            f"peak rss {resources['peak_rss_kb'] / 1024.0:.1f} MB "
+            f"across {resources['workers']} process(es)"
+        )
+    profiles = [r for r in records if r.get("type") == "profile"]
+    if profiles:
+        weight = sum(
+            sum(int(entry[2]) for entry in (p.get("folded") or ()))
+            for p in profiles
+        )
+        unit = str(profiles[0].get("unit", "samples"))
+        lines.append(
+            f"profile: {len(profiles)} session(s), {weight} {unit} "
+            f"recorded (see `repro obs profile`)"
+        )
 
     if loaded.dropped_lines:
         lines.append(f"({loaded.dropped_lines} malformed line(s) skipped)")

@@ -50,7 +50,14 @@ class Observability:
         self.enabled = False
 
     def reset(self) -> None:
-        """Disable, close/detach every sink and drop all metrics."""
+        """Disable, close/detach every sink and drop all metrics.
+
+        Any live profiling session is stopped first *without* emitting —
+        its sampler threads must not write into sinks being closed.
+        """
+        from repro.obs import profile as _profile  # lazy: profile imports OBS
+
+        _profile.stop_profiling(emit=False)
         self.enabled = False
         self.bus.close()
         self.metrics.reset()
@@ -79,6 +86,7 @@ def configure(
     trace_path: Optional[Union[str, Path]] = None,
     ring_buffer: Optional[int] = None,
     log_events: bool = False,
+    profile: Optional[object] = None,
 ) -> Observability:
     """One-call setup used by the CLI and the examples.
 
@@ -90,6 +98,11 @@ def configure(
         When given, attach a :class:`RingBufferSink` of this capacity.
     log_events:
         When True, attach a :class:`LoggingSink` (stdlib logging).
+    profile:
+        When given, start the process-wide profiling session: either a
+        :class:`~repro.obs.profile.ProfileConfig` or any truthy value
+        for the defaults.  Stop it with
+        :func:`repro.obs.profile.stop_profiling` (or :func:`reset`).
 
     Telemetry is enabled even with no sinks — the metrics registry alone
     is often all a ``--metrics`` run needs.
@@ -101,4 +114,10 @@ def configure(
         sinks.append(RingBufferSink(ring_buffer))
     if log_events:
         sinks.append(LoggingSink())
-    return OBS.enable(*sinks)
+    obs = OBS.enable(*sinks)
+    if profile:
+        from repro.obs.profile import ProfileConfig, start_profiling
+
+        config = profile if isinstance(profile, ProfileConfig) else None
+        start_profiling(config)
+    return obs

@@ -10,7 +10,10 @@ Trace Event Format — load the output at ``ui.perfetto.dev`` or
   (dispatch -> execution start) and retry markers;
 * a ``campaign`` track with the ``span()`` phase brackets
   (``lot``, ``sweep``, ``optimization.ga``, ...);
-* a ``merge`` track with the deterministic per-unit merge points.
+* a ``merge`` track with the deterministic per-unit merge points;
+* when the run was profiled (``--profile``), per-worker *counter*
+  tracks — CPU% derived from consecutive ``resource_sample`` events'
+  cumulative CPU deltas, and RSS in MB — drawn as Perfetto counters.
 
 Timestamps are microseconds relative to the earliest event in the
 trace; durations come from the events themselves, so the picture is the
@@ -72,6 +75,8 @@ def build_chrome_trace(
     tracks = _Tracks()
     dispatch_ts: Dict[str, float] = {}
     phase_stack: Dict[str, List[float]] = {}
+    # Per-worker previous (ts, cumulative cpu_s) for the CPU% counter.
+    cpu_prev: Dict[str, Tuple[float, float]] = {}
 
     for record in records:
         kind = record.get("type")
@@ -145,6 +150,38 @@ def build_chrome_trace(
                     },
                 }
             )
+        elif kind == "resource_sample":
+            worker = str(record.get("worker", "") or "serial")
+            rss_kb = record.get("rss_kb")
+            if isinstance(rss_kb, (int, float)) and rss_kb > 0:
+                events.append(
+                    {
+                        "name": f"rss MB ({worker})",
+                        "cat": "resource",
+                        "ph": "C",
+                        "pid": _PID,
+                        "ts": _us(ts, t0),
+                        "args": {"rss_mb": round(float(rss_kb) / 1024.0, 2)},
+                    }
+                )
+            cpu = float(record.get("cpu_user_s", 0.0) or 0.0) + float(
+                record.get("cpu_system_s", 0.0) or 0.0
+            )
+            prev = cpu_prev.get(worker)
+            cpu_prev[worker] = (ts, cpu)
+            # The first sample has no baseline to difference against.
+            if prev is not None and ts > prev[0]:
+                pct = max(0.0, 100.0 * (cpu - prev[1]) / (ts - prev[0]))
+                events.append(
+                    {
+                        "name": f"cpu % ({worker})",
+                        "cat": "resource",
+                        "ph": "C",
+                        "pid": _PID,
+                        "ts": _us(ts, t0),
+                        "args": {"cpu_pct": round(pct, 1)},
+                    }
+                )
         elif kind == "campaign_phase":
             phase = str(record.get("phase"))
             if record.get("status") == "start":
