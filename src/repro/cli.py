@@ -51,6 +51,22 @@ The ``obs`` subcommand family inspects what the flags above record::
     repro-characterize obs compare  runs.jsonl --baseline nightly
     repro-characterize obs bench-import runs.jsonl BENCH_*.json --suffix @ci
 
+``obs compare``, ``obs bench-import`` and ``obs report`` also accept
+``--db store.db`` in place of the JSONL history: the run records then
+come from (or go to) a :mod:`repro.store` SQLite result store.
+
+The service family turns campaigns into jobs (see ``docs/service.md``)::
+
+    repro-characterize serve --port 8765 --data-dir svc --max-workers 2
+    repro-characterize jobs submit --url URL lot -p dies=4 -p tests=3
+    repro-characterize jobs status --url URL job-0001
+    repro-characterize jobs wait   --url URL job-0001 --progress
+    repro-characterize jobs fetch  --url URL job-0001 --report out.html
+    repro-characterize jobs list   --url URL
+    repro-characterize jobs cancel --url URL job-0002
+    repro-characterize store import --db store.db runs.jsonl
+    repro-characterize store runs   --db store.db
+
 ``obs insight`` prints the decision-level story of a trace (SUTP audit,
 NN votes, GA convergence, WCR classes); ``obs profile`` the per-phase
 hot-path table of a ``--profile`` trace and ``obs flame`` its collapsed
@@ -296,6 +312,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lot.add_argument("--dies", type=int, default=8)
     lot.add_argument("--tests", type=int, default=10)
+    lot.add_argument(
+        "--database",
+        help="export the per-die worst cases as a worst-case database here",
+    )
 
     wafer = commands.add_parser(
         "wafer",
@@ -394,7 +414,12 @@ def _build_parser() -> argparse.ArgumentParser:
             "measurement-cost regression beyond the threshold"
         ),
     )
-    obs_compare.add_argument("history_file", metavar="RUNS")
+    obs_compare.add_argument("history_file", nargs="?", metavar="RUNS")
+    obs_compare.add_argument(
+        "--db", metavar="DB",
+        help="read the run history from this repro.store database "
+        "instead of a RUNS jsonl file",
+    )
     obs_compare.add_argument(
         "--baseline", required=True, metavar="NAME",
         help="name of the baseline run record",
@@ -449,6 +474,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="runs.jsonl history to include as the run-history table",
     )
     obs_report.add_argument(
+        "--db", metavar="DB",
+        help="repro.store database to read the run-history table from "
+        "(alternative to --runs)",
+    )
+    obs_report.add_argument(
         "--title", default="Characterization run report",
         help="report heading",
     )
@@ -460,17 +490,167 @@ def _build_parser() -> argparse.ArgumentParser:
             "so 'obs compare' can gate them"
         ),
     )
-    obs_bench.add_argument("history_file", metavar="RUNS")
+    obs_bench.add_argument("history_file", nargs="?", metavar="RUNS")
     obs_bench.add_argument(
         "bench_files", nargs="+", metavar="BENCH_JSON",
         help="BENCH_*.json records written by the benchmark suite",
+    )
+    obs_bench.add_argument(
+        "--db", metavar="DB",
+        help="import into this repro.store database instead of a RUNS "
+        "jsonl file (raw payloads land in bench_records, gateable run "
+        "records in runs)",
     )
     obs_bench.add_argument(
         "--suffix", default="",
         help="append to each record's run name (e.g. '@ci')",
     )
 
+    _add_service_parsers(commands)
     return parser
+
+
+def _add_service_parsers(commands) -> None:
+    """The characterization-service command families (see docs/service.md):
+    ``serve`` (the HTTP job API), ``jobs`` (its client) and ``store``
+    (the SQLite result store)."""
+    serve = commands.add_parser(
+        "serve",
+        help="run the characterization job service (HTTP/JSON API)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="listen port (0 picks a free one; the chosen port is printed)",
+    )
+    serve.add_argument(
+        "--data-dir", default="repro-service", metavar="DIR",
+        help="job working directories and artifacts live here",
+    )
+    serve.add_argument(
+        "--db", metavar="DB",
+        help="result-store database path (default: DATA_DIR/store.db)",
+    )
+    serve.add_argument(
+        "--max-workers", type=int, default=2, metavar="N",
+        help="campaigns run concurrently; further jobs queue FIFO",
+    )
+
+    jobs = commands.add_parser(
+        "jobs", help="submit and track jobs on a running service"
+    )
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+
+    def add_url(parser) -> None:
+        parser.add_argument(
+            "--url", required=True, metavar="URL",
+            help="service base URL, e.g. http://127.0.0.1:8765",
+        )
+
+    from repro.service.spec import JOB_COMMANDS
+
+    submit = jobs_sub.add_parser(
+        "submit", help="submit a campaign spec; prints the job id"
+    )
+    add_url(submit)
+    submit.add_argument(
+        "job_command", metavar="COMMAND",
+        choices=sorted(JOB_COMMANDS),
+        help=f"campaign to run ({', '.join(sorted(JOB_COMMANDS))})",
+    )
+    submit.add_argument(
+        "-p", "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="campaign parameter (repeatable), e.g. -p dies=4 -p tests=3",
+    )
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="farm workers for the job's campaign (farm commands only)",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes (exit 1 unless it completes)",
+    )
+    submit.add_argument("--json", action="store_true",
+                        help="print the job row as JSON")
+
+    status = jobs_sub.add_parser(
+        "status", help="job state + live progress"
+    )
+    add_url(status)
+    status.add_argument("job_id", metavar="JOB")
+    status.add_argument("--json", action="store_true")
+
+    wait = jobs_sub.add_parser(
+        "wait", help="block until a job finishes; exit 0 only on success"
+    )
+    add_url(wait)
+    wait.add_argument("job_id", metavar="JOB")
+    wait.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="give up (exit 2) after S seconds",
+    )
+    wait.add_argument(
+        "--poll", type=float, default=0.5, metavar="S",
+        help="poll interval in seconds (default: 0.5)",
+    )
+    wait.add_argument(
+        "--progress", action="store_true",
+        help="print a progress line on stderr at every poll",
+    )
+
+    fetch = jobs_sub.add_parser(
+        "fetch", help="download a finished job's artifacts"
+    )
+    add_url(fetch)
+    fetch.add_argument("job_id", metavar="JOB")
+    fetch.add_argument("--report", metavar="FILE",
+                       help="save the HTML run report here")
+    fetch.add_argument("--wcdb", metavar="FILE",
+                       help="save the worst-case database export here")
+    fetch.add_argument("--log", metavar="FILE",
+                       help="save the job's CLI output here")
+
+    list_cmd = jobs_sub.add_parser("list", help="all jobs on the service")
+    add_url(list_cmd)
+    list_cmd.add_argument("--json", action="store_true")
+
+    cancel = jobs_sub.add_parser(
+        "cancel", help="cancel a job (guaranteed while still queued)"
+    )
+    add_url(cancel)
+    cancel.add_argument("job_id", metavar="JOB")
+
+    store = commands.add_parser(
+        "store", help="inspect and migrate the SQLite result store"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    store_import = store_sub.add_parser(
+        "import",
+        help="migrate runs.jsonl history / wcdb exports into the store",
+    )
+    store_import.add_argument("--db", required=True, metavar="DB")
+    store_import.add_argument(
+        "history_files", nargs="*", metavar="RUNS_JSONL",
+        help="runs.jsonl files to import (tolerant loader: torn lines "
+        "are counted and skipped)",
+    )
+    store_import.add_argument(
+        "--wcdb", action="append", default=[], metavar="FILE",
+        help="worst-case database JSON export to import (repeatable; "
+        "dedup on test + condition, worst record wins)",
+    )
+    store_import.add_argument(
+        "--scope", default="", metavar="NAME",
+        help="scope label for imported worst-case records (default: '')",
+    )
+
+    store_runs = store_sub.add_parser(
+        "runs", help="list the run records stored in a database"
+    )
+    store_runs.add_argument("--db", required=True, metavar="DB")
+    store_runs.add_argument("--json", action="store_true")
 
 
 def _cmd_march(args) -> int:
@@ -648,6 +828,10 @@ def _cmd_lot(args) -> int:
     ]
     report = lot.run(tests, n_dies=args.dies, **_farm_kwargs(args))
     print(report.describe())
+    if args.database:
+        database = report.to_database(tests)
+        database.export_json(args.database)
+        print(f"\nworst-case database exported to: {args.database}")
     return 0
 
 
@@ -708,11 +892,41 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _resolve_history(args):
+    """The run history an obs subcommand should work against.
+
+    Exactly one of the positional RUNS jsonl path and ``--db`` must be
+    given; ``--db`` opens the :class:`repro.store.ResultStore` and
+    adapts it to the :class:`~repro.obs.history.RunHistory` interface,
+    so the comparison/import code is identical for both backends.
+    Returns ``None`` (after printing the usage error) when the choice
+    is ambiguous or absent.
+    """
+    from repro import obs
+
+    if args.history_file and args.db:
+        print(
+            "error: give either a RUNS jsonl file or --db, not both",
+            file=sys.stderr,
+        )
+        return None
+    if args.db:
+        from repro.store import ResultStore
+
+        return ResultStore(args.db).run_history()
+    if args.history_file:
+        return obs.RunHistory(args.history_file)
+    print("error: a RUNS jsonl file or --db is required", file=sys.stderr)
+    return None
+
+
 def _cmd_obs(args) -> int:
     from repro import obs
 
     if args.obs_command == "compare":
-        history = obs.RunHistory(args.history_file)
+        history = _resolve_history(args)
+        if history is None:
+            return 2
         try:
             comparison = obs.compare_runs(
                 history,
@@ -723,15 +937,23 @@ def _cmd_obs(args) -> int:
                 cpu_threshold_pct=args.cpu_threshold,
             )
         except KeyError as exc:
+            # Exit 3 = the history is readable but the requested run is
+            # not in it — distinct from 2 (unreadable/ambiguous input)
+            # so CI can tell "no baseline yet" from a broken setup.
             print(f"error: {exc.args[0]}", file=sys.stderr)
-            return 2
+            names = [r.get("run") for r in history.load().records]
+            listing = ", ".join(repr(n) for n in names if n) or "(none)"
+            print(f"available runs: {listing}", file=sys.stderr)
+            return 3
         print(comparison.render())
         return 1 if comparison.regressed else 0
 
     if args.obs_command == "bench-import":
         import json
 
-        history = obs.RunHistory(args.history_file)
+        history = _resolve_history(args)
+        if history is None:
+            return 2
         for bench_file in args.bench_files:
             try:
                 payload = json.loads(Path(bench_file).read_text())
@@ -748,8 +970,14 @@ def _cmd_obs(args) -> int:
                 )
                 return 2
             name = str(payload["bench"]) + args.suffix
-            record = obs.bench_run_record(payload, name=name)
-            history.append(record)
+            store = getattr(history, "store", None)
+            if store is not None:
+                # --db: keep the raw payload too (bench_records table),
+                # not just the converted run record.
+                record = store.import_bench_payload(payload, name=name)
+            else:
+                record = obs.bench_run_record(payload, name=name)
+                history.append(record)
             print(
                 f"bench {record['run']!r} imported: "
                 f"{record['measurements']} measurements, "
@@ -815,7 +1043,17 @@ def _cmd_obs(args) -> int:
         print(obs.render_insight(obs.build_insight(loaded.records)))
     elif args.obs_command == "report":
         runs = None
-        if args.runs:
+        if args.runs and args.db:
+            print(
+                "error: give either --runs or --db, not both",
+                file=sys.stderr,
+            )
+            return 2
+        if args.db:
+            from repro.store import ResultStore
+
+            runs = ResultStore(args.db).run_history().load().records
+        elif args.runs:
             try:
                 runs = obs.RunHistory(args.runs).load().records
             except OSError as exc:
@@ -839,6 +1077,279 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import JobManager, create_server
+    from repro.store import ResultStore
+
+    data_dir = Path(args.data_dir)
+    data_dir.mkdir(parents=True, exist_ok=True)
+    db_path = args.db or str(data_dir / "store.db")
+    store = ResultStore(db_path)
+    manager = JobManager(store, data_dir, max_workers=args.max_workers)
+    recovered = manager.recover()
+    for job_id in recovered:
+        print(
+            f"recovered: {job_id} was interrupted and is now failed",
+            file=sys.stderr,
+        )
+    manager.start()
+    server = create_server(manager, host=args.host, port=args.port)
+    host, port = server.server_address[0], server.server_address[1]
+    # Flushed immediately so wrappers (CI smoke, tests) can scrape the
+    # chosen port even when --port 0 asked for a free one.
+    print(
+        f"serving on http://{host}:{port} "
+        f"(store: {db_path}, workers: {args.max_workers})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+        manager.shutdown()
+    return 0
+
+
+def _job_line(job: dict) -> str:
+    """One human-readable listing line for a job row."""
+    spec = job.get("spec") or {}
+    extra = ""
+    if job.get("error"):
+        extra = f"  [{job['error']}]"
+    return (
+        f"{job['job_id']}  {job['state']:<9}  "
+        f"{spec.get('command', '?')}{extra}"
+    )
+
+
+def _cmd_jobs(args) -> int:
+    import json
+
+    from repro.service import ServiceClient, ServiceError
+    from repro.service.spec import JOB_COMMANDS, JobSpec, SpecError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.jobs_command == "submit":
+            allowed = JOB_COMMANDS[args.job_command]
+            params = {}
+            for item in args.param:
+                key, sep, raw = item.partition("=")
+                key = key.replace("-", "_")
+                if not sep:
+                    print(
+                        f"error: -p needs KEY=VALUE, got {item!r}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                kind = allowed.get(key)
+                if kind is None:
+                    print(
+                        f"error: unknown parameter {key!r} for "
+                        f"{args.job_command!r}; allowed: "
+                        f"{', '.join(sorted(allowed)) or '(none)'}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                try:
+                    if kind is bool:
+                        params[key] = raw.lower() in ("1", "true", "yes")
+                    else:
+                        params[key] = kind(raw)
+                except ValueError:
+                    print(
+                        f"error: parameter {key!r} must be "
+                        f"{kind.__name__}, got {raw!r}",
+                        file=sys.stderr,
+                    )
+                    return 2
+            try:
+                spec = JobSpec.from_payload(
+                    {
+                        "command": args.job_command,
+                        "params": params,
+                        "seed": args.seed,
+                        **(
+                            {"workers": args.workers}
+                            if args.workers is not None
+                            else {}
+                        ),
+                    }
+                )
+            except SpecError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            job = client.submit(spec)
+            if args.json:
+                print(json.dumps(job, indent=2, sort_keys=True))
+            else:
+                print(job["job_id"])
+            if args.wait:
+                final = client.wait(str(job["job_id"]))
+                print(f"{final['job_id']}: {final['state']}")
+                return 0 if final["state"] == "completed" else 1
+            return 0
+
+        if args.jobs_command == "status":
+            status = client.job(args.job_id)
+            if args.json:
+                print(json.dumps(status, indent=2, sort_keys=True))
+            else:
+                job = status["job"]
+                progress = status.get("progress") or {}
+                print(_job_line(job))
+                if progress:
+                    done = progress.get("units_done", 0)
+                    total = progress.get("units_total", 0)
+                    units = f", units {done}/{total}" if total else ""
+                    phase = progress.get("phase")
+                    phase_note = f", phase {phase}" if phase else ""
+                    print(
+                        f"  events {progress.get('events', 0)}, "
+                        f"measurements "
+                        f"{progress.get('measurements', 0)}"
+                        f"{units}{phase_note}"
+                    )
+            return 0
+
+        if args.jobs_command == "wait":
+            def _print_progress(status: dict) -> None:
+                progress = status.get("progress") or {}
+                print(
+                    f"{args.job_id}: {status['job']['state']} "
+                    f"({progress.get('measurements', 0)} measurements)",
+                    file=sys.stderr,
+                )
+
+            job = client.wait(
+                args.job_id,
+                timeout=args.timeout,
+                poll_s=args.poll,
+                on_progress=_print_progress if args.progress else None,
+            )
+            print(f"{job['job_id']}: {job['state']}")
+            return 0 if job["state"] == "completed" else 1
+
+        if args.jobs_command == "fetch":
+            if not (args.report or args.wcdb or args.log):
+                print(
+                    "error: nothing to fetch "
+                    "(give --report, --wcdb and/or --log)",
+                    file=sys.stderr,
+                )
+                return 2
+            for target, getter in (
+                (args.report, client.report),
+                (args.wcdb, client.wcdb),
+                (args.log, client.log),
+            ):
+                if target:
+                    Path(target).write_bytes(getter(args.job_id))
+                    print(f"saved: {target}")
+            return 0
+
+        if args.jobs_command == "list":
+            jobs = client.jobs()
+            if args.json:
+                print(json.dumps(jobs, indent=2, sort_keys=True))
+            else:
+                if not jobs:
+                    print("no jobs")
+                for job in jobs:
+                    print(_job_line(job))
+            return 0
+
+        if args.jobs_command == "cancel":
+            result = client.cancel(args.job_id)
+            job = result["job"]
+            if result["cancelled"]:
+                print(f"{job['job_id']}: cancelled")
+            else:
+                print(
+                    f"{job['job_id']}: {job['state']} "
+                    "(no longer queued; running jobs are terminated "
+                    "best-effort)"
+                )
+            return 0
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled jobs command {args.jobs_command!r}")
+
+
+def _cmd_store(args) -> int:
+    import json
+
+    from repro.store import ResultStore
+
+    store = ResultStore(args.db)
+    if args.store_command == "import":
+        if not args.history_files and not args.wcdb:
+            print(
+                "error: nothing to import "
+                "(give runs.jsonl files and/or --wcdb)",
+                file=sys.stderr,
+            )
+            return 2
+        for history_file in args.history_files:
+            # The history loader tolerates absent files (an empty
+            # history is normal for appenders); a *migration* of a path
+            # that does not exist is a typo and must fail loudly.
+            if not Path(history_file).exists():
+                print(
+                    f"error: cannot read {history_file}: no such file",
+                    file=sys.stderr,
+                )
+                return 2
+            try:
+                result = store.import_runs_jsonl(history_file)
+            except OSError as exc:
+                print(
+                    f"error: cannot read {history_file}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+            print(f"{history_file}: {result.describe()}")
+        for wcdb_file in args.wcdb:
+            try:
+                payload = json.loads(Path(wcdb_file).read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                print(
+                    f"error: cannot read {wcdb_file}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+            imported = store.import_wcdb_payload(payload, scope=args.scope)
+            print(
+                f"{wcdb_file}: {imported} worst-case record(s) imported "
+                f"(scope {args.scope!r})"
+            )
+        return 0
+
+    if args.store_command == "runs":
+        records = store.runs()
+        if args.json:
+            print(json.dumps(records, indent=2, sort_keys=True))
+            return 0
+        if not records:
+            print("no runs stored")
+            return 0
+        for record in records:
+            wall = record.get("wall_s")
+            wall_note = (
+                f"{wall:.3f}s" if isinstance(wall, (int, float)) else "?"
+            )
+            print(
+                f"{record.get('run')}  {record.get('campaign', '?'):<10}  "
+                f"{record.get('measurements', 0)} measurements, "
+                f"{wall_note} wall"
+            )
+        return 0
+    raise AssertionError(f"unhandled store command {args.store_command!r}")
+
+
 _COMMANDS = {
     "march": _cmd_march,
     "random": _cmd_random,
@@ -851,7 +1362,14 @@ _COMMANDS = {
     "wafer": _cmd_wafer,
     "campaign": _cmd_campaign,
     "obs": _cmd_obs,
+    "serve": _cmd_serve,
+    "jobs": _cmd_jobs,
+    "store": _cmd_store,
 }
+
+#: Commands that never run a campaign in this process: no telemetry
+#: setup/teardown (``serve`` job subprocesses carry their own traces).
+_NO_TELEMETRY_COMMANDS = ("obs", "serve", "jobs", "store")
 
 
 def _telemetry_requested(args) -> bool:
@@ -935,9 +1453,10 @@ def _teardown_observability(args, wall_s: float = 0.0) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
-    if args.command == "obs":
-        # Pure inspection of recorded telemetry: no campaign runs, so no
-        # observability setup/teardown (the obs layer stays off).
+    if args.command in _NO_TELEMETRY_COMMANDS:
+        # Pure inspection / service plumbing: no campaign runs in this
+        # process, so no observability setup/teardown (the obs layer
+        # stays off; service jobs trace in their own subprocesses).
         try:
             return _COMMANDS[args.command](args)
         except BrokenPipeError:

@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.core.wcr import WCRClass
+from repro.ioutil import atomic_write_text
 from repro.patterns.testcase import TestCase
 
 
@@ -111,18 +112,28 @@ class WorstCaseDatabase:
             self.add(failure)
         return self
 
+    def export_payload(self) -> Dict[str, object]:
+        """The export as plain data (what :meth:`export_json` writes).
+
+        Shared with :mod:`repro.store`, whose worst-case table exports
+        the same shape so a store-backed export diffs cleanly against a
+        direct one.
+        """
+        return {
+            "records": [r.summary() for r in self.ranked()],
+            "functional_failures": [r.summary() for r in self._failures],
+        }
+
     def export_json(self, path: Union[str, Path]) -> None:
         """Write record summaries (not raw vectors) as JSON.
 
         Keys are sorted and the file ends in a newline so exports from
-        merged parallel runs diff cleanly against serial ones.
+        merged parallel runs diff cleanly against serial ones.  The
+        write is atomic (write-temp + rename): an export interrupted
+        mid-write never leaves a truncated database on disk.
         """
-        payload = {
-            "records": [r.summary() for r in self.ranked()],
-            "functional_failures": [r.summary() for r in self._failures],
-        }
-        Path(path).write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        atomic_write_text(
+            path, json.dumps(self.export_payload(), indent=2, sort_keys=True) + "\n"
         )
 
     def export_patterns(self, directory: Union[str, Path]) -> List[Path]:

@@ -31,6 +31,7 @@ import pickle
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro.ioutil import durable_append_line
 from repro.farm.workunit import WorkResult
 from repro.obs.events import FarmCheckpointDropped
 from repro.obs.runtime import OBS
@@ -163,8 +164,10 @@ class CheckpointStore:
                 pickle.dumps(result.value)
             ).decode("ascii"),
         }
-        handle.write(json.dumps(payload, sort_keys=True) + "\n")
-        handle.flush()
+        # flush + fsync: a unit the executor believes is checkpointed
+        # must survive a crash — a torn line here would silently re-run
+        # (or drop) the unit on resume.
+        durable_append_line(handle, json.dumps(payload, sort_keys=True))
 
     def _open_for_append(self):
         if self._handle is None or self._handle.closed:
@@ -177,8 +180,9 @@ class CheckpointStore:
                     "kind": _KIND,
                     "campaign": self.campaign,
                 }
-                self._handle.write(json.dumps(header, sort_keys=True) + "\n")
-                self._handle.flush()
+                durable_append_line(
+                    self._handle, json.dumps(header, sort_keys=True)
+                )
         return self._handle
 
     def close(self) -> None:

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.ioutil import durable_append_line
 from repro.obs.metrics import MetricsRegistry
 
 RUN_SCHEMA = 1
@@ -133,11 +134,15 @@ class RunHistory:
         self.path = Path(path)
 
     def append(self, record: Dict[str, object]) -> None:
-        """Append one record, flushed immediately."""
+        """Append one record, durably (flush + fsync).
+
+        A run record is written once at campaign exit; a crash right
+        then must not leave a torn line for the next load — or for a
+        ``repro store import`` migration — to drop.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
+            durable_append_line(handle, json.dumps(record, sort_keys=True))
 
     def next_default_name(self) -> str:
         """``run-<n>`` with ``n`` = number of records already stored."""

@@ -1,0 +1,61 @@
+"""Characterization-as-a-service: job API over the campaign stack.
+
+The CLI runs one campaign per invocation; this package runs campaigns
+as *jobs* behind a long-running HTTP/JSON service (ROADMAP item 1):
+
+* :mod:`repro.service.spec` — :class:`JobSpec`: the whitelisted
+  campaign submission (command + parameters + seed + workers), and its
+  translation to the exact ``repro.cli`` argv;
+* :mod:`repro.service.manager` — :class:`JobManager`: FIFO queue,
+  bounded worker pool (``max_workers`` campaigns at once), cancel
+  semantics, store persistence, restart recovery, and the default
+  :class:`SubprocessJobRunner` (one CLI subprocess per job, so the
+  service's results are byte-for-byte the direct CLI's);
+* :mod:`repro.service.progress` — live progress rolled up from the
+  job's flushed-per-event telemetry trace;
+* :mod:`repro.service.server` — the stdlib ``ThreadingHTTPServer`` API
+  (submit, status, events, report, wcdb, cancel);
+* :mod:`repro.service.client` — the urllib client behind the
+  ``repro jobs`` CLI family.
+
+Jobs and results persist in :class:`repro.store.ResultStore`, so a
+restarted server lists and serves completed work and fails whatever the
+dead process left in flight.  See ``docs/service.md``.
+"""
+
+from repro.service.client import TERMINAL_STATES, ServiceClient, ServiceError
+from repro.service.manager import (
+    JobManager,
+    JobOutcome,
+    SubprocessJobRunner,
+)
+from repro.service.progress import job_progress, read_events_page
+from repro.service.server import (
+    CharacterizationServer,
+    create_server,
+    serve_in_thread,
+)
+from repro.service.spec import (
+    FARM_JOB_COMMANDS,
+    JOB_COMMANDS,
+    JobSpec,
+    SpecError,
+)
+
+__all__ = [
+    "CharacterizationServer",
+    "FARM_JOB_COMMANDS",
+    "JOB_COMMANDS",
+    "JobManager",
+    "JobOutcome",
+    "JobSpec",
+    "ServiceClient",
+    "ServiceError",
+    "SpecError",
+    "SubprocessJobRunner",
+    "TERMINAL_STATES",
+    "create_server",
+    "job_progress",
+    "read_events_page",
+    "serve_in_thread",
+]

@@ -1,0 +1,148 @@
+"""Stdlib client for the characterization service.
+
+Wraps the job API in typed calls (``urllib.request`` — the client has
+the same zero-dependency footprint as the server) and powers the
+``repro jobs submit|status|wait|fetch`` CLI family plus
+``examples/service_submit.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, List, Optional
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from repro.service.spec import JobSpec
+
+#: Job states that end the :meth:`ServiceClient.wait` poll loop.
+TERMINAL_STATES = ("completed", "failed", "cancelled")
+
+
+class ServiceError(RuntimeError):
+    """An API call failed; carries the HTTP status when there was one."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """One characterization service endpoint."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- raw calls -------------------------------------------------------------
+
+    def _request(
+        self,
+        path: str,
+        method: str = "GET",
+        payload: Optional[Dict[str, object]] = None,
+    ) -> bytes:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = Request(url, data=data, headers=headers, method=method)
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return response.read()
+        except HTTPError as exc:
+            detail = ""
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+                detail = str(body.get("error", ""))
+            except Exception:  # noqa: BLE001 — error body is best-effort
+                pass
+            message = detail or f"{exc.code} {exc.reason}"
+            raise ServiceError(message, status=exc.code) from exc
+        except URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc.reason}"
+            ) from exc
+
+    def _request_json(
+        self,
+        path: str,
+        method: str = "GET",
+        payload: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        return json.loads(self._request(path, method, payload))
+
+    # -- API -------------------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        return self._request_json("/healthz")
+
+    def submit(self, spec: JobSpec) -> Dict[str, object]:
+        """Submit a campaign; returns the job row (state ``queued``)."""
+        body = self._request_json("/jobs", "POST", spec.to_payload())
+        return body["job"]
+
+    def jobs(self) -> List[Dict[str, object]]:
+        return list(self._request_json("/jobs")["jobs"])
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        """Job row + live progress (keys ``job`` and ``progress``)."""
+        return self._request_json(f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self._request_json(f"/jobs/{job_id}/cancel", "POST", {})
+
+    def events(
+        self, job_id: str, offset: int = 0, limit: int = 500
+    ) -> Dict[str, object]:
+        """One page of the job's trace events (see ``read_events_page``)."""
+        return self._request_json(
+            f"/jobs/{job_id}/events?offset={int(offset)}&limit={int(limit)}"
+        )
+
+    def report(self, job_id: str) -> bytes:
+        """The job's self-contained HTML report."""
+        return self._request(f"/jobs/{job_id}/report")
+
+    def wcdb(self, job_id: str) -> bytes:
+        """The worst-case database export, byte-exact."""
+        return self._request(f"/jobs/{job_id}/wcdb")
+
+    def log(self, job_id: str) -> bytes:
+        """The job's captured CLI output."""
+        return self._request(f"/jobs/{job_id}/log")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll_s: float = 0.5,
+        on_progress: Optional[Callable[[Dict[str, object]], None]] = None,
+    ) -> Dict[str, object]:
+        """Poll until the job reaches a terminal state; returns the row.
+
+        ``on_progress`` (when given) receives each polled
+        ``{"job": ..., "progress": ...}`` snapshot — the example script
+        uses it to draw a progress line from the event-derived numbers.
+
+        Raises
+        ------
+        ServiceError
+            When ``timeout`` elapses first.
+        """
+        deadline = None if timeout is None else time.time() + timeout
+        while True:
+            status = self.job(job_id)
+            if on_progress is not None:
+                on_progress(status)
+            if status["job"]["state"] in TERMINAL_STATES:
+                return status["job"]
+            if deadline is not None and time.time() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout}s waiting for {job_id} "
+                    f"(state: {status['job']['state']})"
+                )
+            time.sleep(poll_s)

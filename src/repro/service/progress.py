@@ -1,0 +1,111 @@
+"""Live job progress, derived from the job's telemetry trace.
+
+Every job runs with ``--trace`` pointing into its job directory, and the
+:class:`~repro.obs.events.TraceWriter` flushes each event line as it is
+emitted — so the trace file *is* the live progress stream.  This module
+reads it tolerantly (a torn final line is simply the event in flight)
+and rolls the per-unit farm events, measurement events and campaign
+phases up into the small progress dict ``GET /jobs/{id}`` returns.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+
+def job_progress(trace_path: Union[str, Path]) -> Dict[str, object]:
+    """Roll a (possibly still growing) trace up into progress numbers.
+
+    Returns ``events`` (total lines parsed), ``measurements``,
+    ``units_total``/``units_done``/``units_skipped`` (farm work units;
+    skipped = restored from checkpoint), and ``phase`` — the innermost
+    campaign phase currently open (``None`` before the first phase or
+    after the last one closes).
+    """
+    path = Path(trace_path)
+    events = 0
+    measurements = 0
+    units_total = 0
+    units_done = 0
+    units_skipped = 0
+    phase_stack: List[str] = []
+    if path.exists():
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                record = _parse(line)
+                if record is None:
+                    continue
+                events += 1
+                kind = record.get("type")
+                if kind == "measurement":
+                    measurements += 1
+                elif kind == "farm_run_started":
+                    units_total += int(record.get("units", 0) or 0)
+                elif kind == "farm_unit_completed":
+                    units_done += 1
+                elif kind == "farm_unit_skipped":
+                    units_skipped += 1
+                elif kind == "campaign_phase":
+                    phase = str(record.get("phase", "") or "")
+                    if record.get("status") == "start":
+                        phase_stack.append(phase)
+                    elif phase_stack and phase_stack[-1] == phase:
+                        phase_stack.pop()
+    return {
+        "events": events,
+        "measurements": measurements,
+        "units_total": units_total,
+        "units_done": units_done,
+        "units_skipped": units_skipped,
+        "phase": phase_stack[-1] if phase_stack else None,
+    }
+
+
+def read_events_page(
+    trace_path: Union[str, Path],
+    offset: int = 0,
+    limit: int = 500,
+) -> Tuple[List[Dict[str, object]], int, int]:
+    """One page of trace events for ``GET /jobs/{id}/events``.
+
+    Offsets count *file lines* (not parsed events), so a page boundary
+    is stable while the file grows.  Returns ``(events, next_offset,
+    malformed)`` where ``next_offset`` is the line offset to pass for
+    the following page and ``malformed`` counts skipped unparseable
+    lines within the page (normally just a torn in-flight final line).
+    """
+    path = Path(trace_path)
+    events: List[Dict[str, object]] = []
+    malformed = 0
+    consumed = 0
+    if limit < 1:
+        return events, offset, malformed
+    if path.exists():
+        with path.open("r", encoding="utf-8") as handle:
+            for number, line in enumerate(handle):
+                if number < offset:
+                    continue
+                if consumed >= limit:
+                    break
+                consumed += 1
+                record = _parse(line)
+                if record is None:
+                    malformed += 1
+                else:
+                    events.append(record)
+    return events, offset + consumed, malformed
+
+
+def _parse(line: str) -> Optional[Dict[str, object]]:
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(record, dict) or "type" not in record:
+        return None
+    return record

@@ -1,0 +1,292 @@
+"""Characterization-as-a-service: the HTTP/JSON job API.
+
+Stdlib only (:class:`http.server.ThreadingHTTPServer`): no framework to
+install on a test-floor host.  Endpoints::
+
+    GET  /healthz                    liveness + job-state tally
+    GET  /jobs                       all jobs, oldest first
+    POST /jobs                       submit a campaign spec -> 201 + job
+    GET  /jobs/{id}                  job row + live progress
+    POST /jobs/{id}/cancel           cancel (guaranteed while queued)
+    GET  /jobs/{id}/events           trace events, paged (?offset=&limit=)
+    GET  /jobs/{id}/report           self-contained HTML run report
+    GET  /jobs/{id}/wcdb             worst-case database export (JSON)
+    GET  /jobs/{id}/log              the job's captured CLI output
+
+Responses are JSON except ``/report`` (HTML), ``/wcdb`` (the export
+file's exact bytes — parity with a direct CLI run is byte-level) and
+``/log`` (text).  Errors come back as ``{"error": ...}`` with a 4xx/5xx
+status.  See ``docs/service.md`` for a curl quickstart.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.manager import JobManager
+from repro.service.progress import read_events_page
+from repro.service.spec import (
+    JobSpec,
+    LOG_FILENAME,
+    REPORT_FILENAME,
+    SpecError,
+    TRACE_FILENAME,
+)
+
+#: Largest accepted POST body; a campaign spec is a few hundred bytes.
+MAX_BODY_BYTES = 64 * 1024
+#: Event-page size cap (a page is JSON in memory on both ends).
+MAX_EVENT_PAGE = 5000
+
+
+class CharacterizationServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the shared :class:`JobManager`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], manager: JobManager) -> None:
+        super().__init__(address, JobAPIHandler)
+        self.manager = manager
+
+
+class JobAPIHandler(BaseHTTPRequestHandler):
+    """Routes requests onto the server's job manager."""
+
+    server: CharacterizationServer
+    protocol_version = "HTTP/1.1"
+
+    # -- routing ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        parsed = urlparse(self.path)
+        parts = [part for part in parsed.path.split("/") if part]
+        try:
+            if parts == ["healthz"]:
+                self._send_json(200, self._health())
+            elif parts == ["jobs"]:
+                self._send_json(
+                    200, {"jobs": self.server.manager.jobs()}
+                )
+            elif len(parts) == 2 and parts[0] == "jobs":
+                self._get_job(parts[1])
+            elif len(parts) == 3 and parts[0] == "jobs":
+                self._get_job_resource(
+                    parts[1], parts[2], parse_qs(parsed.query)
+                )
+            else:
+                self._send_json(404, {"error": f"no such route: {parsed.path}"})
+        except Exception as exc:  # noqa: BLE001 — one request must not kill the thread
+            self._send_json(500, {"error": f"internal error: {exc}"})
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        parsed = urlparse(self.path)
+        parts = [part for part in parsed.path.split("/") if part]
+        try:
+            if parts == ["jobs"]:
+                self._submit_job()
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+                self._cancel_job(parts[1])
+            else:
+                self._send_json(404, {"error": f"no such route: {parsed.path}"})
+        except Exception as exc:  # noqa: BLE001
+            self._send_json(500, {"error": f"internal error: {exc}"})
+
+    # -- handlers --------------------------------------------------------------
+
+    def _health(self) -> Dict[str, object]:
+        tally: Dict[str, int] = {}
+        for job in self.server.manager.jobs():
+            state = str(job["state"])
+            tally[state] = tally.get(state, 0) + 1
+        return {
+            "status": "ok",
+            "max_workers": self.server.manager.max_workers,
+            "jobs": tally,
+        }
+
+    def _submit_job(self) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_json(400, {"error": "missing or oversized JSON body"})
+            return
+        body = self.rfile.read(length)
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": f"body is not JSON: {exc}"})
+            return
+        try:
+            spec = JobSpec.from_payload(payload)
+        except SpecError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        job = self.server.manager.submit(spec)
+        self._send_json(201, {"job": job})
+
+    def _get_job(self, job_id: str) -> None:
+        job = self.server.manager.job(job_id)
+        if job is None:
+            self._send_json(404, {"error": f"no such job: {job_id}"})
+            return
+        self._send_json(
+            200,
+            {"job": job, "progress": self.server.manager.progress(job_id)},
+        )
+
+    def _cancel_job(self, job_id: str) -> None:
+        try:
+            cancelled = self.server.manager.cancel(job_id)
+        except KeyError:
+            self._send_json(404, {"error": f"no such job: {job_id}"})
+            return
+        job = self.server.manager.job(job_id)
+        self._send_json(200, {"job": job, "cancelled": cancelled})
+
+    def _get_job_resource(
+        self, job_id: str, resource: str, query: Dict[str, list]
+    ) -> None:
+        job = self.server.manager.job(job_id)
+        if job is None:
+            self._send_json(404, {"error": f"no such job: {job_id}"})
+            return
+        job_dir = Path(str(job["job_dir"]))
+        if resource == "events":
+            offset = _query_int(query, "offset", 0)
+            limit = min(_query_int(query, "limit", 500), MAX_EVENT_PAGE)
+            events, next_offset, malformed = read_events_page(
+                job_dir / TRACE_FILENAME, offset=offset, limit=limit
+            )
+            self._send_json(
+                200,
+                {
+                    "events": events,
+                    "next_offset": next_offset,
+                    "malformed": malformed,
+                    "state": job["state"],
+                },
+            )
+        elif resource == "report":
+            html = _job_report(job, job_dir)
+            if html is None:
+                self._send_json(
+                    404, {"error": f"job {job_id} has no trace to report on"}
+                )
+            else:
+                self._send_bytes(
+                    200, html.encode("utf-8"), "text/html; charset=utf-8"
+                )
+        elif resource == "wcdb":
+            wcdb = JobSpec.from_payload(job["spec"]).wcdb_path(job_dir)
+            if wcdb is None or not wcdb.exists():
+                self._send_json(
+                    404,
+                    {"error": f"job {job_id} produced no worst-case export"},
+                )
+            else:
+                self._send_bytes(
+                    200, wcdb.read_bytes(), "application/json"
+                )
+        elif resource == "log":
+            log = job_dir / LOG_FILENAME
+            if not log.exists():
+                self._send_json(404, {"error": f"job {job_id} has no log yet"})
+            else:
+                self._send_bytes(
+                    200, log.read_bytes(), "text/plain; charset=utf-8"
+                )
+        else:
+            self._send_json(
+                404, {"error": f"no such job resource: {resource}"}
+            )
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+        self._send_bytes(
+            status,
+            (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8"),
+            "application/json",
+        )
+
+    def _send_bytes(
+        self, status: int, body: bytes, content_type: str
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Quiet by default; the CLI owns user-facing output."""
+
+
+def _job_report(job: Dict[str, object], job_dir: Path) -> Optional[str]:
+    """The job's self-contained HTML report (rendered from its trace).
+
+    Completed jobs cache the render next to the trace; running jobs are
+    rendered fresh from the live trace on every request.  The builder is
+    :func:`repro.obs.html.build_html_report` — the same one behind
+    ``repro obs report``, so the served bytes match a direct CLI render
+    of the same trace.
+    """
+    from repro import obs
+
+    trace = job_dir / TRACE_FILENAME
+    if not trace.exists():
+        return None
+    cache = job_dir / REPORT_FILENAME
+    terminal = job["state"] in ("completed", "failed")
+    if terminal and cache.exists():
+        return cache.read_text()
+    records = obs.load_trace(trace).records
+    html = obs.build_html_report(
+        records, title=f"Characterization job {job['job_id']}"
+    )
+    if terminal:
+        from repro.ioutil import atomic_write_text
+
+        atomic_write_text(cache, html)
+    return html
+
+
+def _query_int(query: Dict[str, list], name: str, default: int) -> int:
+    values = query.get(name)
+    if not values:
+        return default
+    try:
+        return max(0, int(values[0]))
+    except (TypeError, ValueError):
+        return default
+
+
+def create_server(
+    manager: JobManager, host: str = "127.0.0.1", port: int = 0
+) -> CharacterizationServer:
+    """Bind the API server (``port=0`` picks a free port)."""
+    return CharacterizationServer((host, port), manager)
+
+
+def serve_in_thread(
+    manager: JobManager, host: str = "127.0.0.1", port: int = 0
+) -> Tuple[CharacterizationServer, threading.Thread]:
+    """Bind and serve on a daemon thread; returns (server, thread).
+
+    The embedding pattern tests and notebooks use::
+
+        server, _ = serve_in_thread(manager)
+        url = f"http://{server.server_address[0]}:{server.server_address[1]}"
+        ...
+        server.shutdown()
+    """
+    server = create_server(manager, host=host, port=port)
+    thread = threading.Thread(
+        target=server.serve_forever, name="job-api", daemon=True
+    )
+    thread.start()
+    return server, thread

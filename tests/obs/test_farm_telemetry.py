@@ -147,14 +147,47 @@ class TestObsCompareCLI:
              "--run", "bigger", "--threshold", "500"]
         ) == 0
 
-    def test_missing_baseline_exits_2(self, tmp_path, capsys):
+    def test_missing_baseline_exits_3_and_lists_runs(self, tmp_path, capsys):
+        # Exit 3 is the "history is fine, baseline just isn't recorded
+        # yet" signal (first CI run of a new branch) — distinct from 2,
+        # which means the inputs themselves were unusable.
         self._record_run(tmp_path, "only", 2)
         capsys.readouterr()
         assert main(
             ["obs", "compare", str(tmp_path / "runs.jsonl"),
              "--baseline", "ghost"]
+        ) == 3
+        err = capsys.readouterr().err
+        assert "ghost" in err
+        assert "available runs: 'only'" in err
+
+    def test_missing_run_name_exits_3(self, tmp_path, capsys):
+        self._record_run(tmp_path, "base", 2)
+        capsys.readouterr()
+        assert main(
+            ["obs", "compare", str(tmp_path / "runs.jsonl"),
+             "--baseline", "base", "--run", "ghost"]
+        ) == 3
+        assert "available runs:" in capsys.readouterr().err
+
+    def test_empty_history_lists_no_runs(self, tmp_path, capsys):
+        (tmp_path / "runs.jsonl").write_text("")
+        assert main(
+            ["obs", "compare", str(tmp_path / "runs.jsonl"),
+             "--baseline", "base"]
+        ) == 3
+        assert "available runs: (none)" in capsys.readouterr().err
+
+    def test_both_jsonl_and_db_is_an_input_error(self, tmp_path, capsys):
+        assert main(
+            ["obs", "compare", str(tmp_path / "runs.jsonl"),
+             "--db", str(tmp_path / "store.db"), "--baseline", "base"]
         ) == 2
-        assert "ghost" in capsys.readouterr().err
+        assert "not both" in capsys.readouterr().err
+
+    def test_neither_jsonl_nor_db_is_an_input_error(self, capsys):
+        assert main(["obs", "compare", "--baseline", "base"]) == 2
+        assert "--db is required" in capsys.readouterr().err
 
     def test_progress_flag_reports_units(self, tmp_path, capsys):
         assert main(

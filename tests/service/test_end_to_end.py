@@ -1,0 +1,116 @@
+"""Service-vs-CLI parity, end to end with real campaign subprocesses.
+
+The service's contract is that a submitted campaign IS the CLI
+campaign: same seed in, same worst-case database bytes out.  These
+tests run a real ``lot`` job through the default
+:class:`SubprocessJobRunner` and hold the service's artifacts against a
+direct in-process CLI run of the identical command.
+"""
+
+import json
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.cli import main
+from repro.service import JobManager, JobSpec, ServiceClient, serve_in_thread
+from repro.store import ResultStore
+
+WAIT = 120.0
+
+SEED = 11
+PARAMS = {"dies": 2, "tests": 2}
+
+
+@pytest.fixture(scope="module")
+def service_artifacts(tmp_path_factory):
+    """Run one real lot job through the full HTTP + subprocess stack."""
+    tmp_path = tmp_path_factory.mktemp("service-e2e")
+    store = ResultStore(tmp_path / "store.db")
+    manager = JobManager(store, tmp_path / "data", max_workers=1)
+    manager.start()
+    server, _ = serve_in_thread(manager)
+    host, port = server.server_address[0], server.server_address[1]
+    client = ServiceClient(f"http://{host}:{port}", timeout=WAIT)
+    try:
+        job = client.submit(JobSpec(command="lot", params=PARAMS, seed=SEED))
+        job_id = str(job["job_id"])
+        final = client.wait(job_id, timeout=WAIT, poll_s=0.1)
+        log = client.log(job_id).decode("utf-8", "replace")
+        assert final["state"] == "completed", f"job failed; log:\n{log}"
+        yield {
+            "job_id": job_id,
+            "wcdb": client.wcdb(job_id),
+            "report": client.report(job_id).decode("utf-8"),
+            "progress": client.job(job_id)["progress"],
+            "store": store,
+            "job_dir": str(final["job_dir"]),
+        }
+    finally:
+        server.shutdown()
+        server.server_close()
+        manager.shutdown()
+
+
+@pytest.fixture(scope="module")
+def direct_wcdb(tmp_path_factory):
+    """The same campaign run directly through the CLI, in-process."""
+    tmp_path = tmp_path_factory.mktemp("direct")
+    target = tmp_path / "wcdb.json"
+    assert main(
+        ["--seed", str(SEED), "lot",
+         "--dies", str(PARAMS["dies"]), "--tests", str(PARAMS["tests"]),
+         "--database", str(target)]
+    ) == 0
+    return target.read_bytes()
+
+
+class TestParity:
+    def test_wcdb_bytes_identical_to_direct_cli_run(
+        self, service_artifacts, direct_wcdb
+    ):
+        assert service_artifacts["wcdb"] == direct_wcdb
+
+    def test_report_is_wellformed_and_matches_trace_render(
+        self, service_artifacts
+    ):
+        from pathlib import Path
+
+        from repro import obs
+
+        html = service_artifacts["report"]
+        # the same well-formedness gate CI applies to obs reports
+        ET.fromstring(html)
+        records = obs.load_trace(
+            Path(service_artifacts["job_dir"]) / "trace.jsonl"
+        ).records
+        rebuilt = obs.build_html_report(
+            records,
+            title=f"Characterization job {service_artifacts['job_id']}",
+        )
+        assert html == rebuilt
+
+    def test_progress_reflects_the_real_campaign(self, service_artifacts):
+        progress = service_artifacts["progress"]
+        assert progress["units_total"] == PARAMS["dies"]
+        assert progress["units_done"] == PARAMS["dies"]
+        assert progress["measurements"] > 0
+        assert progress["phase"] is None  # campaign finished
+
+    def test_results_are_folded_into_the_store(self, service_artifacts):
+        store = service_artifacts["store"]
+        job_id = service_artifacts["job_id"]
+        # worst-case records are queryable under the job's scope...
+        assert store.wc_record_count(scope=job_id) > 0
+        exported = store.export_wcdb_payload(scope=job_id)
+        served = json.loads(service_artifacts["wcdb"].decode("utf-8"))
+        assert (
+            {r["test_name"] for r in exported["records"]}
+            == {r["test_name"] for r in served["records"]}
+        )
+        # ...and the job landed a run-cost record for obs compare --db
+        record = store.find_run(job_id)
+        assert record is not None
+        assert record["measurements"] == service_artifacts["progress"][
+            "measurements"
+        ]

@@ -1,0 +1,44 @@
+"""Crash-safe IO helpers behind runs.jsonl / checkpoints / exports."""
+
+from repro.ioutil import atomic_write_text, durable_append_line, fsync_handle
+
+
+class TestDurableAppend:
+    def test_line_is_visible_immediately(self, tmp_path):
+        # The crash-safety contract: once append returns, a concurrent
+        # reader (or a post-crash one) sees the complete line.
+        path = tmp_path / "log.jsonl"
+        with path.open("a") as handle:
+            durable_append_line(handle, '{"a": 1}')
+            assert path.read_text() == '{"a": 1}\n'
+            durable_append_line(handle, '{"b": 2}')
+        assert path.read_text().splitlines() == ['{"a": 1}', '{"b": 2}']
+
+    def test_newline_not_doubled(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with path.open("a") as handle:
+            durable_append_line(handle, "already terminated\n")
+        assert path.read_text() == "already terminated\n"
+
+    def test_fsync_tolerates_pseudo_files(self):
+        class NoFileno:
+            def flush(self):
+                self.flushed = True
+
+        handle = NoFileno()
+        fsync_handle(handle)  # must not raise
+        assert handle.flushed
+
+
+class TestAtomicWrite:
+    def test_write_and_replace(self, tmp_path):
+        path = tmp_path / "out.json"
+        assert atomic_write_text(path, "one") == path
+        assert path.read_text() == "one"
+        atomic_write_text(path, "two")
+        assert path.read_text() == "two"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_text(path, "data")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
