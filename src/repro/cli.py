@@ -50,6 +50,7 @@ The ``obs`` subcommand family inspects what the flags above record::
     repro-characterize obs timeline trace.jsonl -o timeline.json
     repro-characterize obs compare  runs.jsonl --baseline nightly
     repro-characterize obs bench-import runs.jsonl BENCH_*.json --suffix @ci
+    repro-characterize obs alerts   --url http://127.0.0.1:8765
 
 ``obs compare``, ``obs bench-import`` and ``obs report`` also accept
 ``--db store.db`` in place of the JSONL history: the run records then
@@ -60,7 +61,7 @@ The service family turns campaigns into jobs (see ``docs/service.md``)::
     repro-characterize serve --port 8765 --data-dir svc --max-workers 2
     repro-characterize jobs submit --url URL lot -p dies=4 -p tests=3
     repro-characterize jobs status --url URL job-0001
-    repro-characterize jobs wait   --url URL job-0001 --progress
+    repro-characterize jobs wait   --url URL job-0001 --progress [--stream]
     repro-characterize jobs fetch  --url URL job-0001 --report out.html
     repro-characterize jobs list   --url URL
     repro-characterize jobs cancel --url URL job-0002
@@ -506,6 +507,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="append to each record's run name (e.g. '@ci')",
     )
 
+    obs_alerts = obs_sub.add_parser(
+        "alerts",
+        help=(
+            "evaluate threshold alert rules against a /metrics snapshot "
+            "or the result store; exit 0 ok / 1 warning / 2 critical"
+        ),
+    )
+    obs_alerts.add_argument(
+        "--url", metavar="URL",
+        help="scrape METRICS from a running service (URL + /metrics)",
+    )
+    obs_alerts.add_argument(
+        "--metrics-file", metavar="FILE",
+        help="read a saved Prometheus text-format exposition",
+    )
+    obs_alerts.add_argument(
+        "--db", metavar="DB",
+        help="derive queue/failure/latency samples from a repro.store "
+        "database instead of a live scrape",
+    )
+    obs_alerts.add_argument(
+        "--rule", action="append", default=[], metavar="RULE",
+        help="threshold rule 'METRIC[{label=\"v\"}] OP WARN[:CRIT]' "
+        "(repeatable; default: built-in queue/failure/latency rules)",
+    )
+
     _add_service_parsers(commands)
     return parser
 
@@ -534,6 +561,16 @@ def _add_service_parsers(commands) -> None:
     serve.add_argument(
         "--max-workers", type=int, default=2, metavar="N",
         help="campaigns run concurrently; further jobs queue FIFO",
+    )
+    serve.add_argument(
+        "--access-log", metavar="FILE",
+        help="append one structured JSON line per request (ts, request "
+        "id, route, status, duration, job id) to FILE; off by default",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=None, metavar="N",
+        help="queued jobs beyond which /readyz reports 503 "
+        "(default: 64)",
     )
 
     jobs = commands.add_parser(
@@ -591,12 +628,19 @@ def _add_service_parsers(commands) -> None:
         help="give up (exit 2) after S seconds",
     )
     wait.add_argument(
-        "--poll", type=float, default=0.5, metavar="S",
-        help="poll interval in seconds (default: 0.5)",
+        "--poll", type=float, default=0.2, metavar="S",
+        help="initial poll interval in seconds; backs off with jitter "
+        "to a 2 s cap (default: 0.2)",
     )
     wait.add_argument(
         "--progress", action="store_true",
         help="print a progress line on stderr at every poll",
+    )
+    wait.add_argument(
+        "--stream", action="store_true",
+        help="follow the job's live SSE stream (/jobs/ID/stream) "
+        "instead of polling; implies live progress on stderr with "
+        "--progress",
     )
 
     fetch = jobs_sub.add_parser(
@@ -985,6 +1029,9 @@ def _cmd_obs(args) -> int:
             )
         return 0
 
+    if args.obs_command == "alerts":
+        return _cmd_obs_alerts(args)
+
     try:
         loaded = obs.load_trace(args.trace_file)
     except OSError as exc:
@@ -1077,6 +1124,53 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_obs_alerts(args) -> int:
+    """``repro obs alerts``: Nagios-style threshold check, exit = level."""
+    from repro.obs import alerts
+
+    sources = [bool(args.url), bool(args.metrics_file), bool(args.db)]
+    if sum(sources) != 1:
+        print(
+            "error: give exactly one of --url, --metrics-file or --db",
+            file=sys.stderr,
+        )
+        return 3
+    try:
+        if args.url:
+            from urllib.request import urlopen
+
+            url = args.url.rstrip("/") + "/metrics"
+            with urlopen(url, timeout=30.0) as response:
+                samples = alerts.load_samples_text(
+                    response.read().decode("utf-8")
+                )
+        elif args.metrics_file:
+            samples = alerts.load_samples_text(
+                Path(args.metrics_file).read_text()
+            )
+        else:
+            from repro.store import ResultStore
+
+            samples = alerts.store_samples(ResultStore(args.db))
+    except OSError as exc:
+        print(f"error: cannot read metrics: {exc}", file=sys.stderr)
+        return 3
+    except ValueError as exc:  # ExpositionError included
+        print(f"error: invalid exposition: {exc}", file=sys.stderr)
+        return 3
+    if args.rule:
+        try:
+            rules = [alerts.parse_rule(text) for text in args.rule]
+        except alerts.AlertRuleError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 3
+    else:
+        rules = list(alerts.DEFAULT_RULES)
+    results = alerts.evaluate_rules(samples, rules)
+    print(alerts.render_results(results))
+    return alerts.worst_level(results)
+
+
 def _cmd_serve(args) -> int:
     from repro.service import JobManager, create_server
     from repro.store import ResultStore
@@ -1093,13 +1187,26 @@ def _cmd_serve(args) -> int:
             file=sys.stderr,
         )
     manager.start()
-    server = create_server(manager, host=args.host, port=args.port)
+    from repro.service import DEFAULT_READY_QUEUE_LIMIT
+
+    server = create_server(
+        manager,
+        host=args.host,
+        port=args.port,
+        access_log=Path(args.access_log) if args.access_log else None,
+        ready_queue_limit=(
+            args.queue_limit
+            if args.queue_limit is not None
+            else DEFAULT_READY_QUEUE_LIMIT
+        ),
+    )
     host, port = server.server_address[0], server.server_address[1]
+    access_note = f", access log: {args.access_log}" if args.access_log else ""
     # Flushed immediately so wrappers (CI smoke, tests) can scrape the
     # chosen port even when --port 0 asked for a free one.
     print(
         f"serving on http://{host}:{port} "
-        f"(store: {db_path}, workers: {args.max_workers})",
+        f"(store: {db_path}, workers: {args.max_workers}{access_note})",
         flush=True,
     )
     try:
@@ -1223,12 +1330,29 @@ def _cmd_jobs(args) -> int:
                     file=sys.stderr,
                 )
 
-            job = client.wait(
-                args.job_id,
-                timeout=args.timeout,
-                poll_s=args.poll,
-                on_progress=_print_progress if args.progress else None,
-            )
+            if args.stream:
+                def _print_stream_progress(progress: dict) -> None:
+                    print(
+                        f"{args.job_id}: {progress.get('state', '?')} "
+                        f"({progress.get('measurements', 0)} measurements, "
+                        f"{progress.get('events', 0)} events)",
+                        file=sys.stderr,
+                    )
+
+                job = client.wait_streaming(
+                    args.job_id,
+                    timeout=args.timeout,
+                    on_progress=(
+                        _print_stream_progress if args.progress else None
+                    ),
+                )
+            else:
+                job = client.wait(
+                    args.job_id,
+                    timeout=args.timeout,
+                    poll_s=args.poll,
+                    on_progress=_print_progress if args.progress else None,
+                )
             print(f"{job['job_id']}: {job['state']}")
             return 0 if job["state"] == "completed" else 1
 
@@ -1407,6 +1531,19 @@ def _setup_observability(args) -> None:
             raise SystemExit(f"cannot open trace file: {exc}")
         if args.progress:
             obs.OBS.bus.subscribe(obs.FarmProgressReporter())
+        # Launched by the characterization service on behalf of an HTTP
+        # request: stamp that request's id into the trace as the very
+        # first event, so access log, job row and trace join on it.
+        import os
+
+        request_id = os.environ.get("REPRO_REQUEST_ID", "")
+        if request_id and obs.OBS.enabled:
+            obs.OBS.bus.emit(
+                obs.RequestContext(
+                    request_id=request_id,
+                    job_id=os.environ.get("REPRO_JOB_ID", ""),
+                )
+            )
 
 
 def _record_run(args, wall_s: float) -> None:

@@ -77,6 +77,7 @@ from repro.obs.events import (
     NNEpoch,
     NNVote,
     ProfileRecorded,
+    RequestContext,
     ResourceSample,
     RingBufferSink,
     SearchConverged,
@@ -92,6 +93,25 @@ from repro.obs.events import (
     known_event_types,
     set_trace_context,
     trace_context,
+)
+from repro.obs.alerts import (
+    AlertResult,
+    AlertRule,
+    AlertRuleError,
+    DEFAULT_RULES,
+    evaluate_rules,
+    parse_rule,
+    render_results,
+    store_samples,
+    worst_level,
+)
+from repro.obs.exposition import (
+    ExpositionError,
+    Sample,
+    find_sample,
+    parse_exposition,
+    render_exposition,
+    sanitize_metric_name,
 )
 from repro.obs.history import (
     RunComparison,
@@ -157,10 +177,15 @@ from repro.obs.timeline import build_chrome_trace, write_chrome_trace
 from repro.obs.timing import span, timed
 
 __all__ = [
+    "AlertResult",
+    "AlertRule",
+    "AlertRuleError",
     "CampaignPhase",
     "Counter",
+    "DEFAULT_RULES",
     "DEFAULT_SPOOL_CAPACITY",
     "Event",
+    "ExpositionError",
     "EventBus",
     "FarmCheckpointDropped",
     "FarmCollector",
@@ -189,6 +214,7 @@ __all__ = [
     "ProfileRecorded",
     "ProfileSession",
     "ProfileSummary",
+    "RequestContext",
     "ResourceSample",
     "ResourceSampler",
     "RingBufferSink",
@@ -196,6 +222,7 @@ __all__ = [
     "RunHistory",
     "RunInsight",
     "SUTPAudit",
+    "Sample",
     "SUTPAuditRow",
     "SUTPFallback",
     "SUTPTestMeasured",
@@ -228,31 +255,40 @@ __all__ = [
     "current_trace_context",
     "disable",
     "enable",
+    "evaluate_rules",
+    "find_sample",
     "insight_events",
     "known_event_types",
     "load_trace",
+    "parse_exposition",
+    "parse_rule",
     "per_test_measurement_counts",
     "process_cpu_seconds",
     "profile_summary_data",
     "read_resource_sample",
     "read_trace",
+    "render_exposition",
     "render_insight",
     "render_metrics_summary",
     "render_profile",
+    "render_results",
     "render_slowest",
     "render_trace_cost_profile",
     "render_trace_summary",
     "render_worker_utilization",
     "reset",
     "run_unit_captured",
+    "sanitize_metric_name",
     "set_trace_context",
     "span",
     "start_profiling",
     "stop_profiling",
+    "store_samples",
     "timed",
     "trace_context",
     "trace_summary_data",
     "worker_utilization",
+    "worst_level",
     "write_chrome_trace",
     "write_folded",
 ]

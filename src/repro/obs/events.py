@@ -345,6 +345,24 @@ class ProfileRecorded(Event):
 
 
 @dataclass(frozen=True)
+class RequestContext(Event):
+    """The HTTP request that caused this run, stamped into its trace.
+
+    Emitted once, at trace setup, when the process was launched by the
+    characterization service on behalf of an HTTP request (the runner
+    exports ``REPRO_REQUEST_ID``/``REPRO_JOB_ID`` into the job
+    subprocess).  It is the join key of the operational story: the
+    service's access log, the job row in the store, and the job's trace
+    all carry the same ``request_id``.
+    """
+
+    type: ClassVar[str] = "request_context"
+
+    request_id: str
+    job_id: str = ""
+
+
+@dataclass(frozen=True)
 class CampaignPhase(Event):
     """Start/end of a named campaign phase (``duration_s`` on end)."""
 

@@ -41,7 +41,7 @@ from repro.service.spec import (
     LOG_FILENAME,
     TRACE_FILENAME,
 )
-from repro.store.db import ResultStore
+from repro.store.db import JOB_STATES, ResultStore
 
 
 @dataclass
@@ -84,6 +84,15 @@ class SubprocessJobRunner:
         env["PYTHONPATH"] = (
             src_root + os.pathsep + existing if existing else src_root
         )
+        # Correlation: the child's trace setup emits a request_context
+        # event from these, joining the trace to the access log and the
+        # job row (see repro.obs.events.RequestContext).
+        env["REPRO_JOB_ID"] = job_id
+        request_id = str(job.get("request_id") or "")
+        if request_id:
+            env["REPRO_REQUEST_ID"] = request_id
+        else:
+            env.pop("REPRO_REQUEST_ID", None)
         log_path = job_dir / LOG_FILENAME
         with log_path.open("w") as log:
             process = subprocess.Popen(
@@ -185,15 +194,23 @@ class JobManager:
 
     # -- submission / cancellation ---------------------------------------------
 
-    def submit(self, spec: JobSpec) -> Dict[str, object]:
-        """Persist and enqueue one job; returns its store row."""
+    def submit(
+        self, spec: JobSpec, request_id: str = ""
+    ) -> Dict[str, object]:
+        """Persist and enqueue one job; returns its store row.
+
+        ``request_id`` (when the submission came over HTTP) is stamped
+        onto the job row and exported into the job subprocess, so the
+        access log, the store and the job's trace stay joinable.
+        """
         with self._lock:
             job_id = f"job-{self._next_index:04d}"
             self._next_index += 1
             job_dir = self.data_dir / "jobs" / job_id
             job_dir.mkdir(parents=True, exist_ok=True)
             job = self.store.create_job(
-                job_id, spec.to_payload(), job_dir=str(job_dir)
+                job_id, spec.to_payload(), job_dir=str(job_dir),
+                request_id=request_id,
             )
             self._done[job_id] = threading.Event()
         self._queue.put(job_id)
@@ -255,6 +272,14 @@ class JobManager:
 
     def jobs(self) -> List[Dict[str, object]]:
         return self.store.list_jobs()
+
+    def state_tally(self) -> Dict[str, int]:
+        """Job counts by state (states with zero jobs included)."""
+        tally = {state: 0 for state in JOB_STATES}
+        for job in self.store.list_jobs():
+            state = str(job["state"])
+            tally[state] = tally.get(state, 0) + 1
+        return tally
 
     def progress(self, job_id: str) -> Dict[str, object]:
         """Live progress from the job's trace (empty dict before start)."""

@@ -15,6 +15,55 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 
+class ProgressTally:
+    """Incremental form of :func:`job_progress`.
+
+    Feed it parsed trace records one at a time (:meth:`add`) and read the
+    same progress dict at any point (:meth:`as_dict`).  The SSE stream
+    handler uses this to keep live progress while *tailing* a trace —
+    one pass over each line ever, instead of re-scanning the whole file
+    per poll.
+    """
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.measurements = 0
+        self.units_total = 0
+        self.units_done = 0
+        self.units_skipped = 0
+        self._phase_stack: List[str] = []
+
+    def add(self, record: Dict[str, object]) -> None:
+        """Fold one parsed trace record into the tally."""
+        self.events += 1
+        kind = record.get("type")
+        if kind == "measurement":
+            self.measurements += 1
+        elif kind == "farm_run_started":
+            self.units_total += int(record.get("units", 0) or 0)
+        elif kind == "farm_unit_completed":
+            self.units_done += 1
+        elif kind == "farm_unit_skipped":
+            self.units_skipped += 1
+        elif kind == "campaign_phase":
+            phase = str(record.get("phase", "") or "")
+            if record.get("status") == "start":
+                self._phase_stack.append(phase)
+            elif self._phase_stack and self._phase_stack[-1] == phase:
+                self._phase_stack.pop()
+
+    def as_dict(self) -> Dict[str, object]:
+        """The progress dict ``GET /jobs/{id}`` returns."""
+        return {
+            "events": self.events,
+            "measurements": self.measurements,
+            "units_total": self.units_total,
+            "units_done": self.units_done,
+            "units_skipped": self.units_skipped,
+            "phase": self._phase_stack[-1] if self._phase_stack else None,
+        }
+
+
 def job_progress(trace_path: Union[str, Path]) -> Dict[str, object]:
     """Roll a (possibly still growing) trace up into progress numbers.
 
@@ -25,42 +74,14 @@ def job_progress(trace_path: Union[str, Path]) -> Dict[str, object]:
     after the last one closes).
     """
     path = Path(trace_path)
-    events = 0
-    measurements = 0
-    units_total = 0
-    units_done = 0
-    units_skipped = 0
-    phase_stack: List[str] = []
+    tally = ProgressTally()
     if path.exists():
         with path.open("r", encoding="utf-8") as handle:
             for line in handle:
                 record = _parse(line)
-                if record is None:
-                    continue
-                events += 1
-                kind = record.get("type")
-                if kind == "measurement":
-                    measurements += 1
-                elif kind == "farm_run_started":
-                    units_total += int(record.get("units", 0) or 0)
-                elif kind == "farm_unit_completed":
-                    units_done += 1
-                elif kind == "farm_unit_skipped":
-                    units_skipped += 1
-                elif kind == "campaign_phase":
-                    phase = str(record.get("phase", "") or "")
-                    if record.get("status") == "start":
-                        phase_stack.append(phase)
-                    elif phase_stack and phase_stack[-1] == phase:
-                        phase_stack.pop()
-    return {
-        "events": events,
-        "measurements": measurements,
-        "units_total": units_total,
-        "units_done": units_done,
-        "units_skipped": units_skipped,
-        "phase": phase_stack[-1] if phase_stack else None,
-    }
+                if record is not None:
+                    tally.add(record)
+    return tally.as_dict()
 
 
 def read_events_page(
@@ -96,6 +117,50 @@ def read_events_page(
                 else:
                     events.append(record)
     return events, offset + consumed, malformed
+
+
+def read_numbered_events(
+    trace_path: Union[str, Path],
+    offset: int = 0,
+    limit: int = 500,
+    complete_lines_only: bool = False,
+) -> Tuple[List[Tuple[int, Dict[str, object]]], int, int]:
+    """Like :func:`read_events_page`, but each event carries its line id.
+
+    Returns ``(numbered, next_offset, malformed)`` where ``numbered``
+    pairs each event with the 1-based number of the trace line it came
+    from.  The SSE stream uses that number as the frame's ``id:`` field,
+    so a client reconnecting with ``Last-Event-ID: N`` resumes at
+    ``offset=N`` without replaying or skipping events — offsets and ids
+    share the same unit (file lines consumed).
+
+    With ``complete_lines_only`` a final line missing its newline is
+    left *unconsumed* (not counted in ``next_offset``): it is the event
+    in flight, and a tailing reader must pick it up whole on the next
+    poll instead of skipping its truncated half as malformed.
+    """
+    path = Path(trace_path)
+    numbered: List[Tuple[int, Dict[str, object]]] = []
+    malformed = 0
+    consumed = 0
+    if limit < 1:
+        return numbered, offset, malformed
+    if path.exists():
+        with path.open("r", encoding="utf-8") as handle:
+            for number, line in enumerate(handle):
+                if number < offset:
+                    continue
+                if consumed >= limit:
+                    break
+                if complete_lines_only and not line.endswith("\n"):
+                    break
+                consumed += 1
+                record = _parse(line)
+                if record is None:
+                    malformed += 1
+                else:
+                    numbered.append((number + 1, record))
+    return numbered, offset + consumed, malformed
 
 
 def _parse(line: str) -> Optional[Dict[str, object]]:

@@ -277,16 +277,17 @@ class ResultStore:
         spec: Dict[str, object],
         job_dir: str = "",
         state: str = "queued",
+        request_id: str = "",
     ) -> Dict[str, object]:
         """Insert a new job row; returns it as a dict."""
         if state not in JOB_STATES:
             raise ValueError(f"unknown job state {state!r}")
         with self._connect() as conn:
             conn.execute(
-                "INSERT INTO jobs (job_id, state, spec, created_ts, job_dir) "
-                "VALUES (?, ?, ?, ?, ?)",
+                "INSERT INTO jobs (job_id, state, spec, created_ts, job_dir, "
+                "request_id) VALUES (?, ?, ?, ?, ?, ?)",
                 (job_id, state, json.dumps(spec, sort_keys=True),
-                 time.time(), job_dir),
+                 time.time(), job_dir, request_id),
             )
         job = self.get_job(job_id)
         assert job is not None
@@ -296,7 +297,7 @@ class ResultStore:
         """Update job columns (``state``, ``started_ts``, ``error``, ...)."""
         allowed = {
             "state", "started_ts", "finished_ts", "exit_code", "error",
-            "job_dir",
+            "job_dir", "request_id",
         }
         unknown = set(fields) - allowed
         if unknown:
@@ -401,13 +402,13 @@ class ResultStore:
 
 _JOB_COLUMNS = (
     "job_id, state, spec, created_ts, started_ts, finished_ts, "
-    "exit_code, error, job_dir"
+    "exit_code, error, job_dir, request_id"
 )
 
 
 def _job_row_to_dict(row) -> Dict[str, object]:
     (job_id, state, spec, created_ts, started_ts, finished_ts, exit_code,
-     error, job_dir) = row
+     error, job_dir, request_id) = row
     return {
         "job_id": job_id,
         "state": state,
@@ -418,6 +419,7 @@ def _job_row_to_dict(row) -> Dict[str, object]:
         "exit_code": exit_code,
         "error": error,
         "job_dir": job_dir,
+        "request_id": request_id,
     }
 
 

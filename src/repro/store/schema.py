@@ -31,7 +31,7 @@ from __future__ import annotations
 import sqlite3
 from typing import List, Sequence
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: DDL for a fresh version-1 database.
 SCHEMA_V1: Sequence[str] = (
@@ -96,9 +96,15 @@ SCHEMA_V1: Sequence[str] = (
     """,
 )
 
+#: Version 1 -> 2: the service stamps the submitting HTTP request's id
+#: onto the job row, joining it to the access log and the job's trace.
+SCHEMA_V2: Sequence[str] = (
+    "ALTER TABLE jobs ADD COLUMN request_id TEXT NOT NULL DEFAULT ''",
+)
+
 #: ``MIGRATIONS[n]`` is the statement list taking version n -> n + 1.
 #: Version 0 means "empty database": the fresh-create path.
-MIGRATIONS: List[Sequence[str]] = [SCHEMA_V1]
+MIGRATIONS: List[Sequence[str]] = [SCHEMA_V1, SCHEMA_V2]
 
 
 def schema_version(conn: sqlite3.Connection) -> int:

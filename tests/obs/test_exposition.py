@@ -1,0 +1,211 @@
+"""Prometheus text-format rendering, parsing, and quantile edges."""
+
+import math
+
+import pytest
+
+from repro.obs.exposition import (
+    ExpositionError,
+    escape_label_value,
+    find_sample,
+    format_value,
+    parse_exposition,
+    render_exposition,
+    sanitize_metric_name,
+)
+from repro.obs.metrics import (
+    DEFAULT_RESERVOIR_SIZE,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestHistogramQuantileEdges:
+    def test_empty_histogram_quantiles_are_nan(self):
+        histogram = Histogram("empty")
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert math.isnan(histogram.quantile(q))
+
+    def test_single_observation_is_every_quantile(self):
+        histogram = Histogram("one")
+        histogram.observe(42.0)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert histogram.quantile(q) == 42.0
+
+    def test_reservoir_full_quantiles_stay_in_observed_range(self):
+        histogram = Histogram("full")
+        observations = 4 * DEFAULT_RESERVOIR_SIZE
+        for i in range(observations):
+            histogram.observe(float(i))
+        # the reservoir saturated: count reflects every observation...
+        assert histogram.count == observations
+        assert len(histogram._reservoir) == DEFAULT_RESERVOIR_SIZE
+        # ...and quantiles are drawn from sampled-but-real values
+        p50 = histogram.quantile(0.5)
+        assert 0.0 <= p50 <= float(observations - 1)
+        assert histogram.quantile(0.05) <= p50 <= histogram.quantile(0.95)
+        # exact extremes survive saturation (tracked outside the sample)
+        assert histogram.min == 0.0
+        assert histogram.max == float(observations - 1)
+
+    def test_reservoir_sampling_is_seeded_and_deterministic(self):
+        def build():
+            histogram = Histogram("det")
+            for i in range(3 * DEFAULT_RESERVOIR_SIZE):
+                histogram.observe(float(i))
+            return histogram
+
+        a, b = build(), build()
+        assert a._reservoir == b._reservoir
+        assert a.quantile(0.95) == b.quantile(0.95)
+
+
+class TestNameAndLabelEscaping:
+    def test_dotted_names_become_prometheus_names(self):
+        assert (
+            sanitize_metric_name("ate.measurements")
+            == "repro_ate_measurements"
+        )
+        assert (
+            sanitize_metric_name("span.lot.seconds", prefix="x")
+            == "x_span_lot_seconds"
+        )
+
+    def test_invalid_characters_are_replaced(self):
+        assert (
+            sanitize_metric_name("a-b c/d", prefix="")
+            == "a_b_c_d"
+        )
+
+    def test_leading_digit_gets_a_guard_underscore(self):
+        assert sanitize_metric_name("9lives", prefix="") == "_9lives"
+
+    def test_empty_name_still_yields_a_valid_name(self):
+        assert sanitize_metric_name("", prefix="") == "_"
+
+    def test_label_value_escaping_round_trips_through_the_parser(self):
+        hostile = 'quote:" backslash:\\ newline:\nend'
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(label=hostile)
+        samples = parse_exposition(render_exposition(registry))
+        labelled = [s for s in samples if s.labels]
+        assert len(labelled) == 1
+        assert labelled[0].labels["label"] == hostile
+
+    def test_escape_label_value_covers_the_three_specials(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+
+class TestFormatValue:
+    def test_integers_are_compact(self):
+        assert format_value(3.0) == "3"
+        assert format_value(0) == "0"
+
+    def test_none_and_nan_render_as_nan(self):
+        assert format_value(None) == "NaN"
+        assert format_value(float("nan")) == "NaN"
+
+    def test_infinities(self):
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("-inf")) == "-Inf"
+
+
+class TestRenderParseRoundTrip:
+    def _registry(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ate.measurements")
+        counter.inc(10)
+        counter.inc(5, label="march-c")
+        registry.gauge("jobs.queue_depth").set(3)
+        registry.gauge("never.set")  # None — must not be exported
+        histogram = registry.histogram("http.request_seconds")
+        for value in (0.1, 0.2, 0.3, 0.4):
+            histogram.observe(value)
+        return registry
+
+    def test_registry_renders_to_parseable_exposition(self):
+        samples = parse_exposition(render_exposition(self._registry()))
+        total = find_sample(samples, "repro_ate_measurements_total", {})
+        assert total is not None and total.value == 15.0
+        bucket = find_sample(
+            samples, "repro_ate_measurements_total", {"label": "march-c"}
+        )
+        assert bucket is not None and bucket.value == 5.0
+        gauge = find_sample(samples, "repro_jobs_queue_depth", {})
+        assert gauge is not None and gauge.value == 3.0
+        assert find_sample(samples, "repro_never_set", {}) is None
+        count = find_sample(samples, "repro_http_request_seconds_count", {})
+        assert count is not None and count.value == 4.0
+        p50 = find_sample(
+            samples, "repro_http_request_seconds", {"quantile": "0.5"}
+        )
+        assert p50 is not None and 0.1 <= p50.value <= 0.4
+        # exact extremes ride along as gauges
+        lo = find_sample(samples, "repro_http_request_seconds_min", {})
+        hi = find_sample(samples, "repro_http_request_seconds_max", {})
+        assert lo is not None and lo.value == 0.1
+        assert hi is not None and hi.value == 0.4
+
+    def test_live_registry_exports_p99_snapshot_does_not(self):
+        registry = self._registry()
+        live = parse_exposition(render_exposition(registry))
+        assert (
+            find_sample(
+                live, "repro_http_request_seconds", {"quantile": "0.99"}
+            ).value
+            == 0.4
+        )
+        snap = parse_exposition(render_exposition(registry.snapshot()))
+        p99 = find_sample(
+            snap, "repro_http_request_seconds", {"quantile": "0.99"}
+        )
+        assert p99 is not None and math.isnan(p99.value)
+        p95 = find_sample(
+            snap, "repro_http_request_seconds", {"quantile": "0.95"}
+        )
+        assert p95 is not None and not math.isnan(p95.value)
+
+    def test_empty_histogram_exports_nan_quantiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("empty.seconds")
+        samples = parse_exposition(render_exposition(registry))
+        p50 = find_sample(
+            samples, "repro_empty_seconds", {"quantile": "0.5"}
+        )
+        assert p50 is not None and math.isnan(p50.value)
+        count = find_sample(samples, "repro_empty_seconds_count", {})
+        assert count is not None and count.value == 0.0
+
+
+class TestParserStrictness:
+    def test_rejects_bad_sample_line(self):
+        with pytest.raises(ExpositionError, match="line 1"):
+            parse_exposition("this is not a sample\n")
+
+    def test_rejects_bad_metric_name(self):
+        with pytest.raises(ExpositionError):
+            parse_exposition("9starts_with_digit 1\n")
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(ExpositionError, match="invalid sample value"):
+            parse_exposition("ok_name notanumber\n")
+
+    def test_rejects_malformed_label_pair(self):
+        with pytest.raises(ExpositionError, match="malformed label"):
+            parse_exposition('metric{key=unquoted} 1\n')
+
+    def test_rejects_malformed_type_comment(self):
+        with pytest.raises(ExpositionError, match="malformed TYPE"):
+            parse_exposition("# TYPE 9bad counter\n")
+
+    def test_accepts_blank_lines_and_plain_comments(self):
+        samples = parse_exposition("\n# just a note\nmetric_a 1\n\n")
+        assert [s.name for s in samples] == ["metric_a"]
+
+    def test_special_values_parse(self):
+        samples = parse_exposition("a NaN\nb +Inf\nc -Inf\n")
+        assert math.isnan(samples[0].value)
+        assert samples[1].value == float("inf")
+        assert samples[2].value == float("-inf")
