@@ -37,7 +37,15 @@ Global tester-farm flags (``lot``, ``wafer``, ``sweep``, ``campaign``):
 * ``--workers N`` — shard the campaign over N worker processes
   (results are identical to a serial run for lot/wafer);
 * ``--resume FILE`` — record finished work units to a JSONL checkpoint
-  and skip them when the same command is re-run after an interruption.
+  and skip them when the same command is re-run after an interruption;
+* ``--backend serial|process|remote`` — pick the executor backend
+  explicitly; ``remote`` sends units to a farm broker's socket workers
+  and needs ``--broker HOST:PORT``.
+
+The distributed farm itself (see docs/parallelism.md, "Remote farm")::
+
+    repro-characterize farm-broker [--port 0] [--spool DIR]
+    repro-characterize farm-worker --connect HOST:PORT [--name w1]
 
 The ``obs`` subcommand family inspects what the flags above record::
 
@@ -209,11 +217,38 @@ def _add_farm_arguments(parser, suppress_defaults: bool = False) -> None:
             "them on re-run after an interruption"
         ),
     )
+    group.add_argument(
+        "--backend",
+        choices=("serial", "process", "remote"),
+        default=suppress if suppress_defaults else None,
+        help=(
+            "executor backend (default: process pool when --workers > 1, "
+            "serial otherwise); 'remote' needs --broker"
+        ),
+    )
+    group.add_argument(
+        "--broker",
+        metavar="HOST:PORT",
+        default=suppress if suppress_defaults else None,
+        help="farm broker address for --backend remote",
+    )
 
 
 def _farm_kwargs(args) -> dict:
-    """`workers=`/`checkpoint=` keyword arguments from the parsed flags."""
-    return {"workers": args.workers, "checkpoint": args.resume}
+    """``workers=``/``checkpoint=``/``executor=`` keywords from the flags."""
+    kwargs = {"workers": args.workers, "checkpoint": args.resume}
+    if args.backend:
+        from repro.farm.executor import make_executor
+
+        try:
+            kwargs["executor"] = make_executor(
+                workers=args.workers,
+                backend=args.backend,
+                broker=args.broker,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+    return kwargs
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -533,6 +568,58 @@ def _build_parser() -> argparse.ArgumentParser:
         "(repeatable; default: built-in queue/failure/latency rules)",
     )
 
+    farm_broker = commands.add_parser(
+        "farm-broker",
+        help="run the distributed tester-farm broker (TCP hub)",
+    )
+    farm_broker.add_argument("--host", default="127.0.0.1")
+    farm_broker.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (0 picks a free one; the address is printed)",
+    )
+    farm_broker.add_argument(
+        "--lease-timeout", type=float, default=30.0, metavar="S",
+        help=(
+            "seconds a silent worker may hold a unit before it is "
+            "re-issued (default: 30)"
+        ),
+    )
+    farm_broker.add_argument(
+        "--spool", metavar="DIR",
+        help=(
+            "spool accepted results to per-campaign JSONL files in DIR "
+            "so a restarted broker serves finished units from disk"
+        ),
+    )
+
+    farm_worker = commands.add_parser(
+        "farm-worker",
+        help="run one socket worker against a farm broker",
+    )
+    farm_worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="broker address (printed by farm-broker at startup)",
+    )
+    farm_worker.add_argument(
+        "--name",
+        help="worker name stamped into telemetry (default: host-pid)",
+    )
+    farm_worker.add_argument(
+        "--campaign", metavar="ID",
+        help=(
+            "pin to one campaign id; the broker refuses the join while "
+            "a different campaign is active"
+        ),
+    )
+    farm_worker.add_argument(
+        "--max-units", type=int, default=None, metavar="N",
+        help="exit after completing N units",
+    )
+    farm_worker.add_argument(
+        "--max-idle", type=float, default=None, metavar="S",
+        help="exit after S seconds with nothing to steal",
+    )
+
     _add_service_parsers(commands)
     return parser
 
@@ -572,6 +659,11 @@ def _add_service_parsers(commands) -> None:
         help="queued jobs beyond which /readyz reports 503 "
         "(default: 64)",
     )
+    serve.add_argument(
+        "--broker", metavar="HOST:PORT",
+        help="farm broker handed to jobs that target the remote "
+        "backend; without it such jobs are rejected at submit",
+    )
 
     jobs = commands.add_parser(
         "jobs", help="submit and track jobs on a running service"
@@ -603,6 +695,12 @@ def _add_service_parsers(commands) -> None:
     submit.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="farm workers for the job's campaign (farm commands only)",
+    )
+    submit.add_argument(
+        "--backend", choices=("serial", "process", "remote"),
+        default=None,
+        help="executor backend for the job's campaign (farm commands "
+        "only; 'remote' needs the service to run with --broker)",
     )
     submit.add_argument(
         "--wait", action="store_true",
@@ -812,7 +910,7 @@ def _cmd_screen(args) -> int:
         t.with_condition(NOMINAL_CONDITION)
         for t in RandomTestGenerator(seed=args.seed).batch(args.tests)
     ]
-    if args.workers or args.resume:
+    if args.workers or args.resume or args.backend:
         from repro.core.wcr import run_screen_farm
 
         low, high = characterizer.search_range
@@ -1171,6 +1269,55 @@ def _cmd_obs_alerts(args) -> int:
     return alerts.worst_level(results)
 
 
+def _cmd_farm_broker(args) -> int:
+    from repro.farm.remote import FarmBroker
+
+    logging.basicConfig(
+        level=logging.INFO, format="%(levelname)s %(name)s: %(message)s"
+    )
+    broker = FarmBroker(
+        host=args.host,
+        port=args.port,
+        lease_timeout_s=args.lease_timeout,
+        spool_dir=args.spool,
+    )
+    host, port = broker.start()
+    # Flushed immediately so wrappers (CI smoke, tests) can scrape the
+    # chosen address even when --port 0 asked for a free one.
+    print(f"broker listening on {host}:{port}", flush=True)
+    try:
+        broker.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        broker.shutdown()
+    return 0
+
+
+def _cmd_farm_worker(args) -> int:
+    from repro.farm.remote import WorkerRejected, run_worker
+
+    logging.basicConfig(
+        level=logging.INFO, format="%(levelname)s %(name)s: %(message)s"
+    )
+    try:
+        completed = run_worker(
+            args.connect,
+            name=args.name,
+            campaign=args.campaign,
+            max_units=args.max_units,
+            max_idle_s=args.max_idle,
+        )
+    except WorkerRejected as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("worker interrupted", file=sys.stderr)
+        return 0
+    print(f"worker done: {completed} unit(s) completed")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.service import JobManager, create_server
     from repro.store import ResultStore
@@ -1179,7 +1326,9 @@ def _cmd_serve(args) -> int:
     data_dir.mkdir(parents=True, exist_ok=True)
     db_path = args.db or str(data_dir / "store.db")
     store = ResultStore(db_path)
-    manager = JobManager(store, data_dir, max_workers=args.max_workers)
+    manager = JobManager(
+        store, data_dir, max_workers=args.max_workers, broker=args.broker
+    )
     recovered = manager.recover()
     for job_id in recovered:
         print(
@@ -1281,6 +1430,11 @@ def _cmd_jobs(args) -> int:
                         **(
                             {"workers": args.workers}
                             if args.workers is not None
+                            else {}
+                        ),
+                        **(
+                            {"backend": args.backend}
+                            if args.backend is not None
                             else {}
                         ),
                     }
@@ -1489,11 +1643,16 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "jobs": _cmd_jobs,
     "store": _cmd_store,
+    "farm-broker": _cmd_farm_broker,
+    "farm-worker": _cmd_farm_worker,
 }
 
 #: Commands that never run a campaign in this process: no telemetry
-#: setup/teardown (``serve`` job subprocesses carry their own traces).
-_NO_TELEMETRY_COMMANDS = ("obs", "serve", "jobs", "store")
+#: setup/teardown (``serve`` job subprocesses carry their own traces;
+#: remote workers spool telemetry back to the submitting client).
+_NO_TELEMETRY_COMMANDS = (
+    "obs", "serve", "jobs", "store", "farm-broker", "farm-worker"
+)
 
 
 def _telemetry_requested(args) -> bool:
@@ -1600,10 +1759,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             # Inspection output piped into head/less that closed early.
             sys.stderr.close()
             return 0
-    if (args.workers or args.resume) and args.command not in _FARM_COMMANDS:
+    if (
+        (args.workers or args.resume or args.backend or args.broker)
+        and args.command not in _FARM_COMMANDS
+    ):
         print(
-            f"note: --workers/--resume are ignored by {args.command!r} "
-            f"(honoured by: {', '.join(_FARM_COMMANDS)})",
+            f"note: --workers/--resume/--backend/--broker are ignored by "
+            f"{args.command!r} (honoured by: {', '.join(_FARM_COMMANDS)})",
             file=sys.stderr,
         )
     _setup_observability(args)

@@ -15,16 +15,22 @@ testers at once over a lot.  This package is the second lever:
   trip-point broadcast;
 * :mod:`repro.farm.checkpoint` — JSONL checkpoint store so an
   interrupted lot, wafer or sweep resumes without re-measuring finished
-  units.
+  units;
+* :mod:`repro.farm.remote` — the distributed farm: a TCP broker with
+  work-stealing dispatch, leases and heartbeats, elastic socket workers
+  (``repro farm-worker``) and the :class:`~repro.farm.remote.
+  RemoteExecutor` backend, all behind the same
+  :class:`~repro.farm.executor.ExecutorBackend` contract.
 
 ``LotCharacterizer``, ``EnvironmentalSweep``, ``WaferProber`` and
 ``run_campaign`` accept ``workers=`` / ``executor=`` / ``checkpoint=``;
-the CLI exposes the same as global ``--workers N`` and ``--resume FILE``
-flags.  See ``docs/parallelism.md``.
+the CLI exposes the same as global ``--workers N``, ``--resume FILE``
+and ``--backend/--broker`` flags.  See ``docs/parallelism.md``.
 """
 
 from repro.farm.checkpoint import CheckpointMismatch, CheckpointStore
 from repro.farm.executor import (
+    ExecutorBackend,
     FarmExecutionError,
     ParallelExecutor,
     SerialExecutor,
@@ -42,6 +48,7 @@ __all__ = [
     "CheckpointMismatch",
     "CheckpointStore",
     "CostModel",
+    "ExecutorBackend",
     "FarmExecutionError",
     "ParallelExecutor",
     "RTPBroadcast",

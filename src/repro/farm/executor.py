@@ -46,7 +46,16 @@ from __future__ import annotations
 
 import concurrent.futures
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 from repro.farm.checkpoint import CheckpointStore
 from repro.farm.scheduler import RTPBroadcast, Scheduler
@@ -71,6 +80,36 @@ from repro.obs.runtime import OBS
 #: A unit runner: executes one unit, returns its outcome.  Must be a
 #: module-level callable so the process pool can pickle it by reference.
 UnitRunner = Callable[[WorkUnit], UnitOutcome]
+
+
+@runtime_checkable
+class ExecutorBackend(Protocol):
+    """What every farm backend — serial, process pool, remote — promises.
+
+    A backend executes a batch of work units and returns one
+    :class:`~repro.farm.workunit.WorkResult` per unit **in submission
+    order**, honouring the checkpoint-skip, pilot-RTP-broadcast and
+    telemetry-merge conventions described in this module's docstring.
+    ``name`` identifies the backend in events and traces
+    (``"serial"``/``"parallel"``/``"remote"``).
+
+    The protocol is ``runtime_checkable`` so call sites that accept an
+    ``executor=`` override can validate it with ``isinstance`` without
+    importing a concrete class.
+    """
+
+    name: str
+
+    def run(
+        self,
+        units: Sequence[WorkUnit],
+        runner: "UnitRunner",
+        checkpoint: Optional[CheckpointStore] = None,
+        rtp_broadcast: bool = False,
+        campaign: str = "",
+    ) -> List[WorkResult]:
+        """Execute every unit; results in submission order."""
+        ...
 
 
 class FarmExecutionError(RuntimeError):
@@ -271,7 +310,7 @@ class SerialExecutor(_ExecutorBase):
                     if collector is not None:
                         # Identical capture path to a pool worker, so the
                         # merged trace cannot depend on the worker count.
-                        with collector.capture_unit(unit.key):
+                        with collector.capture_unit(unit.key, attempt=attempt):
                             outcome = runner(unit)
                     else:
                         outcome = runner(unit)
@@ -296,6 +335,7 @@ def _worker_call(
     runner: UnitRunner,
     unit: WorkUnit,
     config: Optional[WorkerCaptureConfig] = None,
+    attempt: int = 1,
 ):
     """Per-unit entry point inside a pool worker.
 
@@ -316,7 +356,9 @@ def _worker_call(
     worker = multiprocessing.current_process().name
     start = time.perf_counter()
     if config is not None and config.capture:
-        outcome, telemetry = run_unit_captured(runner, unit, config, worker)
+        outcome, telemetry = run_unit_captured(
+            runner, unit, config, worker, attempt=attempt
+        )
     else:
         outcome = runner(unit)
         telemetry = None
@@ -389,8 +431,13 @@ class ParallelExecutor(_ExecutorBase):
                         futures.append(
                             (
                                 unit,
+                                # `attempt` rides along so retried units
+                                # stamp attempt=2... on their trace
+                                # context instead of replaying as a
+                                # second attempt=1.
                                 pool.submit(
-                                    _worker_call, runner, unit, config
+                                    _worker_call, runner, unit, config,
+                                    attempt,
                                 ),
                             )
                         )
@@ -446,16 +493,41 @@ class ParallelExecutor(_ExecutorBase):
 
 def make_executor(
     workers: Optional[int] = None,
-    executor: Optional[_ExecutorBase] = None,
+    executor: Optional[ExecutorBackend] = None,
+    backend: Optional[str] = None,
+    broker: Optional[str] = None,
     **kwargs,
-) -> _ExecutorBase:
-    """Resolve the ``workers=`` / ``executor=`` convenience parameters.
+) -> ExecutorBackend:
+    """Resolve the executor convenience parameters to a backend.
 
-    An explicit ``executor`` wins; otherwise ``workers`` > 1 builds a
-    :class:`ParallelExecutor` and anything else a :class:`SerialExecutor`.
+    Precedence:
+
+    1. An explicit ``executor`` instance wins outright.
+    2. ``backend`` names one of ``"serial"``, ``"process"`` or
+       ``"remote"`` (the latter requires ``broker="host:port"``).
+    3. Otherwise ``workers`` > 1 builds a :class:`ParallelExecutor` and
+       anything else a :class:`SerialExecutor` — the historical default.
     """
     if executor is not None:
         return executor
+    if backend:
+        if backend == "remote":
+            # Imported lazily: repro.farm.remote imports this module.
+            from repro.farm.remote.executor import RemoteExecutor
+
+            if not broker:
+                raise ValueError(
+                    "backend 'remote' needs a broker address (HOST:PORT)"
+                )
+            return RemoteExecutor(broker=broker, **kwargs)
+        if backend == "process":
+            return ParallelExecutor(workers=workers or 2, **kwargs)
+        if backend == "serial":
+            return SerialExecutor(**kwargs)
+        raise ValueError(
+            f"unknown farm backend {backend!r}; "
+            f"expected serial, process or remote"
+        )
     if workers is not None and workers > 1:
         return ParallelExecutor(workers=workers, **kwargs)
     return SerialExecutor(**kwargs)

@@ -1,0 +1,702 @@
+"""The farm broker: a TCP hub matching campaign units to socket workers.
+
+One broker serves one campaign at a time (the submitting client owns it
+until it finishes or the client disconnects) and any number of workers,
+which may join and leave at any point:
+
+* **Work-stealing dispatch** — workers *pull*: a ``request`` frame takes
+  the next pending unit, so a fast worker simply asks more often and no
+  static plan can strand a long unit behind a slow host.  The client
+  still submits units in scheduler order (longest-expected-first), which
+  seeds the queue well; after that, completion order is whatever the
+  workers make of it — the client's executor merges deterministically
+  by submission order regardless.
+* **Leases + heartbeats** — every dispatched unit is leased (see
+  :mod:`repro.farm.remote.leases`); workers heartbeat while executing.
+  A lease that expires (worker killed, network gone, heartbeats too
+  slow) re-queues the unit as a new attempt, up to the campaign's
+  ``max_attempts``; exhaustion fails the unit and the client raises the
+  same :class:`~repro.farm.executor.FarmExecutionError` a process pool
+  would.
+* **Duplicate suppression** — results are accepted once per unit,
+  keyed on unit id + attempt bookkeeping in the lease table.  A
+  presumed-dead worker delivering late, or a worker delivering the same
+  frame twice, gets ``ack accepted=false`` and the result is dropped,
+  so a unit can never be double-merged.
+* **Shared result spool** — with a spool directory, accepted results
+  are appended to a per-campaign JSONL file (same torn-line-tolerant
+  discipline as the checkpoint layer).  A restarted broker serves those
+  results straight from the spool when the same campaign is submitted
+  again — any worker can resume any shard, and none of the finished
+  ones re-run.
+
+Pushes to the client happen under a per-campaign send lock from
+whichever thread accepted the result; the client executor is always
+draining its socket, so these sends cannot back up in practice (the
+frames are small and the peer reads eagerly).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import socket
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Tuple, Union
+
+from repro.farm.remote.leases import LeaseTable
+from repro.farm.remote.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+from repro.ioutil import durable_append_line
+
+logger = logging.getLogger("repro.farm.remote")
+
+#: How long an idle worker is told to wait before asking again.
+DEFAULT_POLL_S = 0.25
+
+#: Default lease lifetime; generous against heartbeat jitter, small
+#: enough that a SIGKILLed worker's units re-issue promptly.
+DEFAULT_LEASE_TIMEOUT_S = 30.0
+
+_SPOOL_SCHEMA = 1
+_SPOOL_KIND = "repro.farm.remote.spool"
+
+
+class ResultSpool:
+    """Broker-side shared checkpoint: accepted results, one JSON line each.
+
+    Stores the pickled-outcome payload exactly as it arrived (base64 in
+    JSON) without ever unpickling it — the broker stays agnostic of the
+    domain types inside.  Telemetry is *not* spooled: a spool-restored
+    unit behaves like a checkpoint-skipped one (result present, worker
+    trace absent), which is the existing resume semantics.
+    """
+
+    def __init__(self, path: Union[str, Path], campaign: str) -> None:
+        self.path = Path(path)
+        self.campaign = campaign
+        self._handle = None
+
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """Spooled results keyed by unit key (torn lines dropped)."""
+        results: Dict[str, Dict[str, Any]] = {}
+        if not self.path.exists():
+            return results
+        with self.path.open("r") as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    logger.warning(
+                        "spool %s: dropping corrupt line %d",
+                        self.path, number,
+                    )
+                    continue
+                if payload.get("kind") == _SPOOL_KIND:
+                    continue
+                if "key" in payload and "outcome" in payload:
+                    results[str(payload["key"])] = payload
+        return results
+
+    def record(self, payload: Dict[str, Any]) -> None:
+        """Append one accepted result, fsynced like a checkpoint line."""
+        if self._handle is None or self._handle.closed:
+            is_new = not self.path.exists() or self.path.stat().st_size == 0
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a")
+            if is_new:
+                header = {
+                    "schema": _SPOOL_SCHEMA,
+                    "kind": _SPOOL_KIND,
+                    "campaign": self.campaign,
+                }
+                durable_append_line(
+                    self._handle, json.dumps(header, sort_keys=True)
+                )
+        durable_append_line(
+            self._handle, json.dumps(payload, sort_keys=True)
+        )
+
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+
+
+class _Campaign:
+    """State of the one active campaign: queue, leases, client socket."""
+
+    def __init__(
+        self,
+        campaign_id: str,
+        units: Dict[str, str],
+        order: List[str],
+        runner: str,
+        config: Optional[str],
+        max_attempts: int,
+        lease_timeout_s: float,
+        client: socket.socket,
+        spool: Optional[ResultSpool],
+    ) -> None:
+        self.id = campaign_id
+        self.units = units          # key -> packed WorkUnit
+        self.order = order          # submission order (scheduler's)
+        self.runner = runner
+        self.config = config
+        self.max_attempts = max_attempts
+        self.leases = LeaseTable(lease_timeout_s)
+        self.pending: Deque[str] = deque(order)
+        self.failed: Dict[str, str] = {}
+        self.client = client
+        self.client_lock = threading.Lock()
+        self.client_alive = True
+        self.spool = spool
+        self.reissues = 0
+
+    @property
+    def finished(self) -> bool:
+        return (
+            len(self.leases.completed) + len(self.failed) >= len(self.units)
+        )
+
+    def push(self, frame: Dict[str, Any]) -> None:
+        """Send one frame to the campaign's client (best-effort)."""
+        if not self.client_alive:
+            return
+        try:
+            with self.client_lock:
+                send_frame(self.client, frame)
+        except OSError:
+            self.client_alive = False
+
+
+class FarmBroker:
+    """Accepts client and worker connections; owns the campaign state.
+
+    Parameters
+    ----------
+    host / port:
+        Listen address; port 0 picks a free port (read it back from
+        :attr:`address` after :meth:`start`).
+    lease_timeout_s:
+        Default lease lifetime; a client's ``submit`` may override it
+        per campaign (``lease_s``).
+    poll_s:
+        Back-off told to idle workers, and the granularity of the
+        lease-expiry sweep.
+    spool_dir:
+        Directory for per-campaign result spools (shared checkpoint);
+        ``None`` disables spooling.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
+        poll_s: float = DEFAULT_POLL_S,
+        spool_dir: Union[None, str, Path] = None,
+    ) -> None:
+        if lease_timeout_s <= 0:
+            raise ValueError("lease_timeout_s must be positive")
+        self.host = host
+        self.port = port
+        self.lease_timeout_s = lease_timeout_s
+        self.poll_s = poll_s
+        self.spool_dir = Path(spool_dir) if spool_dir is not None else None
+        self._sock: Optional[socket.socket] = None
+        self._stop = threading.Event()
+        self._lock = threading.RLock()
+        self._campaign: Optional[_Campaign] = None
+        self._threads: List[threading.Thread] = []
+        self._conn_seq = 0
+        self.stats = {
+            "campaigns": 0,
+            "units_dispatched": 0,
+            "units_completed": 0,
+            "units_failed": 0,
+            "units_restored": 0,
+            "reissues": 0,
+            "duplicates_dropped": 0,
+            "stale_heartbeats": 0,
+            "workers_seen": 0,
+            "workers_rejected": 0,
+        }
+
+    # -- lifecycle --------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._sock is None:
+            raise RuntimeError("broker is not started")
+        addr = self._sock.getsockname()
+        return addr[0], addr[1]
+
+    def start(self) -> Tuple[str, int]:
+        """Bind, listen, spawn accept + sweep threads; returns address."""
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.host, self.port))
+        sock.listen(64)
+        sock.settimeout(0.2)
+        self._sock = sock
+        accept = threading.Thread(
+            target=self._accept_loop, name="broker-accept", daemon=True
+        )
+        sweep = threading.Thread(
+            target=self._sweep_loop, name="broker-sweep", daemon=True
+        )
+        self._threads = [accept, sweep]
+        accept.start()
+        sweep.start()
+        return self.address
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` (for the CLI entry point)."""
+        while not self._stop.wait(0.5):
+            pass
+
+    def shutdown(self) -> None:
+        """Stop accepting, drop the campaign, join the service threads."""
+        self._stop.set()
+        with self._lock:
+            campaign = self._campaign
+            self._campaign = None
+        if campaign is not None and campaign.spool is not None:
+            campaign.spool.close()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        if self._sock is not None:
+            self._sock.close()
+
+    def __enter__(self) -> "FarmBroker":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- accept / sweep threads -------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._sock is not None
+        while not self._stop.is_set():
+            try:
+                conn, peer = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with self._lock:
+                self._conn_seq += 1
+                ident = self._conn_seq
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn, peer, ident),
+                name=f"broker-conn-{ident}",
+                daemon=True,
+            )
+            thread.start()
+
+    def _sweep_loop(self) -> None:
+        while not self._stop.is_set():
+            interval = max(0.05, min(self.poll_s, self.lease_timeout_s / 4))
+            if self._stop.wait(interval):
+                return
+            with self._lock:
+                campaign = self._campaign
+                if campaign is None or campaign.finished:
+                    continue
+                for lease in campaign.leases.expire(time.monotonic()):
+                    self._requeue_or_fail(
+                        campaign,
+                        lease.key,
+                        lease.attempt,
+                        f"lease expired after {campaign.leases.timeout_s:g}s "
+                        f"on {lease.worker}",
+                    )
+                self._maybe_finish(campaign)
+
+    # -- connection handling ----------------------------------------------------
+    def _serve_connection(
+        self, conn: socket.socket, peer, ident: int
+    ) -> None:
+        try:
+            try:
+                hello = recv_frame(conn)
+            except ProtocolError:
+                return
+            if hello is None or hello.get("type") != "hello":
+                return
+            if hello.get("version") != PROTOCOL_VERSION:
+                send_frame(conn, {
+                    "type": "reject",
+                    "reason": (
+                        f"protocol version {hello.get('version')!r} != "
+                        f"{PROTOCOL_VERSION}"
+                    ),
+                })
+                return
+            role = hello.get("role")
+            if role == "worker":
+                self._serve_worker(conn, hello, ident)
+            elif role == "client":
+                self._serve_client(conn, hello)
+            else:
+                send_frame(
+                    conn, {"type": "reject", "reason": f"unknown role {role!r}"}
+                )
+        except (OSError, ProtocolError) as exc:
+            logger.debug("connection %d (%s) dropped: %s", ident, peer, exc)
+        finally:
+            conn.close()
+
+    # -- client side ------------------------------------------------------------
+    def _serve_client(self, conn: socket.socket, hello: Dict[str, Any]) -> None:
+        with self._lock:
+            active = self._campaign
+            if (
+                active is not None
+                and not active.finished
+                and active.client_alive
+            ):
+                send_frame(conn, {
+                    "type": "reject",
+                    "reason": (
+                        f"campaign {active.id!r} is still active; "
+                        f"one campaign at a time"
+                    ),
+                })
+                return
+        send_frame(conn, {"type": "welcome", "version": PROTOCOL_VERSION})
+        submit = recv_frame(conn)
+        if submit is None:
+            return
+        if submit.get("type") != "submit":
+            send_frame(conn, {
+                "type": "reject",
+                "reason": f"expected submit, got {submit.get('type')!r}",
+            })
+            return
+        campaign = self._accept_submit(conn, submit)
+        if campaign is None:
+            return
+        try:
+            # The client sends nothing else until the campaign ends; a
+            # frame of None (EOF) or a goodbye means it is gone.  Either
+            # way the campaign dies with its client.
+            while True:
+                frame = recv_frame(conn)
+                if frame is None or frame.get("type") == "goodbye":
+                    return
+        except ProtocolError:
+            return
+        finally:
+            with self._lock:
+                campaign.client_alive = False
+                if self._campaign is campaign:
+                    if not campaign.finished:
+                        logger.warning(
+                            "client for campaign %r disconnected with "
+                            "%d unit(s) unfinished; campaign dropped",
+                            campaign.id,
+                            len(campaign.units)
+                            - len(campaign.leases.completed)
+                            - len(campaign.failed),
+                        )
+                    self._campaign = None
+            if campaign.spool is not None:
+                campaign.spool.close()
+
+    def _spool_for(self, campaign_id: str) -> Optional[ResultSpool]:
+        if self.spool_dir is None:
+            return None
+        digest = hashlib.sha256(campaign_id.encode("utf-8")).hexdigest()[:16]
+        return ResultSpool(
+            self.spool_dir / f"spool-{digest}.jsonl", campaign_id
+        )
+
+    def _accept_submit(
+        self, conn: socket.socket, submit: Dict[str, Any]
+    ) -> Optional[_Campaign]:
+        campaign_id = str(submit.get("campaign") or "farm")
+        raw_units = submit.get("units")
+        if not isinstance(raw_units, list):
+            send_frame(
+                conn, {"type": "reject", "reason": "submit carries no units"}
+            )
+            return None
+        units: Dict[str, str] = {}
+        order: List[str] = []
+        for entry in raw_units:
+            key = str(entry["key"])
+            units[key] = str(entry["unit"])
+            order.append(key)
+        max_attempts = max(1, int(submit.get("max_attempts") or 1))
+        lease_s = float(submit.get("lease_s") or self.lease_timeout_s)
+        spool = self._spool_for(campaign_id)
+        campaign = _Campaign(
+            campaign_id=campaign_id,
+            units=units,
+            order=order,
+            runner=str(submit.get("runner") or ""),
+            config=submit.get("config"),
+            max_attempts=max_attempts,
+            lease_timeout_s=lease_s,
+            client=conn,
+            spool=spool,
+        )
+        restored: List[Dict[str, Any]] = []
+        if spool is not None:
+            for key, payload in spool.load().items():
+                if key in units and key not in campaign.leases.completed:
+                    campaign.leases.completed[key] = int(
+                        payload.get("attempt", 1)
+                    )
+                    restored.append(payload)
+            if restored:
+                done = set(campaign.leases.completed)
+                campaign.pending = deque(
+                    key for key in order if key not in done
+                )
+        with self._lock:
+            self._campaign = campaign
+            self.stats["campaigns"] += 1
+            self.stats["units_restored"] += len(restored)
+        logger.info(
+            "campaign %r accepted: %d unit(s), %d restored from spool",
+            campaign_id, len(units), len(restored),
+        )
+        send_frame(conn, {
+            "type": "accepted",
+            "campaign": campaign_id,
+            "pending": len(campaign.pending),
+            "restored": len(restored),
+        })
+        for payload in restored:
+            campaign.push({
+                "type": "done",
+                "key": payload["key"],
+                "attempt": int(payload.get("attempt", 1)),
+                "worker": str(payload.get("worker", "spool")),
+                "elapsed_s": float(payload.get("elapsed_s", 0.0)),
+                "outcome": payload["outcome"],
+                "telemetry": None,
+                "restored": True,
+            })
+        with self._lock:
+            self._maybe_finish(campaign)
+        return campaign
+
+    # -- worker side ------------------------------------------------------------
+    def _serve_worker(
+        self, conn: socket.socket, hello: Dict[str, Any], ident: int
+    ) -> None:
+        name = str(hello.get("worker") or f"worker-{ident}")
+        pin = hello.get("campaign")
+        worker_id = f"{name}#{ident}"
+        with self._lock:
+            active = self._campaign
+            if (
+                pin
+                and active is not None
+                and not active.finished
+                and active.id != pin
+            ):
+                self.stats["workers_rejected"] += 1
+                send_frame(conn, {
+                    "type": "reject",
+                    "reason": (
+                        f"stale campaign {pin!r}; the active campaign is "
+                        f"{active.id!r}"
+                    ),
+                })
+                return
+            self.stats["workers_seen"] += 1
+        send_frame(conn, {"type": "welcome", "version": PROTOCOL_VERSION})
+        logger.info("worker %s connected", worker_id)
+        try:
+            while not self._stop.is_set():
+                frame = recv_frame(conn)
+                if frame is None or frame.get("type") == "goodbye":
+                    return
+                kind = frame.get("type")
+                if kind == "request":
+                    send_frame(conn, self._next_unit(worker_id, name, pin))
+                elif kind == "result":
+                    send_frame(conn, self._take_result(worker_id, name, frame))
+                elif kind == "heartbeat":
+                    self._take_heartbeat(worker_id, frame)
+                # unknown frame types are ignored (forward compatibility)
+        finally:
+            self._release_worker(worker_id)
+            logger.info("worker %s disconnected", worker_id)
+
+    def _next_unit(
+        self, worker_id: str, name: str, pin: Optional[str]
+    ) -> Dict[str, Any]:
+        with self._lock:
+            campaign = self._campaign
+            if (
+                campaign is None
+                or campaign.finished
+                or (pin and campaign.id != pin)
+                or not campaign.pending
+            ):
+                return {"type": "idle", "poll_s": self.poll_s}
+            key = campaign.pending.popleft()
+            lease = campaign.leases.issue(key, worker_id, time.monotonic())
+            self.stats["units_dispatched"] += 1
+            frame = {
+                "type": "unit",
+                "campaign": campaign.id,
+                "key": key,
+                "attempt": lease.attempt,
+                "unit": campaign.units[key],
+                "runner": campaign.runner,
+                "config": campaign.config,
+                "lease_s": campaign.leases.timeout_s,
+            }
+        campaign.push({
+            "type": "leased",
+            "key": key,
+            "attempt": lease.attempt,
+            "worker": name,
+        })
+        return frame
+
+    def _take_result(
+        self, worker_id: str, name: str, frame: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        key = str(frame.get("key"))
+        attempt = int(frame.get("attempt") or 0)
+        with self._lock:
+            campaign = self._campaign
+            if campaign is None or key not in campaign.units:
+                return {
+                    "type": "ack", "accepted": False,
+                    "reason": "no active campaign for this unit",
+                }
+            if not frame.get("ok"):
+                released = campaign.leases.release(key, attempt)
+                if released is None:
+                    # the lease already expired and was handled
+                    return {
+                        "type": "ack", "accepted": False,
+                        "reason": "attempt is no longer leased",
+                    }
+                self._requeue_or_fail(
+                    campaign, key, attempt,
+                    str(frame.get("error") or "unit runner failed"),
+                )
+                self._maybe_finish(campaign)
+                return {"type": "ack", "accepted": True}
+            if not campaign.leases.complete(key, attempt):
+                self.stats["duplicates_dropped"] += 1
+                return {
+                    "type": "ack", "accepted": False,
+                    "reason": "duplicate delivery suppressed",
+                }
+            # A late result can race its own re-issue: the unit may be
+            # back in pending (expired, not yet re-leased).  Completing
+            # it must also pull it from the queue or a worker would run
+            # a completed unit.
+            if key in campaign.pending:
+                campaign.pending.remove(key)
+            campaign.failed.pop(key, None)
+            self.stats["units_completed"] += 1
+            payload = {
+                "key": key,
+                "attempt": attempt,
+                "worker": name,
+                "elapsed_s": float(frame.get("elapsed_s") or 0.0),
+                "outcome": str(frame.get("outcome")),
+            }
+            if campaign.spool is not None:
+                try:
+                    campaign.spool.record(payload)
+                except OSError as exc:
+                    logger.warning("spool write failed: %s", exc)
+        campaign.push({
+            "type": "done",
+            "key": key,
+            "attempt": attempt,
+            "worker": name,
+            "elapsed_s": payload["elapsed_s"],
+            "outcome": payload["outcome"],
+            "telemetry": frame.get("telemetry"),
+        })
+        with self._lock:
+            self._maybe_finish(campaign)
+        return {"type": "ack", "accepted": True}
+
+    def _take_heartbeat(self, worker_id: str, frame: Dict[str, Any]) -> None:
+        with self._lock:
+            campaign = self._campaign
+            if campaign is None:
+                return
+            extended = campaign.leases.heartbeat(
+                str(frame.get("key")),
+                int(frame.get("attempt") or 0),
+                worker_id,
+                time.monotonic(),
+            )
+            if not extended:
+                self.stats["stale_heartbeats"] += 1
+
+    def _release_worker(self, worker_id: str) -> None:
+        with self._lock:
+            campaign = self._campaign
+            if campaign is None:
+                return
+            for lease in campaign.leases.release_worker(worker_id):
+                self._requeue_or_fail(
+                    campaign, lease.key, lease.attempt,
+                    f"worker {lease.worker} disconnected",
+                )
+            self._maybe_finish(campaign)
+
+    # -- shared campaign bookkeeping (call with the lock held) -----------------
+    def _requeue_or_fail(
+        self, campaign: _Campaign, key: str, attempt: int, reason: str
+    ) -> None:
+        if key in campaign.leases.completed or key in campaign.failed:
+            return
+        if campaign.leases.attempts.get(key, 0) >= campaign.max_attempts:
+            campaign.failed[key] = reason
+            self.stats["units_failed"] += 1
+            campaign.push({"type": "unit_failed", "key": key, "reason": reason})
+            return
+        campaign.pending.append(key)
+        campaign.reissues += 1
+        self.stats["reissues"] += 1
+        campaign.push({
+            "type": "retry", "key": key, "attempt": attempt, "reason": reason,
+        })
+
+    def _maybe_finish(self, campaign: _Campaign) -> None:
+        if not campaign.finished or getattr(campaign, "_announced", False):
+            return
+        campaign._announced = True
+        campaign.push({
+            "type": "campaign_done",
+            "campaign": campaign.id,
+            "completed": len(campaign.leases.completed),
+            "failed": sorted(campaign.failed),
+            "duplicates_dropped": campaign.leases.duplicates,
+            "reissues": campaign.reissues,
+        })
+        logger.info(
+            "campaign %r finished: %d completed, %d failed, %d reissue(s)",
+            campaign.id, len(campaign.leases.completed),
+            len(campaign.failed), campaign.reissues,
+        )

@@ -1,0 +1,157 @@
+"""Lease bookkeeping: who is running what, until when, which attempt.
+
+The broker hands every dispatched unit out under a **lease**: worker
+``w`` owns unit ``k``'s attempt ``n`` until ``deadline``.  Heartbeats
+extend the deadline; a lease that reaches its deadline without a result
+is *expired* — the unit is re-issued to whichever worker asks next, as
+a new attempt.  The table is the single source of truth for the three
+races worker churn creates:
+
+* **late result** — the unit was re-issued, then the presumed-dead
+  worker delivers after all.  First accepted result wins; every later
+  delivery (same or different attempt) is suppressed and counted, so a
+  unit can never be merged twice.
+* **late heartbeat** — a heartbeat for an attempt that is no longer
+  leased (expired, re-issued, or already complete) is refused and
+  counted rather than resurrecting a stale lease.
+* **completion at expiry** — whichever of ``complete`` and ``expire``
+  runs first wins atomically (the caller holds one lock around the
+  table); the loser sees the key gone and does nothing.
+
+The table is pure bookkeeping — no threads, no clock of its own.  The
+broker passes ``now`` explicitly, which is also what makes the chaos
+edge cases (a result landing exactly at the deadline) unit-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Lease:
+    """One outstanding dispatch: unit ``key``, attempt ``attempt``,
+    owned by ``worker`` until ``deadline``."""
+
+    key: str
+    attempt: int
+    worker: str
+    issued_ts: float
+    deadline: float
+
+
+class LeaseTable:
+    """Per-campaign lease state with duplicate/stale accounting.
+
+    Parameters
+    ----------
+    timeout_s:
+        Lease lifetime granted at issue and on every heartbeat.
+    """
+
+    def __init__(self, timeout_s: float) -> None:
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        self.timeout_s = timeout_s
+        self.leases: Dict[str, Lease] = {}
+        #: Total dispatches per unit key (1 = first issue).
+        self.attempts: Dict[str, int] = {}
+        #: Accepted attempt per completed unit key.
+        self.completed: Dict[str, int] = {}
+        self.duplicates = 0
+        self.stale_heartbeats = 0
+
+    # -- dispatch ---------------------------------------------------------------
+    def issue(self, key: str, worker: str, now: float) -> Lease:
+        """Lease ``key`` to ``worker``; increments the attempt counter."""
+        if key in self.completed:
+            raise ValueError(f"unit {key!r} is already complete")
+        if key in self.leases:
+            raise ValueError(f"unit {key!r} is already leased")
+        attempt = self.attempts.get(key, 0) + 1
+        self.attempts[key] = attempt
+        lease = Lease(
+            key=key,
+            attempt=attempt,
+            worker=worker,
+            issued_ts=now,
+            deadline=now + self.timeout_s,
+        )
+        self.leases[key] = lease
+        return lease
+
+    # -- keep-alive -------------------------------------------------------------
+    def heartbeat(
+        self, key: str, attempt: int, worker: str, now: float
+    ) -> bool:
+        """Extend the lease; ``False`` (and counted) when stale.
+
+        A heartbeat is stale when the unit already completed, is no
+        longer leased, or the lease belongs to a different attempt or
+        worker — i.e. the unit was re-issued while the heartbeat was in
+        flight.  Stale heartbeats never extend anything.
+        """
+        lease = self.leases.get(key)
+        if (
+            key in self.completed
+            or lease is None
+            or lease.attempt != attempt
+            or lease.worker != worker
+        ):
+            self.stale_heartbeats += 1
+            return False
+        lease.deadline = now + self.timeout_s
+        return True
+
+    # -- completion -------------------------------------------------------------
+    def complete(self, key: str, attempt: int) -> bool:
+        """Accept a delivered result; ``False`` for duplicates.
+
+        First result wins regardless of attempt number (unit outcomes
+        are deterministic functions of the unit's derived seed, so any
+        attempt's result is *the* result).  Every later delivery for the
+        same key — the re-issued attempt finishing after the original,
+        or a worker delivering the same frame twice — is suppressed.
+        """
+        if key in self.completed:
+            self.duplicates += 1
+            return False
+        self.completed[key] = attempt
+        self.leases.pop(key, None)
+        return True
+
+    # -- expiry / churn ---------------------------------------------------------
+    def expire(self, now: float) -> List[Lease]:
+        """Pop and return every lease whose deadline has passed."""
+        expired = [
+            lease for lease in self.leases.values() if lease.deadline <= now
+        ]
+        for lease in expired:
+            del self.leases[lease.key]
+        return expired
+
+    def release_worker(self, worker: str) -> List[Lease]:
+        """Pop and return the leases a departing worker still holds."""
+        dropped = [
+            lease for lease in self.leases.values() if lease.worker == worker
+        ]
+        for lease in dropped:
+            del self.leases[lease.key]
+        return dropped
+
+    def release(self, key: str, attempt: int) -> Optional[Lease]:
+        """Pop the lease for a failed attempt (worker reported an error).
+
+        Returns the lease, or ``None`` when the attempt is no longer
+        current (already expired and re-issued).
+        """
+        lease = self.leases.get(key)
+        if lease is None or lease.attempt != attempt:
+            return None
+        del self.leases[key]
+        return lease
+
+    def active(self) -> int:
+        """Number of outstanding leases."""
+        return len(self.leases)

@@ -88,6 +88,9 @@ class WorkerTelemetry:
     events: List[Dict[str, object]] = field(default_factory=list)
     metrics: Dict[str, object] = field(default_factory=dict)
     dropped_events: int = 0
+    #: Which dispatch produced this capture (1 = first try); retried
+    #: units ship attempt=2... so merged traces distinguish attempts.
+    attempt: int = 1
 
 
 class SpoolSink:
@@ -137,10 +140,15 @@ class UnitCapture:
     """
 
     def __init__(
-        self, config: WorkerCaptureConfig, unit_key: str, worker: str
+        self,
+        config: WorkerCaptureConfig,
+        unit_key: str,
+        worker: str,
+        attempt: int = 1,
     ) -> None:
         self.unit_key = unit_key
         self.worker = worker
+        self.attempt = attempt
         self.spool = SpoolSink(config.spool_capacity)
         self._saved_enabled = OBS.enabled
         self._saved_bus = OBS.bus
@@ -152,7 +160,10 @@ class UnitCapture:
         OBS.metrics = MetricsRegistry(keep_raw=True)
         OBS.enabled = True
         set_trace_context(
-            trace_id=config.trace_id, span_id=unit_key, worker=worker
+            trace_id=config.trace_id,
+            span_id=unit_key,
+            worker=worker,
+            attempt=attempt,
         )
         # Per-unit profiling: the session starts *after* the switchboard
         # swap, so it binds the spool bus — its profile/resource events
@@ -175,6 +186,7 @@ class UnitCapture:
             events=self.spool.events,
             metrics=OBS.metrics.dump_raw(),
             dropped_events=self.spool.dropped,
+            attempt=self.attempt,
         )
         self._restore()
         return telemetry
@@ -198,14 +210,21 @@ class UnitCapture:
             clear_trace_context()
 
 
-def run_unit_captured(runner, unit, config: WorkerCaptureConfig, worker: str):
+def run_unit_captured(
+    runner,
+    unit,
+    config: WorkerCaptureConfig,
+    worker: str,
+    attempt: int = 1,
+):
     """Execute ``runner(unit)`` under a worker-side capture.
 
     Returns ``(outcome, telemetry)``.  On an exception the capture is
     discarded and the error propagates (the parent counts the attempt as
-    failed either way).
+    failed either way).  ``attempt`` stamps the trace context so a
+    retry's events are distinguishable from the first try's.
     """
-    capture = UnitCapture(config, unit.key, worker)
+    capture = UnitCapture(config, unit.key, worker, attempt=attempt)
     try:
         outcome = runner(unit)
     except BaseException:
@@ -252,9 +271,13 @@ class FarmCollector:
         )
 
     @contextmanager
-    def capture_unit(self, unit_key: str, worker: str = "serial") -> Iterator[None]:
+    def capture_unit(
+        self, unit_key: str, worker: str = "serial", attempt: int = 1
+    ) -> Iterator[None]:
         """Serial-executor scope: capture one in-process unit run."""
-        capture = UnitCapture(self.worker_config(), unit_key, worker)
+        capture = UnitCapture(
+            self.worker_config(), unit_key, worker, attempt=attempt
+        )
         try:
             yield
         except BaseException:

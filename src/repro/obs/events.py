@@ -37,15 +37,22 @@ logger = logging.getLogger("repro.obs")
 #: unit execution — in the parent *and* inside worker processes — so every
 #: serialized event can be attributed to the campaign and unit that
 #: produced it, across process boundaries.
-_TRACE_CONTEXT: Optional[Dict[str, str]] = None
+_TRACE_CONTEXT: Optional[Dict[str, object]] = None
 
 
 def set_trace_context(
     trace_id: Optional[str] = None,
     span_id: Optional[str] = None,
     worker: Optional[str] = None,
+    attempt: Optional[int] = None,
 ) -> None:
-    """Install the current trace context (``None`` fields are omitted)."""
+    """Install the current trace context (``None`` fields are omitted).
+
+    ``attempt`` distinguishes re-dispatches of the same unit (attempt 1
+    is the first try): a retried unit's events carry ``attempt: 2`` so
+    duplicate-delivery suppression and Perfetto retry instants can tell
+    the attempts apart even though trace/span ids are identical.
+    """
     global _TRACE_CONTEXT
     context = {
         key: value
@@ -53,6 +60,7 @@ def set_trace_context(
             ("trace_id", trace_id),
             ("span_id", span_id),
             ("worker", worker),
+            ("attempt", attempt),
         )
         if value
     }
@@ -65,7 +73,7 @@ def clear_trace_context() -> None:
     _TRACE_CONTEXT = None
 
 
-def current_trace_context() -> Optional[Dict[str, str]]:
+def current_trace_context() -> Optional[Dict[str, object]]:
     """The installed trace context (a copy), or ``None``."""
     return dict(_TRACE_CONTEXT) if _TRACE_CONTEXT else None
 
@@ -75,11 +83,14 @@ def trace_context(
     trace_id: Optional[str] = None,
     span_id: Optional[str] = None,
     worker: Optional[str] = None,
+    attempt: Optional[int] = None,
 ):
     """Scoped :func:`set_trace_context`; restores the previous context."""
     global _TRACE_CONTEXT
     saved = _TRACE_CONTEXT
-    set_trace_context(trace_id=trace_id, span_id=span_id, worker=worker)
+    set_trace_context(
+        trace_id=trace_id, span_id=span_id, worker=worker, attempt=attempt
+    )
     try:
         yield
     finally:

@@ -39,6 +39,7 @@ from repro.service.progress import job_progress
 from repro.service.spec import (
     JobSpec,
     LOG_FILENAME,
+    SpecError,
     TRACE_FILENAME,
 )
 from repro.store.db import JOB_STATES, ResultStore
@@ -65,9 +66,14 @@ class SubprocessJobRunner:
     code), writes its merged stdout/stderr to ``job.log`` in the job
     directory, and its telemetry trace to ``trace.jsonl`` — which the
     service reads live for progress and events.
+
+    ``broker`` is the farm-broker address handed to jobs that target
+    the remote backend (``spec.backend == "remote"``); the manager
+    refuses such jobs at submit time when no broker is configured.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, broker: Optional[str] = None) -> None:
+        self.broker = broker
         self._procs: Dict[str, subprocess.Popen] = {}
         self._lock = threading.Lock()
 
@@ -75,7 +81,7 @@ class SubprocessJobRunner:
         job_id = str(job["job_id"])
         job_dir = Path(str(job["job_dir"]))
         spec = JobSpec.from_payload(job["spec"])
-        argv = spec.full_argv(job_dir)
+        argv = spec.full_argv(job_dir, broker=self.broker)
         env = dict(os.environ)
         import repro
 
@@ -141,6 +147,7 @@ class JobManager:
         data_dir: Union[str, Path],
         max_workers: int = 2,
         runner: Optional[object] = None,
+        broker: Optional[str] = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -150,7 +157,11 @@ class JobManager:
         # whose working directory is the job dir itself.
         self.data_dir = Path(data_dir).resolve()
         self.max_workers = max_workers
-        self.runner = runner if runner is not None else SubprocessJobRunner()
+        self.broker = broker
+        self.runner = (
+            runner if runner is not None
+            else SubprocessJobRunner(broker=broker)
+        )
         self._queue: "queue.Queue[str]" = queue.Queue()
         self._lock = threading.Lock()
         self._stop = threading.Event()
@@ -202,7 +213,20 @@ class JobManager:
         ``request_id`` (when the submission came over HTTP) is stamped
         onto the job row and exported into the job subprocess, so the
         access log, the store and the job's trace stay joinable.
+
+        Raises
+        ------
+        SpecError
+            The spec targets the remote backend but this service was
+            started without a farm broker (``serve --broker``) — a
+            deployment-configuration rejection the HTTP layer reports
+            as a 400 like any other invalid spec.
         """
+        if spec.backend == "remote" and not self.broker:
+            raise SpecError(
+                "this service has no farm broker configured; start it "
+                "with --broker HOST:PORT to accept remote-backend jobs"
+            )
         with self._lock:
             job_id = f"job-{self._next_index:04d}"
             self._next_index += 1

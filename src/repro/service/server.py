@@ -329,10 +329,14 @@ class JobAPIHandler(BaseHTTPRequestHandler):
             return
         try:
             spec = JobSpec.from_payload(payload)
+            # submit() can also reject a valid-looking spec against the
+            # deployment (e.g. backend 'remote' with no broker wired).
+            job = self.server.manager.submit(
+                spec, request_id=self.request_id
+            )
         except SpecError as exc:
             self._send_json(400, {"error": str(exc)})
             return
-        job = self.server.manager.submit(spec, request_id=self.request_id)
         self.resolved_job_id = str(job["job_id"])
         self._send_json(201, {"job": job})
 

@@ -47,6 +47,11 @@ _WCDB_EXPORTS: Dict[str, Tuple[str, str]] = {
 FARM_JOB_COMMANDS = ("lot", "wafer", "sweep", "campaign", "screen")
 
 
+#: Executor backends a job may request (``remote`` additionally needs
+#: the service to be started with a broker address).
+JOB_BACKENDS = ("serial", "process", "remote")
+
+
 class SpecError(ValueError):
     """A submitted spec failed validation (HTTP 400 territory)."""
 
@@ -59,6 +64,7 @@ class JobSpec:
     params: Dict[str, object] = field(default_factory=dict)
     seed: int = 0
     workers: Optional[int] = None
+    backend: Optional[str] = None
 
     @classmethod
     def from_payload(cls, payload: object) -> "JobSpec":
@@ -72,7 +78,9 @@ class JobSpec:
         """
         if not isinstance(payload, dict):
             raise SpecError("spec must be a JSON object")
-        unknown_keys = set(payload) - {"command", "params", "seed", "workers"}
+        unknown_keys = set(payload) - {
+            "command", "params", "seed", "workers", "backend"
+        }
         if unknown_keys:
             raise SpecError(f"unknown spec field(s): {sorted(unknown_keys)}")
         command = payload.get("command")
@@ -108,7 +116,22 @@ class JobSpec:
                 f"{command!r} does not honour workers; farm commands: "
                 f"{', '.join(FARM_JOB_COMMANDS)}"
             )
-        return cls(command=command, params=params, seed=seed, workers=workers)
+        backend = payload.get("backend")
+        if backend is not None:
+            if backend not in JOB_BACKENDS:
+                raise SpecError(
+                    f"unknown backend {backend!r}; allowed: "
+                    f"{', '.join(JOB_BACKENDS)}"
+                )
+            if command not in FARM_JOB_COMMANDS:
+                raise SpecError(
+                    f"{command!r} does not honour a backend; farm "
+                    f"commands: {', '.join(FARM_JOB_COMMANDS)}"
+                )
+        return cls(
+            command=command, params=params, seed=seed,
+            workers=workers, backend=backend,
+        )
 
     def to_payload(self) -> Dict[str, object]:
         """The JSON shape :meth:`from_payload` accepts (round-trips)."""
@@ -119,19 +142,25 @@ class JobSpec:
         }
         if self.workers is not None:
             payload["workers"] = self.workers
+        if self.backend is not None:
+            payload["backend"] = self.backend
         return payload
 
     def exports_wcdb(self) -> bool:
         """Whether this command can produce a worst-case database."""
         return self.command in _WCDB_EXPORTS
 
-    def cli_argv(self, job_dir: Path) -> List[str]:
+    def cli_argv(
+        self, job_dir: Path, broker: Optional[str] = None
+    ) -> List[str]:
         """The ``repro.cli`` argv this job runs (without the python part).
 
         Artifacts land inside ``job_dir``: the telemetry trace at
         ``trace.jsonl`` and, for exporting commands, the worst-case
         database at ``wcdb.json`` (directly, or inside the campaign
-        output directory — see :func:`wcdb_path`).
+        output directory — see :func:`wcdb_path`).  ``broker`` is the
+        service-configured farm broker address, appended when the spec
+        targets the remote backend.
         """
         argv: List[str] = [
             "--seed", str(self.seed),
@@ -139,6 +168,10 @@ class JobSpec:
         ]
         if self.workers is not None:
             argv += ["--workers", str(self.workers)]
+        if self.backend is not None:
+            argv += ["--backend", self.backend]
+            if self.backend == "remote" and broker:
+                argv += ["--broker", broker]
         argv.append(self.command)
         for name in sorted(self.params):
             value = self.params[name]
@@ -156,9 +189,13 @@ class JobSpec:
                 argv += [flag, str(job_dir / WCDB_FILENAME)]
         return argv
 
-    def full_argv(self, job_dir: Path) -> List[str]:
+    def full_argv(
+        self, job_dir: Path, broker: Optional[str] = None
+    ) -> List[str]:
         """The complete subprocess argv (current interpreter + CLI)."""
-        return [sys.executable, "-m", "repro.cli"] + self.cli_argv(job_dir)
+        return [sys.executable, "-m", "repro.cli"] + self.cli_argv(
+            job_dir, broker=broker
+        )
 
     def wcdb_path(self, job_dir: Path) -> Optional[Path]:
         """Where this job's worst-case export lands (``None`` if never)."""

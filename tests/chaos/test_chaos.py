@@ -1,0 +1,318 @@
+"""Chaos suite: the remote farm under worker death and wire mischief.
+
+Every scenario ends with the same assertion — the merged results are
+byte-identical to a serial run with the same seeds — because that is
+the whole contract of the farm: scheduling chaos must never reach the
+data.  Scenarios:
+
+* a worker SIGKILLed mid-unit (socket death → immediate re-issue);
+* a silent worker that leases a unit and never heartbeats (lease
+  expiry → re-issue; its late result is suppressed);
+* duplicate delivery of the same result frame;
+* a full ``repro.cli lot`` campaign over subprocess workers with one
+  worker killed mid-campaign, compared byte-for-byte (``cmp``-style)
+  against the serial export.
+"""
+
+import json
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.farm.executor import SerialExecutor
+from repro.farm.remote import (
+    PROTOCOL_VERSION,
+    FarmBroker,
+    RemoteExecutor,
+    pack,
+    recv_frame,
+    run_worker,
+    send_frame,
+)
+from repro.farm.workunit import WorkUnit
+
+from tests.chaos.chaos_runners import deterministic_runner
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _units(count, **payload):
+    return [
+        WorkUnit(
+            key=f"unit/{i:03d}", kind="chaos_kind", payload=dict(payload),
+            seed=7000 + i, index=i, cost_hint=float(count - i),
+        )
+        for i in range(count)
+    ]
+
+
+def _merged_bytes(results):
+    """The deterministic projection of a result list, as bytes.
+
+    Worker names, attempt counts and wall-clock times legitimately vary
+    under chaos; the characterization data must not.
+    """
+    return json.dumps(
+        [
+            [r.unit_key, r.index, r.value, r.measurements, r.rtp]
+            for r in results
+        ],
+        sort_keys=True,
+    ).encode("utf-8")
+
+
+def _serial_bytes(units):
+    return _merged_bytes(SerialExecutor().run(units, deterministic_runner))
+
+
+def _start_thread_worker(address, name, delay_s=0.0):
+    def serve():
+        if delay_s:
+            time.sleep(delay_s)
+        try:
+            run_worker(address, name=name)
+        except OSError:
+            pass
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return thread
+
+
+def _worker_env():
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+    )
+    return env
+
+
+def _spawn_worker_process(address, name):
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "farm-worker",
+            "--connect", f"{address[0]}:{address[1]}",
+            "--name", name, "--max-idle", "60",
+        ],
+        cwd=str(REPO_ROOT), env=_worker_env(),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+class _FakeWorker:
+    """A hand-driven worker connection for injecting wire mischief."""
+
+    def __init__(self, address, name="saboteur"):
+        self.sock = socket.create_connection(address, timeout=5.0)
+        self.sock.settimeout(10.0)
+        send_frame(self.sock, {
+            "type": "hello", "role": "worker",
+            "version": PROTOCOL_VERSION, "worker": name,
+        })
+        greeting = recv_frame(self.sock)
+        assert greeting and greeting["type"] == "welcome"
+
+    def pull(self):
+        send_frame(self.sock, {"type": "request"})
+        return recv_frame(self.sock)
+
+    def pull_unit(self, timeout_s=5.0):
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            frame = self.pull()
+            if frame is not None and frame["type"] == "unit":
+                return frame
+            time.sleep(0.02)
+        raise AssertionError("no unit leased within the window")
+
+    def deliver(self, unit_frame):
+        unit = None
+        from repro.farm.remote import unpack
+
+        unit = unpack(unit_frame["unit"])
+        outcome = deterministic_runner(unit)
+        send_frame(self.sock, {
+            "type": "result",
+            "key": unit_frame["key"],
+            "attempt": unit_frame["attempt"],
+            "ok": True,
+            "elapsed_s": 0.01,
+            "outcome": pack(outcome),
+        })
+        return recv_frame(self.sock)
+
+    def close(self):
+        self.sock.close()
+
+
+class TestKilledWorker:
+    def test_sigkill_mid_unit_reissues_and_merges_identically(self):
+        units = _units(4, sleep_s=0.5)
+        expected = _serial_bytes(units)
+        with FarmBroker(port=0, poll_s=0.02, lease_timeout_s=10.0) as broker:
+            doomed = _spawn_worker_process(broker.address, "doomed")
+            # The healthy worker joins only after the kill, so the doomed
+            # worker is guaranteed to be holding a unit when it dies.
+            healthy = _start_thread_worker(
+                broker.address, "healthy", delay_s=1.0
+            )
+
+            def assassinate():
+                time.sleep(0.9)  # past startup + into the first sleep
+                doomed.send_signal(signal.SIGKILL)
+
+            killer = threading.Thread(target=assassinate, daemon=True)
+            killer.start()
+            results = RemoteExecutor(
+                broker.address, max_attempts=3
+            ).run(units, deterministic_runner)
+            doomed.wait(timeout=10.0)
+            assert _merged_bytes(results) == expected
+            assert broker.stats["reissues"] >= 1
+            assert broker.stats["units_completed"] == 4
+        healthy.join(timeout=5.0)
+
+
+class TestDroppedAndLateResults:
+    def test_silent_lease_expires_and_late_result_is_suppressed(self):
+        units = _units(3)
+        expected = _serial_bytes(units)
+        with FarmBroker(port=0, poll_s=0.02, lease_timeout_s=0.4) as broker:
+            saboteur = _FakeWorker(broker.address)
+            merged = {}
+
+            def client():
+                merged["results"] = RemoteExecutor(
+                    broker.address, max_attempts=3, lease_timeout_s=0.4
+                ).run(units, deterministic_runner)
+
+            thread = threading.Thread(target=client, daemon=True)
+            thread.start()
+            # Steal a unit and go completely silent: no result, no
+            # heartbeat.  The lease must expire and the unit re-issue.
+            stolen = saboteur.pull_unit()
+            deadline = time.monotonic() + 10.0
+            while broker.stats["reissues"] < 1:
+                assert time.monotonic() < deadline, "lease never expired"
+                time.sleep(0.02)
+            healthy = _start_thread_worker(broker.address, "healthy")
+            thread.join(timeout=15.0)
+            assert not thread.is_alive()
+            # The presumed-dead worker finally answers: first result
+            # already won, so this delivery must be refused.
+            ack = saboteur.deliver(stolen)
+            assert ack is not None and ack["accepted"] is False
+            saboteur.close()
+            assert _merged_bytes(merged["results"]) == expected
+        healthy.join(timeout=5.0)
+
+    def test_worker_disconnect_drops_result_but_not_unit(self):
+        units = _units(3)
+        expected = _serial_bytes(units)
+        with FarmBroker(port=0, poll_s=0.02, lease_timeout_s=10.0) as broker:
+            saboteur = _FakeWorker(broker.address)
+            merged = {}
+
+            def client():
+                merged["results"] = RemoteExecutor(
+                    broker.address, max_attempts=3
+                ).run(units, deterministic_runner)
+
+            thread = threading.Thread(target=client, daemon=True)
+            thread.start()
+            saboteur.pull_unit()
+            # Vanish with the unit: the result is simply never sent.
+            saboteur.close()
+            healthy = _start_thread_worker(broker.address, "healthy")
+            thread.join(timeout=15.0)
+            assert not thread.is_alive()
+            assert _merged_bytes(merged["results"]) == expected
+            assert broker.stats["reissues"] >= 1
+        healthy.join(timeout=5.0)
+
+
+class TestDuplicateDelivery:
+    def test_double_send_merges_once_byte_identically(self):
+        units = _units(3)
+        expected = _serial_bytes(units)
+        with FarmBroker(port=0, poll_s=0.02, lease_timeout_s=10.0) as broker:
+            saboteur = _FakeWorker(broker.address)
+            merged = {}
+
+            def client():
+                merged["results"] = RemoteExecutor(
+                    broker.address, max_attempts=3
+                ).run(units, deterministic_runner)
+
+            thread = threading.Thread(target=client, daemon=True)
+            thread.start()
+            stolen = saboteur.pull_unit()
+            first = saboteur.deliver(stolen)
+            assert first["accepted"] is True
+            second = saboteur.deliver(stolen)
+            assert second["accepted"] is False
+            assert "duplicate" in second["reason"]
+            healthy = _start_thread_worker(broker.address, "healthy")
+            thread.join(timeout=15.0)
+            assert not thread.is_alive()
+            saboteur.close()
+            assert _merged_bytes(merged["results"]) == expected
+            assert broker.stats["duplicates_dropped"] == 1
+        healthy.join(timeout=5.0)
+
+
+class TestChaoticLotCampaign:
+    """The end-to-end gate: a real lot campaign over subprocess workers,
+    one of them murdered mid-campaign, exports the same database bytes
+    as the serial CLI run."""
+
+    @staticmethod
+    def _run_cli(argv, cwd):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", *argv],
+            cwd=str(cwd), env=_worker_env(),
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            timeout=180,
+        )
+        assert proc.returncode == 0, proc.stdout.decode()
+
+    def test_lot_database_byte_identical_under_worker_murder(self, tmp_path):
+        serial_db = tmp_path / "serial_wcdb.json"
+        remote_db = tmp_path / "remote_wcdb.json"
+        lot = ["lot", "--dies", "3", "--tests", "2"]
+        self._run_cli(
+            ["--seed", "7", *lot, "--database", str(serial_db)], tmp_path
+        )
+        with FarmBroker(port=0, poll_s=0.02, lease_timeout_s=10.0) as broker:
+            victim = _spawn_worker_process(broker.address, "victim")
+            survivor = _spawn_worker_process(broker.address, "survivor")
+            killer = threading.Timer(
+                1.0, lambda: victim.send_signal(signal.SIGKILL)
+            )
+            killer.start()
+            try:
+                host, port = broker.address
+                self._run_cli(
+                    [
+                        "--seed", "7",
+                        "--backend", "remote",
+                        "--broker", f"{host}:{port}",
+                        *lot, "--database", str(remote_db),
+                    ],
+                    tmp_path,
+                )
+            finally:
+                killer.cancel()
+                for proc in (victim, survivor):
+                    proc.terminate()
+        for proc in (victim, survivor):
+            proc.wait(timeout=10.0)
+        assert remote_db.read_bytes() == serial_db.read_bytes()

@@ -1,0 +1,128 @@
+"""Lease-table edge cases: expiry races, stale heartbeats, duplicates.
+
+These are the satellite-mandated lease-timeout edges: a unit completing
+exactly at lease expiry must not double-merge, a heartbeat arriving
+during re-issue must not resurrect the dead attempt, and duplicate
+deliveries are suppressed and counted.  The table takes ``now``
+explicitly, so each race is a deterministic unit test.
+"""
+
+import pytest
+
+from repro.farm.remote.leases import LeaseTable
+
+
+class TestIssue:
+    def test_attempts_count_across_reissues(self):
+        table = LeaseTable(timeout_s=10.0)
+        first = table.issue("u/1", "w1", now=0.0)
+        assert first.attempt == 1
+        assert first.deadline == 10.0
+        table.expire(now=10.0)
+        second = table.issue("u/1", "w2", now=12.0)
+        assert second.attempt == 2
+        assert second.worker == "w2"
+
+    def test_cannot_issue_leased_or_completed(self):
+        table = LeaseTable(timeout_s=10.0)
+        table.issue("u/1", "w1", now=0.0)
+        with pytest.raises(ValueError):
+            table.issue("u/1", "w2", now=1.0)
+        table.complete("u/1", 1)
+        with pytest.raises(ValueError):
+            table.issue("u/1", "w2", now=2.0)
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValueError):
+            LeaseTable(timeout_s=0.0)
+
+
+class TestCompletionAtExpiry:
+    """A result landing exactly at the deadline: whichever side runs
+    first wins, and the unit is never merged twice."""
+
+    def test_complete_then_expire_no_reissue(self):
+        table = LeaseTable(timeout_s=10.0)
+        table.issue("u/1", "w1", now=0.0)
+        # The result frame is processed first (broker lock order)...
+        assert table.complete("u/1", 1) is True
+        # ...so the sweep at the very same instant finds nothing.
+        assert table.expire(now=10.0) == []
+        assert table.completed == {"u/1": 1}
+
+    def test_expire_then_late_result_suppressed(self):
+        table = LeaseTable(timeout_s=10.0)
+        table.issue("u/1", "w1", now=0.0)
+        expired = table.expire(now=10.0)
+        assert [lease.key for lease in expired] == ["u/1"]
+        # The unit is re-issued to another worker as attempt 2...
+        table.issue("u/1", "w2", now=10.0)
+        # ...then the presumed-dead worker's attempt-1 result arrives.
+        # First result wins: it is accepted (the outcome is the same
+        # deterministic function of the unit seed)...
+        assert table.complete("u/1", 1) is True
+        # ...and attempt 2's later delivery is the duplicate.
+        assert table.complete("u/1", 2) is False
+        assert table.duplicates == 1
+        assert table.completed["u/1"] == 1
+
+    def test_double_delivery_same_attempt_suppressed(self):
+        table = LeaseTable(timeout_s=10.0)
+        table.issue("u/1", "w1", now=0.0)
+        assert table.complete("u/1", 1) is True
+        assert table.complete("u/1", 1) is False
+        assert table.duplicates == 1
+
+
+class TestHeartbeatDuringReissue:
+    def test_stale_attempt_heartbeat_refused(self):
+        table = LeaseTable(timeout_s=10.0)
+        table.issue("u/1", "w1", now=0.0)
+        table.expire(now=10.0)
+        reissued = table.issue("u/1", "w2", now=10.0)
+        # w1's in-flight heartbeat for attempt 1 lands after re-issue:
+        # it must not extend w2's attempt-2 lease.
+        assert table.heartbeat("u/1", 1, "w1", now=11.0) is False
+        assert table.stale_heartbeats == 1
+        assert table.leases["u/1"].deadline == reissued.deadline
+
+    def test_heartbeat_after_completion_refused(self):
+        table = LeaseTable(timeout_s=10.0)
+        table.issue("u/1", "w1", now=0.0)
+        table.complete("u/1", 1)
+        assert table.heartbeat("u/1", 1, "w1", now=1.0) is False
+        assert table.stale_heartbeats == 1
+
+    def test_live_heartbeat_extends(self):
+        table = LeaseTable(timeout_s=10.0)
+        table.issue("u/1", "w1", now=0.0)
+        assert table.heartbeat("u/1", 1, "w1", now=8.0) is True
+        assert table.leases["u/1"].deadline == 18.0
+        # The extension carries it past the original deadline...
+        assert table.expire(now=10.0) == []
+        # ...but not past the extended one.
+        assert [lease.key for lease in table.expire(now=18.0)] == ["u/1"]
+
+    def test_wrong_worker_heartbeat_refused(self):
+        table = LeaseTable(timeout_s=10.0)
+        table.issue("u/1", "w1", now=0.0)
+        assert table.heartbeat("u/1", 1, "w2", now=1.0) is False
+        assert table.stale_heartbeats == 1
+
+
+class TestChurn:
+    def test_release_worker_pops_only_its_leases(self):
+        table = LeaseTable(timeout_s=10.0)
+        table.issue("u/1", "w1", now=0.0)
+        table.issue("u/2", "w2", now=0.0)
+        dropped = table.release_worker("w1")
+        assert [lease.key for lease in dropped] == ["u/1"]
+        assert table.active() == 1
+
+    def test_release_requires_current_attempt(self):
+        table = LeaseTable(timeout_s=10.0)
+        table.issue("u/1", "w1", now=0.0)
+        assert table.release("u/1", attempt=2) is None
+        released = table.release("u/1", attempt=1)
+        assert released is not None and released.worker == "w1"
+        assert table.active() == 0
