@@ -45,7 +45,9 @@ Global tester-farm flags (``lot``, ``wafer``, ``sweep``, ``campaign``):
 The distributed farm itself (see docs/parallelism.md, "Remote farm")::
 
     repro-characterize farm-broker [--port 0] [--spool DIR]
+                                   [--metrics-port 0] [--trace FILE]
     repro-characterize farm-worker --connect HOST:PORT [--name w1]
+    repro-characterize farm-top    --broker HOST:PORT [--once]
 
 The ``obs`` subcommand family inspects what the flags above record::
 
@@ -551,7 +553,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     obs_alerts.add_argument(
         "--url", metavar="URL",
-        help="scrape METRICS from a running service (URL + /metrics)",
+        help=(
+            "scrape METRICS from a running service or farm broker "
+            "(base URL or full .../metrics endpoint)"
+        ),
     )
     obs_alerts.add_argument(
         "--metrics-file", metavar="FILE",
@@ -590,6 +595,37 @@ def _build_parser() -> argparse.ArgumentParser:
             "spool accepted results to per-campaign JSONL files in DIR "
             "so a restarted broker serves finished units from disk"
         ),
+    )
+    farm_broker.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help=(
+            "also serve GET /metrics (Prometheus text) on this port "
+            "(0 picks a free one; the address is printed)"
+        ),
+    )
+    farm_broker.add_argument(
+        "--trace", metavar="FILE",
+        help=(
+            "write the broker's control-plane events (lease_issued, "
+            "lease_reissued, worker_joined, ...) to a JSONL trace file"
+        ),
+    )
+
+    farm_top = commands.add_parser(
+        "farm-top",
+        help="live worker/lease/throughput table of a running broker",
+    )
+    farm_top.add_argument(
+        "--broker", required=True, metavar="HOST:PORT",
+        help="broker address (printed by farm-broker at startup)",
+    )
+    farm_top.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="refresh period in seconds (default: 2)",
+    )
+    farm_top.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit (no screen clearing)",
     )
 
     farm_worker = commands.add_parser(
@@ -1237,7 +1273,11 @@ def _cmd_obs_alerts(args) -> int:
         if args.url:
             from urllib.request import urlopen
 
-            url = args.url.rstrip("/") + "/metrics"
+            # Accept both the service base URL and an already-complete
+            # endpoint (farm-broker prints the full .../metrics URL).
+            url = args.url.rstrip("/")
+            if not url.endswith("/metrics"):
+                url += "/metrics"
             with urlopen(url, timeout=30.0) as response:
                 samples = alerts.load_samples_text(
                     response.read().decode("utf-8")
@@ -1270,28 +1310,62 @@ def _cmd_obs_alerts(args) -> int:
 
 
 def _cmd_farm_broker(args) -> int:
+    from repro import obs
     from repro.farm.remote import FarmBroker
 
     logging.basicConfig(
         level=logging.INFO, format="%(levelname)s %(name)s: %(message)s"
     )
+    if args.trace:
+        # Broker-local trace of the control-plane events; workers and
+        # clients keep their own traces, this one is the hub's view.
+        obs.configure(trace_path=args.trace)
     broker = FarmBroker(
         host=args.host,
         port=args.port,
         lease_timeout_s=args.lease_timeout,
         spool_dir=args.spool,
+        metrics_port=args.metrics_port,
     )
     host, port = broker.start()
     # Flushed immediately so wrappers (CI smoke, tests) can scrape the
     # chosen address even when --port 0 asked for a free one.
     print(f"broker listening on {host}:{port}", flush=True)
+    if args.metrics_port is not None:
+        mhost, mport = broker.metrics_address
+        print(
+            f"broker metrics on http://{mhost}:{mport}/metrics", flush=True
+        )
     try:
         broker.serve_forever()
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
     finally:
         broker.shutdown()
+        if args.trace:
+            obs.reset()
     return 0
+
+
+def _cmd_farm_top(args) -> int:
+    from repro.farm.remote import fetch_broker_stats
+    from repro.obs.farm import render_farm_top
+
+    try:
+        if args.once:
+            print(render_farm_top(fetch_broker_stats(args.broker)), end="")
+            return 0
+        while True:
+            screen = render_farm_top(fetch_broker_stats(args.broker))
+            # Clear + home, then the fresh table — a poor man's top(1).
+            print("\x1b[2J\x1b[H" + screen, end="", flush=True)
+            time.sleep(max(0.2, args.interval))
+    except KeyboardInterrupt:
+        print()
+        return 0
+    except (OSError, ConnectionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 def _cmd_farm_worker(args) -> int:
@@ -1644,6 +1718,7 @@ _COMMANDS = {
     "jobs": _cmd_jobs,
     "store": _cmd_store,
     "farm-broker": _cmd_farm_broker,
+    "farm-top": _cmd_farm_top,
     "farm-worker": _cmd_farm_worker,
 }
 
@@ -1651,7 +1726,7 @@ _COMMANDS = {
 #: setup/teardown (``serve`` job subprocesses carry their own traces;
 #: remote workers spool telemetry back to the submitting client).
 _NO_TELEMETRY_COMMANDS = (
-    "obs", "serve", "jobs", "store", "farm-broker", "farm-worker"
+    "obs", "serve", "jobs", "store", "farm-broker", "farm-top", "farm-worker"
 )
 
 

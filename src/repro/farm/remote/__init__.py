@@ -14,6 +14,10 @@ The remote farm stretches :mod:`repro.farm` past one host:
   — the client-side :class:`~repro.farm.executor.ExecutorBackend`.
   Same deterministic-merge/checkpoint/RTP/telemetry contract as the
   serial and process-pool executors.
+* :mod:`~repro.farm.remote.telemetry` — the broker's observability:
+  typed control-plane events, a thread-safe metrics registry served as
+  Prometheus text (``farm-broker --metrics-port``), per-worker clock
+  offset estimation, and the ``stats`` frame behind ``repro farm-top``.
 
 See :mod:`repro.farm.remote.protocol` for the frame vocabulary and
 ``docs/parallelism.md`` for the failure matrix.
@@ -39,9 +43,21 @@ from repro.farm.remote.protocol import (
     send_frame,
     unpack,
 )
+from repro.farm.remote.telemetry import (
+    BrokerTelemetry,
+    ClockEstimator,
+    MetricsHTTPServer,
+    clock_stamp,
+    fetch_broker_stats,
+)
 from repro.farm.remote.worker import WorkerRejected, run_worker
 
 __all__ = [
+    "BrokerTelemetry",
+    "ClockEstimator",
+    "MetricsHTTPServer",
+    "clock_stamp",
+    "fetch_broker_stats",
     "DEFAULT_LEASE_TIMEOUT_S",
     "DEFAULT_POLL_S",
     "FarmBroker",

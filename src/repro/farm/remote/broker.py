@@ -55,7 +55,21 @@ from repro.farm.remote.protocol import (
     recv_frame,
     send_frame,
 )
+from repro.farm.remote.telemetry import BrokerTelemetry, MetricsHTTPServer
 from repro.ioutil import durable_append_line
+from repro.obs.events import (
+    BrokerCampaignStarted,
+    DuplicateSuppressed,
+    LeaseCompleted,
+    LeaseExpired,
+    LeaseHeartbeat,
+    LeaseIssued,
+    LeaseReissued,
+    SpoolRestored,
+    WorkerJoined,
+    WorkerLeft,
+)
+from repro.obs.exposition import render_exposition
 
 logger = logging.getLogger("repro.farm.remote")
 
@@ -85,11 +99,20 @@ class ResultSpool:
         self.campaign = campaign
         self._handle = None
 
-    def load(self) -> Dict[str, Dict[str, Any]]:
-        """Spooled results keyed by unit key (torn lines dropped)."""
+    def load(self) -> Tuple[Dict[str, Dict[str, Any]], int]:
+        """Spooled results keyed by unit key, plus the dropped-line count.
+
+        Tolerant reader, same discipline as ``read_trace``: a torn or
+        corrupt line (truncated JSON from a crash mid-append, a payload
+        that is not a result record) is counted and skipped, never
+        fatal — the campaign re-runs those units instead of refusing to
+        start.  The count surfaces in the ``spool_restored`` event so a
+        recovering operator can see how much the spool lost.
+        """
         results: Dict[str, Dict[str, Any]] = {}
+        dropped = 0
         if not self.path.exists():
-            return results
+            return results, dropped
         with self.path.open("r") as handle:
             for number, line in enumerate(handle, start=1):
                 line = line.strip()
@@ -102,12 +125,26 @@ class ResultSpool:
                         "spool %s: dropping corrupt line %d",
                         self.path, number,
                     )
+                    dropped += 1
+                    continue
+                if not isinstance(payload, dict):
+                    logger.warning(
+                        "spool %s: dropping non-record line %d",
+                        self.path, number,
+                    )
+                    dropped += 1
                     continue
                 if payload.get("kind") == _SPOOL_KIND:
                     continue
                 if "key" in payload and "outcome" in payload:
                     results[str(payload["key"])] = payload
-        return results
+                else:
+                    logger.warning(
+                        "spool %s: dropping incomplete record on line %d",
+                        self.path, number,
+                    )
+                    dropped += 1
+        return results, dropped
 
     def record(self, payload: Dict[str, Any]) -> None:
         """Append one accepted result, fsynced like a checkpoint line."""
@@ -131,6 +168,23 @@ class ResultSpool:
     def close(self) -> None:
         if self._handle is not None and not self._handle.closed:
             self._handle.close()
+
+
+class _WorkerState:
+    """Per-connection worker bookkeeping for stats and throughput."""
+
+    __slots__ = (
+        "name", "worker_id", "connected_mono", "completed", "failed",
+        "last_seen_mono",
+    )
+
+    def __init__(self, name: str, worker_id: str) -> None:
+        self.name = name
+        self.worker_id = worker_id
+        self.connected_mono = time.monotonic()
+        self.completed = 0
+        self.failed = 0
+        self.last_seen_mono = self.connected_mono
 
 
 class _Campaign:
@@ -162,6 +216,9 @@ class _Campaign:
         self.client_alive = True
         self.spool = spool
         self.reissues = 0
+        #: The hello name of the submitting client — keys its clock
+        #: offset estimate in the broker telemetry.
+        self.client_name = "client"
 
     @property
     def finished(self) -> bool:
@@ -197,6 +254,10 @@ class FarmBroker:
     spool_dir:
         Directory for per-campaign result spools (shared checkpoint);
         ``None`` disables spooling.
+    metrics_port:
+        When given, :meth:`start` also binds a tiny HTTP endpoint on
+        this port (0 picks a free one; see :attr:`metrics_address`)
+        serving ``GET /metrics`` as Prometheus text.
     """
 
     def __init__(
@@ -206,6 +267,7 @@ class FarmBroker:
         lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
         poll_s: float = DEFAULT_POLL_S,
         spool_dir: Union[None, str, Path] = None,
+        metrics_port: Optional[int] = None,
     ) -> None:
         if lease_timeout_s <= 0:
             raise ValueError("lease_timeout_s must be positive")
@@ -214,22 +276,30 @@ class FarmBroker:
         self.lease_timeout_s = lease_timeout_s
         self.poll_s = poll_s
         self.spool_dir = Path(spool_dir) if spool_dir is not None else None
+        self.metrics_port = metrics_port
+        self.telemetry = BrokerTelemetry()
+        self._metrics_server: Optional[MetricsHTTPServer] = None
         self._sock: Optional[socket.socket] = None
         self._stop = threading.Event()
         self._lock = threading.RLock()
         self._campaign: Optional[_Campaign] = None
         self._threads: List[threading.Thread] = []
         self._conn_seq = 0
+        self._started_mono = time.monotonic()
+        self._last_dispatch_mono: Optional[float] = None
+        self._workers: Dict[str, _WorkerState] = {}
         self.stats = {
             "campaigns": 0,
             "units_dispatched": 0,
             "units_completed": 0,
             "units_failed": 0,
             "units_restored": 0,
+            "spool_dropped": 0,
             "reissues": 0,
             "duplicates_dropped": 0,
             "stale_heartbeats": 0,
             "workers_seen": 0,
+            "workers_left": 0,
             "workers_rejected": 0,
         }
 
@@ -242,6 +312,13 @@ class FarmBroker:
         addr = self._sock.getsockname()
         return addr[0], addr[1]
 
+    @property
+    def metrics_address(self) -> Tuple[str, int]:
+        """The metrics endpoint's ``(host, port)`` (needs ``metrics_port``)."""
+        if self._metrics_server is None:
+            raise RuntimeError("broker has no metrics endpoint")
+        return self._metrics_server.address
+
     def start(self) -> Tuple[str, int]:
         """Bind, listen, spawn accept + sweep threads; returns address."""
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -250,6 +327,12 @@ class FarmBroker:
         sock.listen(64)
         sock.settimeout(0.2)
         self._sock = sock
+        self._started_mono = time.monotonic()
+        if self.metrics_port is not None:
+            self._metrics_server = MetricsHTTPServer(
+                self.host, self.metrics_port, self.metrics_exposition
+            )
+            self._metrics_server.start()
         accept = threading.Thread(
             target=self._accept_loop, name="broker-accept", daemon=True
         )
@@ -274,6 +357,9 @@ class FarmBroker:
             self._campaign = None
         if campaign is not None and campaign.spool is not None:
             campaign.spool.close()
+        if self._metrics_server is not None:
+            self._metrics_server.shutdown()
+            self._metrics_server = None
         for thread in self._threads:
             thread.join(timeout=2.0)
         if self._sock is not None:
@@ -285,6 +371,137 @@ class FarmBroker:
 
     def __exit__(self, *exc_info) -> None:
         self.shutdown()
+
+    # -- observability surfaces -------------------------------------------------
+    def metrics_exposition(self) -> str:
+        """The ``/metrics`` body: counters/histograms + live gauges.
+
+        Counter and histogram families accumulate as the campaign runs
+        (``farm.lease_issued``, ``farm.lease_age_seconds``, …); queue
+        depth, rates and per-worker throughput are sampled at scrape
+        time, because gauges describe *now*.
+        """
+        metrics = self.telemetry.metrics
+        gauge = metrics.gauge
+        now = time.monotonic()
+        with self._lock:
+            campaign = self._campaign
+            dispatched = self.stats["units_dispatched"]
+            seen = self.stats["workers_seen"]
+            gauge("farm.uptime_seconds").set(max(0.0, now - self._started_mono))
+            gauge("farm.workers_connected").set(float(len(self._workers)))
+            gauge("farm.campaign_active").set(
+                1.0 if campaign is not None and not campaign.finished else 0.0
+            )
+            queue_depth = len(campaign.pending) if campaign is not None else 0
+            leases_active = (
+                campaign.leases.active() if campaign is not None else 0
+            )
+            gauge("farm.queue_depth").set(float(queue_depth))
+            gauge("farm.leases_active").set(float(leases_active))
+            gauge("farm.reissue_rate").set(
+                self.stats["reissues"] / dispatched if dispatched else 0.0
+            )
+            gauge("farm.duplicate_rate").set(
+                self.stats["duplicates_dropped"] / dispatched
+                if dispatched else 0.0
+            )
+            # Churn only signals while work is outstanding: after a
+            # campaign finishes, workers idling out is normal, not an
+            # incident.
+            campaign_active = campaign is not None and not campaign.finished
+            gauge("farm.worker_churn").set(
+                self.stats["workers_left"] / seen
+                if seen and campaign_active else 0.0
+            )
+            stalled = (
+                queue_depth > 0
+                and not self._workers
+                and self._last_dispatch_mono is not None
+            )
+            gauge("farm.queue_stall_seconds").set(
+                max(0.0, now - self._last_dispatch_mono) if stalled else 0.0
+            )
+            for state in self._workers.values():
+                minutes = max(1e-9, (now - state.connected_mono) / 60.0)
+                gauge(f"farm.worker.upm.{state.name}").set(
+                    state.completed / minutes
+                )
+        return render_exposition(metrics)
+
+    def stats_payload(self) -> Dict[str, Any]:
+        """The ``stats`` protocol frame's body (``farm-top``'s feed)."""
+        now = time.monotonic()
+        offsets = self.telemetry.clock_offsets()
+        with self._lock:
+            campaign = self._campaign
+            leases = (
+                dict(campaign.leases.leases)
+                if campaign is not None else {}
+            )
+            by_worker: Dict[str, Dict[str, Any]] = {}
+            for lease in leases.values():
+                by_worker[lease.worker] = {
+                    "key": lease.key,
+                    "attempt": lease.attempt,
+                    "age_s": max(0.0, now - lease.issued_ts),
+                }
+            workers = []
+            for state in sorted(
+                self._workers.values(), key=lambda s: s.name
+            ):
+                minutes = max(1e-9, (now - state.connected_mono) / 60.0)
+                workers.append({
+                    "name": state.name,
+                    "worker_id": state.worker_id,
+                    "completed": state.completed,
+                    "failed": state.failed,
+                    "units_per_minute": state.completed / minutes,
+                    "connected_s": max(0.0, now - state.connected_mono),
+                    "idle_s": max(0.0, now - state.last_seen_mono),
+                    "clock_offset_s": offsets.get(state.name, 0.0),
+                    "lease": by_worker.get(state.worker_id),
+                })
+            payload: Dict[str, Any] = {
+                "uptime_s": max(0.0, now - self._started_mono),
+                "queue_depth": len(campaign.pending) if campaign else 0,
+                "leases_active": len(leases),
+                "workers_connected": len(self._workers),
+                "workers": workers,
+                "totals": dict(self.stats),
+                "campaign": None,
+            }
+            if campaign is not None:
+                payload["campaign"] = {
+                    "id": campaign.id,
+                    "units": len(campaign.units),
+                    "pending": len(campaign.pending),
+                    "leased": len(leases),
+                    "completed": len(campaign.leases.completed),
+                    "failed": len(campaign.failed),
+                    "reissues": campaign.reissues,
+                    "duplicates_dropped": campaign.leases.duplicates,
+                    "max_attempts": campaign.max_attempts,
+                    "lease_s": campaign.leases.timeout_s,
+                    "finished": campaign.finished,
+                }
+        return payload
+
+    def _serve_stats(self, conn: socket.socket, hello: Dict[str, Any]) -> None:
+        """Serve ``stats`` frames to an observer (``repro farm-top``)."""
+        self.telemetry.observe_clock(
+            str(hello.get("worker") or "observer"), hello.get("clock")
+        )
+        send_frame(conn, {"type": "welcome", "version": PROTOCOL_VERSION})
+        while not self._stop.is_set():
+            frame = recv_frame(conn)
+            if frame is None or frame.get("type") == "goodbye":
+                return
+            if frame.get("type") == "stats":
+                send_frame(
+                    conn, {"type": "stats", "stats": self.stats_payload()}
+                )
+            # unknown frame types are ignored (forward compatibility)
 
     # -- accept / sweep threads -------------------------------------------------
     def _accept_loop(self) -> None:
@@ -316,7 +533,9 @@ class FarmBroker:
                 campaign = self._campaign
                 if campaign is None or campaign.finished:
                     continue
-                for lease in campaign.leases.expire(time.monotonic()):
+                now = time.monotonic()
+                for lease in campaign.leases.expire(now):
+                    self._note_lease_expired(campaign, lease, now)
                     self._requeue_or_fail(
                         campaign,
                         lease.key,
@@ -351,6 +570,8 @@ class FarmBroker:
                 self._serve_worker(conn, hello, ident)
             elif role == "client":
                 self._serve_client(conn, hello)
+            elif role == "stats":
+                self._serve_stats(conn, hello)
             else:
                 send_frame(
                     conn, {"type": "reject", "reason": f"unknown role {role!r}"}
@@ -377,6 +598,8 @@ class FarmBroker:
                     ),
                 })
                 return
+        client_name = str(hello.get("worker") or "client")
+        self.telemetry.observe_clock(client_name, hello.get("clock"))
         send_frame(conn, {"type": "welcome", "version": PROTOCOL_VERSION})
         submit = recv_frame(conn)
         if submit is None:
@@ -387,7 +610,8 @@ class FarmBroker:
                 "reason": f"expected submit, got {submit.get('type')!r}",
             })
             return
-        campaign = self._accept_submit(conn, submit)
+        self.telemetry.observe_clock(client_name, submit.get("clock"))
+        campaign = self._accept_submit(conn, submit, client_name)
         if campaign is None:
             return
         try:
@@ -426,7 +650,10 @@ class FarmBroker:
         )
 
     def _accept_submit(
-        self, conn: socket.socket, submit: Dict[str, Any]
+        self,
+        conn: socket.socket,
+        submit: Dict[str, Any],
+        client_name: str = "client",
     ) -> Optional[_Campaign]:
         campaign_id = str(submit.get("campaign") or "farm")
         raw_units = submit.get("units")
@@ -455,9 +682,12 @@ class FarmBroker:
             client=conn,
             spool=spool,
         )
+        campaign.client_name = client_name
         restored: List[Dict[str, Any]] = []
+        spool_dropped = 0
         if spool is not None:
-            for key, payload in spool.load().items():
+            spooled, spool_dropped = spool.load()
+            for key, payload in spooled.items():
                 if key in units and key not in campaign.leases.completed:
                     campaign.leases.completed[key] = int(
                         payload.get("attempt", 1)
@@ -472,9 +702,34 @@ class FarmBroker:
             self._campaign = campaign
             self.stats["campaigns"] += 1
             self.stats["units_restored"] += len(restored)
+            self.stats["spool_dropped"] += spool_dropped
+        metrics = self.telemetry.metrics
+        metrics.counter("farm.campaigns").inc()
+        self.telemetry.emit(
+            BrokerCampaignStarted(
+                campaign=campaign_id,
+                units=len(units),
+                restored=len(restored),
+                max_attempts=max_attempts,
+                lease_s=lease_s,
+            ),
+            campaign=campaign_id,
+        )
+        if spool is not None and (restored or spool_dropped):
+            metrics.counter("farm.spool_restored").inc(len(restored))
+            metrics.counter("farm.spool_dropped").inc(spool_dropped)
+            self.telemetry.emit(
+                SpoolRestored(
+                    campaign=campaign_id,
+                    restored=len(restored),
+                    dropped=spool_dropped,
+                ),
+                campaign=campaign_id,
+            )
         logger.info(
-            "campaign %r accepted: %d unit(s), %d restored from spool",
-            campaign_id, len(units), len(restored),
+            "campaign %r accepted: %d unit(s), %d restored from spool "
+            "(%d spool line(s) dropped)",
+            campaign_id, len(units), len(restored), spool_dropped,
         )
         send_frame(conn, {
             "type": "accepted",
@@ -522,6 +777,14 @@ class FarmBroker:
                 })
                 return
             self.stats["workers_seen"] += 1
+            self._workers[worker_id] = _WorkerState(name, worker_id)
+            campaign_id = active.id if active is not None else None
+        self.telemetry.observe_clock(name, hello.get("clock"))
+        self.telemetry.metrics.counter("farm.workers_joined").inc()
+        self.telemetry.emit(
+            WorkerJoined(worker=name, worker_id=worker_id),
+            campaign=campaign_id,
+        )
         send_frame(conn, {"type": "welcome", "version": PROTOCOL_VERSION})
         logger.info("worker %s connected", worker_id)
         try:
@@ -535,7 +798,7 @@ class FarmBroker:
                 elif kind == "result":
                     send_frame(conn, self._take_result(worker_id, name, frame))
                 elif kind == "heartbeat":
-                    self._take_heartbeat(worker_id, frame)
+                    self._take_heartbeat(worker_id, name, frame)
                 # unknown frame types are ignored (forward compatibility)
         finally:
             self._release_worker(worker_id)
@@ -553,9 +816,14 @@ class FarmBroker:
                 or not campaign.pending
             ):
                 return {"type": "idle", "poll_s": self.poll_s}
+            now = time.monotonic()
             key = campaign.pending.popleft()
-            lease = campaign.leases.issue(key, worker_id, time.monotonic())
+            lease = campaign.leases.issue(key, worker_id, now)
             self.stats["units_dispatched"] += 1
+            self._last_dispatch_mono = now
+            state = self._workers.get(worker_id)
+            if state is not None:
+                state.last_seen_mono = now
             frame = {
                 "type": "unit",
                 "campaign": campaign.id,
@@ -566,6 +834,12 @@ class FarmBroker:
                 "config": campaign.config,
                 "lease_s": campaign.leases.timeout_s,
             }
+        self.telemetry.metrics.counter("farm.lease_issued").inc()
+        self.telemetry.emit(
+            LeaseIssued(key=key, attempt=lease.attempt, worker=name),
+            campaign=campaign.id,
+            span_id=key,
+        )
         campaign.push({
             "type": "leased",
             "key": key,
@@ -581,6 +855,10 @@ class FarmBroker:
         attempt = int(frame.get("attempt") or 0)
         with self._lock:
             campaign = self._campaign
+            now = time.monotonic()
+            state = self._workers.get(worker_id)
+            if state is not None:
+                state.last_seen_mono = now
             if campaign is None or key not in campaign.units:
                 return {
                     "type": "ack", "accepted": False,
@@ -594,14 +872,42 @@ class FarmBroker:
                         "type": "ack", "accepted": False,
                         "reason": "attempt is no longer leased",
                     }
+                if state is not None:
+                    state.failed += 1
+                age_s = max(0.0, now - released.issued_ts)
+                self.telemetry.metrics.histogram(
+                    "farm.lease_age_seconds"
+                ).observe(age_s)
+                self.telemetry.emit(
+                    LeaseCompleted(
+                        key=key, attempt=attempt, worker=name,
+                        age_s=age_s, ok=False,
+                    ),
+                    campaign=campaign.id,
+                    span_id=key,
+                )
                 self._requeue_or_fail(
                     campaign, key, attempt,
                     str(frame.get("error") or "unit runner failed"),
                 )
                 self._maybe_finish(campaign)
                 return {"type": "ack", "accepted": True}
+            lease = campaign.leases.leases.get(key)
+            lease_age_s = (
+                max(0.0, now - lease.issued_ts)
+                if lease is not None and lease.attempt == attempt
+                else 0.0
+            )
             if not campaign.leases.complete(key, attempt):
                 self.stats["duplicates_dropped"] += 1
+                self.telemetry.metrics.counter(
+                    "farm.duplicate_suppressed"
+                ).inc()
+                self.telemetry.emit(
+                    DuplicateSuppressed(key=key, attempt=attempt, worker=name),
+                    campaign=campaign.id,
+                    span_id=key,
+                )
                 return {
                     "type": "ack", "accepted": False,
                     "reason": "duplicate delivery suppressed",
@@ -614,6 +920,8 @@ class FarmBroker:
                 campaign.pending.remove(key)
             campaign.failed.pop(key, None)
             self.stats["units_completed"] += 1
+            if state is not None:
+                state.completed += 1
             payload = {
                 "key": key,
                 "attempt": attempt,
@@ -626,6 +934,19 @@ class FarmBroker:
                     campaign.spool.record(payload)
                 except OSError as exc:
                     logger.warning("spool write failed: %s", exc)
+        metrics = self.telemetry.metrics
+        metrics.counter("farm.units_completed").inc()
+        metrics.counter("farm.worker_units").inc(label=name)
+        metrics.histogram("farm.lease_age_seconds").observe(lease_age_s)
+        metrics.histogram("farm.unit_seconds").observe(payload["elapsed_s"])
+        self.telemetry.emit(
+            LeaseCompleted(
+                key=key, attempt=attempt, worker=name,
+                age_s=lease_age_s, ok=True,
+            ),
+            campaign=campaign.id,
+            span_id=key,
+        )
         campaign.push({
             "type": "done",
             "key": key,
@@ -639,33 +960,91 @@ class FarmBroker:
             self._maybe_finish(campaign)
         return {"type": "ack", "accepted": True}
 
-    def _take_heartbeat(self, worker_id: str, frame: Dict[str, Any]) -> None:
+    def _take_heartbeat(
+        self, worker_id: str, name: str, frame: Dict[str, Any]
+    ) -> None:
+        self.telemetry.observe_clock(name, frame.get("clock"))
+        key = str(frame.get("key"))
+        attempt = int(frame.get("attempt") or 0)
         with self._lock:
             campaign = self._campaign
+            state = self._workers.get(worker_id)
+            if state is not None:
+                state.last_seen_mono = time.monotonic()
             if campaign is None:
                 return
             extended = campaign.leases.heartbeat(
-                str(frame.get("key")),
-                int(frame.get("attempt") or 0),
-                worker_id,
-                time.monotonic(),
+                key, attempt, worker_id, time.monotonic()
             )
             if not extended:
                 self.stats["stale_heartbeats"] += 1
+            campaign_id = campaign.id
+        self.telemetry.metrics.counter(
+            "farm.stale_heartbeats" if not extended else "farm.heartbeats"
+        ).inc()
+        self.telemetry.emit(
+            LeaseHeartbeat(
+                key=key, attempt=attempt, worker=name, fresh=extended
+            ),
+            campaign=campaign_id,
+            span_id=key,
+        )
 
     def _release_worker(self, worker_id: str) -> None:
         with self._lock:
+            state = self._workers.pop(worker_id, None)
+            if state is not None:
+                self.stats["workers_left"] += 1
             campaign = self._campaign
-            if campaign is None:
-                return
-            for lease in campaign.leases.release_worker(worker_id):
+            campaign_id = campaign.id if campaign is not None else None
+            dropped = (
+                campaign.leases.release_worker(worker_id)
+                if campaign is not None else []
+            )
+            now = time.monotonic()
+            for lease in dropped:
+                self._note_lease_expired(campaign, lease, now)
                 self._requeue_or_fail(
                     campaign, lease.key, lease.attempt,
                     f"worker {lease.worker} disconnected",
                 )
-            self._maybe_finish(campaign)
+            if campaign is not None:
+                self._maybe_finish(campaign)
+        # Clock estimates are deliberately kept after disconnect: the
+        # campaign_done frame still needs the dead worker's offset so
+        # the timeline can align its events.
+        if state is not None:
+            self.telemetry.metrics.counter("farm.workers_left").inc()
+            self.telemetry.emit(
+                WorkerLeft(
+                    worker=state.name,
+                    worker_id=worker_id,
+                    completed=state.completed,
+                    failed=state.failed,
+                ),
+                campaign=campaign_id,
+            )
 
     # -- shared campaign bookkeeping (call with the lock held) -----------------
+    def _note_lease_expired(
+        self, campaign: _Campaign, lease, now: float
+    ) -> None:
+        """Count and announce one reclaimed lease (lock held)."""
+        state = self._workers.get(lease.worker)
+        name = state.name if state is not None else str(lease.worker)
+        age_s = max(0.0, now - lease.issued_ts)
+        self.telemetry.metrics.counter("farm.lease_expired").inc()
+        self.telemetry.metrics.histogram("farm.lease_age_seconds").observe(
+            age_s
+        )
+        self.telemetry.emit(
+            LeaseExpired(
+                key=lease.key, attempt=lease.attempt, worker=name, age_s=age_s
+            ),
+            campaign=campaign.id,
+            span_id=lease.key,
+        )
+
     def _requeue_or_fail(
         self, campaign: _Campaign, key: str, attempt: int, reason: str
     ) -> None:
@@ -674,11 +1053,18 @@ class FarmBroker:
         if campaign.leases.attempts.get(key, 0) >= campaign.max_attempts:
             campaign.failed[key] = reason
             self.stats["units_failed"] += 1
+            self.telemetry.metrics.counter("farm.units_failed").inc()
             campaign.push({"type": "unit_failed", "key": key, "reason": reason})
             return
         campaign.pending.append(key)
         campaign.reissues += 1
         self.stats["reissues"] += 1
+        self.telemetry.metrics.counter("farm.lease_reissued").inc()
+        self.telemetry.emit(
+            LeaseReissued(key=key, attempt=attempt, reason=reason),
+            campaign=campaign.id,
+            span_id=key,
+        )
         campaign.push({
             "type": "retry", "key": key, "attempt": attempt, "reason": reason,
         })
@@ -687,6 +1073,8 @@ class FarmBroker:
         if not campaign.finished or getattr(campaign, "_announced", False):
             return
         campaign._announced = True
+        offsets = self.telemetry.clock_offsets()
+        client_offset = offsets.pop(campaign.client_name, 0.0)
         campaign.push({
             "type": "campaign_done",
             "campaign": campaign.id,
@@ -694,6 +1082,11 @@ class FarmBroker:
             "failed": sorted(campaign.failed),
             "duplicates_dropped": campaign.leases.duplicates,
             "reissues": campaign.reissues,
+            "telemetry": self.telemetry.drain_events(),
+            "clock": {
+                "offsets": offsets,
+                "client_offset_s": client_offset,
+            },
         })
         logger.info(
             "campaign %r finished: %d completed, %d failed, %d reissue(s)",

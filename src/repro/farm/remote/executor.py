@@ -42,7 +42,10 @@ from repro.farm.remote.protocol import (
     send_frame,
     unpack,
 )
+from repro.farm.remote.telemetry import clock_stamp
 from repro.farm.scheduler import Scheduler
+from repro.obs.events import BrokerClockSync
+from repro.obs.runtime import OBS
 
 #: Default lease lifetime requested from the broker, mirroring
 #: :data:`repro.farm.remote.broker.DEFAULT_LEASE_TIMEOUT_S`.
@@ -136,6 +139,7 @@ class RemoteExecutor(_ExecutorBase):
             "version": PROTOCOL_VERSION,
             "worker": f"client-{os.getpid()}",
             "campaign": campaign_id,
+            "clock": clock_stamp(),
         })
         greeting = recv_frame(sock)
         if greeting is None:
@@ -158,6 +162,7 @@ class RemoteExecutor(_ExecutorBase):
             "config": pack(config) if config is not None else None,
             "max_attempts": self.max_attempts,
             "lease_s": self.lease_timeout_s,
+            "clock": clock_stamp(),
         })
         reply = recv_frame(sock)
         if reply is None or reply.get("type") != "accepted":
@@ -218,6 +223,7 @@ class RemoteExecutor(_ExecutorBase):
                     )
                     remaining.discard(unit.key)
                 elif kind == "campaign_done":
+                    self._replay_broker_telemetry(campaign_id, frame)
                     break
             try:
                 send_frame(sock, {"type": "goodbye"})
@@ -233,3 +239,32 @@ class RemoteExecutor(_ExecutorBase):
             sock.close()
         if failures:
             raise FarmExecutionError(failures)
+
+    def _replay_broker_telemetry(self, campaign_id: str, frame) -> None:
+        """Fold the broker's shipped control-plane story into our trace.
+
+        The ``campaign_done`` frame carries the broker's buffered event
+        payloads (pre-stamped with the *broker's* wall clock) and the
+        per-worker clock offsets it estimated.  Replaying them here puts
+        lease lifetimes, re-issues and duplicates into the client trace;
+        the closing ``broker_clock_sync`` event gives ``obs timeline``
+        what it needs to align every track onto the client's axis.
+        """
+        if not OBS.enabled:
+            return
+        events = frame.get("telemetry")
+        if isinstance(events, list):
+            for payload in events:
+                if isinstance(payload, dict) and payload.get("type"):
+                    OBS.bus.emit(payload)
+        clock = frame.get("clock")
+        if isinstance(clock, dict):
+            offsets = {
+                str(name): float(offset)
+                for name, offset in (clock.get("offsets") or {}).items()
+            }
+            OBS.bus.emit(BrokerClockSync(
+                campaign=campaign_id,
+                offsets=offsets,
+                client_offset_s=float(clock.get("client_offset_s") or 0.0),
+            ))

@@ -13,9 +13,10 @@ Frame vocabulary (the ``type`` field):
 frame            direction  meaning
 ===============  =========  ====================================================
 ``hello``        →  broker  first frame of every connection; declares
-                            ``role`` (``client``/``worker``), protocol
-                            ``version``, a ``worker`` name and an optional
-                            ``campaign`` pin
+                            ``role`` (``client``/``worker``/``stats``),
+                            protocol ``version``, a ``worker`` name, an
+                            optional ``campaign`` pin and a ``clock``
+                            stamp (see below)
 ``welcome``      broker  →  hello accepted (carries the active campaign id)
 ``reject``       broker  →  hello refused (version/campaign mismatch)
 ``submit``       client  →  a batch of units + runner reference + capture
@@ -32,7 +33,12 @@ frame            direction  meaning
 ``retry``        broker  →  (to client) a unit will be re-issued
 ``done``         broker  →  (to client) a unit's accepted result
 ``unit_failed``  broker  →  (to client) a unit exhausted its attempts
-``campaign_done`` broker →  (to client) every unit is done or failed
+``campaign_done`` broker →  (to client) every unit is done or failed;
+                            also carries the broker's buffered telemetry
+                            events and per-worker ``clock`` offsets
+``stats``        both       (role ``stats``) observer asks; broker
+                            answers with the live farm snapshot that
+                            ``repro farm-top`` renders
 ``shutdown``     broker  →  the broker is going away; workers exit
 ``goodbye``      both    →  orderly connection close
 ===============  =========  ====================================================
@@ -41,6 +47,15 @@ The protocol is deliberately synchronous on the worker side — every
 ``request``/``result`` gets exactly one reply, and ``heartbeat`` gets
 none — so a worker needs no frame correlation: the main thread is the
 only reader, and the heartbeat thread only ever writes.
+
+Clock stamps: ``hello``, ``submit`` and ``heartbeat`` frames may carry
+``"clock": {"wall": time.time(), "mono": time.monotonic()}`` taken at
+send time.  The broker folds each stamp into a per-peer min-filter
+offset estimate (:mod:`repro.farm.remote.telemetry`) so multi-host
+timelines can be aligned; peers that omit the stamp simply get no
+correction.  All of these additions are *additive* — unknown frame
+types and extra keys are ignored by every peer — so the protocol
+version stays 1.
 
 Trust model: workers execute the module-level callable the dispatch
 frame *names* (``"package.module:function"``) and unpickle unit

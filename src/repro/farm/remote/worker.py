@@ -45,6 +45,7 @@ from repro.farm.remote.protocol import (
     send_frame,
     unpack,
 )
+from repro.farm.remote.telemetry import clock_stamp
 from repro.obs.collector import run_unit_captured
 from repro.obs.events import EventBus
 from repro.obs.metrics import MetricsRegistry
@@ -105,7 +106,8 @@ class _HeartbeatPump:
     ) -> None:
         self._sock = sock
         self._lock = send_lock
-        self._frame = {"type": "heartbeat", "key": key, "attempt": attempt}
+        self._key = key
+        self._attempt = attempt
         self._interval = max(0.05, interval_s)
         self._stop = threading.Event()
         self._thread = threading.Thread(
@@ -114,9 +116,18 @@ class _HeartbeatPump:
 
     def _run(self) -> None:
         while not self._stop.wait(self._interval):
+            # A fresh frame per beat: the clock stamp must be taken at
+            # send time for the broker's skew estimator to see real
+            # wall/monotonic pairs, not the construction-time snapshot.
+            frame = {
+                "type": "heartbeat",
+                "key": self._key,
+                "attempt": self._attempt,
+                "clock": clock_stamp(),
+            }
             try:
                 with self._lock:
-                    send_frame(self._sock, self._frame)
+                    send_frame(self._sock, frame)
             except OSError:
                 return  # connection gone; the main loop will notice
 
@@ -223,6 +234,7 @@ def run_worker(
                 "version": PROTOCOL_VERSION,
                 "worker": worker_name,
                 "campaign": campaign,
+                "clock": clock_stamp(),
             })
         greeting = recv_frame(sock)
         if greeting is None:

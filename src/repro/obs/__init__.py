@@ -59,7 +59,10 @@ from repro.obs.collector import (
     run_unit_captured,
 )
 from repro.obs.events import (
+    BrokerCampaignStarted,
+    BrokerClockSync,
     CampaignPhase,
+    DuplicateSuppressed,
     Event,
     EventBus,
     FarmCheckpointDropped,
@@ -71,6 +74,11 @@ from repro.obs.events import (
     FarmUnitSkipped,
     FarmWorkerPool,
     GAGeneration,
+    LeaseCompleted,
+    LeaseExpired,
+    LeaseHeartbeat,
+    LeaseIssued,
+    LeaseReissued,
     LoggingSink,
     MeasurementEvent,
     NNCalibration,
@@ -85,9 +93,12 @@ from repro.obs.events import (
     SUTPFallback,
     SUTPTestMeasured,
     SUTPWalkStep,
+    SpoolRestored,
     SUTPWindowEscalated,
     TraceWriter,
     WCRClassified,
+    WorkerJoined,
+    WorkerLeft,
     clear_trace_context,
     current_trace_context,
     known_event_types,
@@ -119,6 +130,12 @@ from repro.obs.history import (
     bench_run_record,
     build_run_record,
     compare_runs,
+)
+from repro.obs.farm import (
+    BROKER_EVENT_TYPES,
+    align_records,
+    extract_clock_sync,
+    render_farm_top,
 )
 from repro.obs.html import build_html_report
 from repro.obs.insight import (
@@ -180,10 +197,14 @@ __all__ = [
     "AlertResult",
     "AlertRule",
     "AlertRuleError",
+    "BROKER_EVENT_TYPES",
+    "BrokerCampaignStarted",
+    "BrokerClockSync",
     "CampaignPhase",
     "Counter",
     "DEFAULT_RULES",
     "DEFAULT_SPOOL_CAPACITY",
+    "DuplicateSuppressed",
     "Event",
     "ExpositionError",
     "EventBus",
@@ -202,6 +223,11 @@ __all__ = [
     "Gauge",
     "Histogram",
     "INSIGHT_EVENT_TYPES",
+    "LeaseCompleted",
+    "LeaseExpired",
+    "LeaseHeartbeat",
+    "LeaseIssued",
+    "LeaseReissued",
     "LoggingSink",
     "MeasurementEvent",
     "MetricsRegistry",
@@ -231,6 +257,7 @@ __all__ = [
     "SamplingProfiler",
     "SearchConverged",
     "SearchStarted",
+    "SpoolRestored",
     "SpoolSink",
     "TraceLoadResult",
     "TraceWriter",
@@ -240,9 +267,12 @@ __all__ = [
     "WCRClassified",
     "WCRInsight",
     "WorkerCaptureConfig",
+    "WorkerJoined",
+    "WorkerLeft",
     "WorkerTelemetry",
     "WorkerUtilization",
     "active_profile_config",
+    "align_records",
     "bench_run_record",
     "build_chrome_trace",
     "build_html_report",
@@ -256,6 +286,7 @@ __all__ = [
     "disable",
     "enable",
     "evaluate_rules",
+    "extract_clock_sync",
     "find_sample",
     "insight_events",
     "known_event_types",
@@ -268,6 +299,7 @@ __all__ = [
     "read_resource_sample",
     "read_trace",
     "render_exposition",
+    "render_farm_top",
     "render_insight",
     "render_metrics_summary",
     "render_profile",

@@ -142,6 +142,15 @@ DEFAULT_RULES: Sequence[AlertRule] = (
         "repro_jobs_run_seconds", ">=", 600.0, 3600.0,
         labels={"quantile": "0.95"}, required=False,
     ),
+    # Farm-broker fleet health (scraped from farm-broker --metrics-port,
+    # or through serve --broker's proxied farm.* gauges).  All optional:
+    # a service without a farm simply skips them.
+    AlertRule("repro_farm_reissue_rate", ">=", 0.2, 0.5, required=False),
+    AlertRule("repro_farm_duplicate_rate", ">=", 0.05, 0.2, required=False),
+    AlertRule("repro_farm_worker_churn", ">=", 0.5, 0.9, required=False),
+    AlertRule(
+        "repro_farm_queue_stall_seconds", ">=", 60.0, 300.0, required=False
+    ),
 )
 
 

@@ -484,6 +484,149 @@ class FarmWorkerPool(Event):
     workers: int
 
 
+# -- farm-broker control-plane events -----------------------------------------
+#
+# Emitted by :class:`repro.farm.remote.telemetry.BrokerTelemetry` on the
+# broker's connection threads.  The broker pre-stamps each payload with
+# ``ts`` and trace context (trace_id=campaign, span_id=unit key,
+# worker=worker name) instead of using the process-global trace context,
+# which is not thread-safe.
+
+
+@dataclass(frozen=True)
+class BrokerCampaignStarted(Event):
+    """A client submitted a campaign to the farm broker."""
+
+    type: ClassVar[str] = "broker_campaign_started"
+
+    campaign: str
+    units: int
+    restored: int
+    max_attempts: int
+    lease_s: float
+
+
+@dataclass(frozen=True)
+class WorkerJoined(Event):
+    """A remote worker completed its hello handshake with the broker."""
+
+    type: ClassVar[str] = "worker_joined"
+
+    worker: str
+    worker_id: str
+
+
+@dataclass(frozen=True)
+class WorkerLeft(Event):
+    """A remote worker's connection closed (graceful or not)."""
+
+    type: ClassVar[str] = "worker_left"
+
+    worker: str
+    worker_id: str
+    completed: int
+    failed: int
+
+
+@dataclass(frozen=True)
+class LeaseIssued(Event):
+    """The broker leased a work unit to a worker."""
+
+    type: ClassVar[str] = "lease_issued"
+
+    key: str
+    attempt: int
+    worker: str
+
+
+@dataclass(frozen=True)
+class LeaseHeartbeat(Event):
+    """A worker heartbeat extended (``fresh``) or was refused (stale)."""
+
+    type: ClassVar[str] = "lease_heartbeat"
+
+    key: str
+    attempt: int
+    worker: str
+    fresh: bool
+
+
+@dataclass(frozen=True)
+class LeaseExpired(Event):
+    """The sweep loop reclaimed a lease whose deadline passed."""
+
+    type: ClassVar[str] = "lease_expired"
+
+    key: str
+    attempt: int
+    worker: str
+    age_s: float
+
+
+@dataclass(frozen=True)
+class LeaseReissued(Event):
+    """An expired/failed unit went back on the queue for another attempt."""
+
+    type: ClassVar[str] = "lease_reissued"
+
+    key: str
+    attempt: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class LeaseCompleted(Event):
+    """A leased unit's first result landed (closes the lease span)."""
+
+    type: ClassVar[str] = "lease_completed"
+
+    key: str
+    attempt: int
+    worker: str
+    age_s: float
+    ok: bool
+
+
+@dataclass(frozen=True)
+class DuplicateSuppressed(Event):
+    """A result arrived for an already-completed unit and was dropped."""
+
+    type: ClassVar[str] = "duplicate_suppressed"
+
+    key: str
+    attempt: int
+    worker: str
+
+
+@dataclass(frozen=True)
+class SpoolRestored(Event):
+    """A resubmitted campaign recovered results from the broker spool."""
+
+    type: ClassVar[str] = "spool_restored"
+
+    campaign: str
+    restored: int
+    dropped: int
+
+
+@dataclass(frozen=True)
+class BrokerClockSync(Event):
+    """Per-worker clock offsets the broker estimated for a campaign.
+
+    ``offsets`` maps worker name → estimated ``worker wall − broker
+    wall`` seconds (min-filtered, so network delay biases it by at most
+    the best-case one-way latency).  ``client_offset_s`` is the same
+    estimate for the submitting client, letting the timeline re-anchor
+    broker timestamps into the client's clock frame.
+    """
+
+    type: ClassVar[str] = "broker_clock_sync"
+
+    campaign: str
+    offsets: Dict[str, float]
+    client_offset_s: float
+
+
 #: A sink is anything with ``handle(event)``; ``close()`` is optional.
 Sink = Callable
 
@@ -630,6 +773,11 @@ _INFO_EVENT_TYPES = frozenset(
         "farm_unit_skipped",
         "farm_worker_pool",
         "farm_checkpoint_dropped",
+        "broker_campaign_started",
+        "worker_joined",
+        "worker_left",
+        "spool_restored",
+        "broker_clock_sync",
     }
 )
 

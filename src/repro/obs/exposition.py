@@ -142,14 +142,18 @@ def render_exposition(
     dict (p50/p95 only — the snapshot does not carry p99).
     """
     if isinstance(source, MetricsRegistry):
-        counters: Dict[str, object] = {
-            name: {"value": c.value, "by_label": c.by_label}
-            for name, c in source.counters.items()
-        }
-        gauges: Dict[str, object] = {
-            name: g.value for name, g in source.gauges.items()
-        }
-        histograms: Dict[str, object] = dict(source.histograms)
+        # Copy under the registry lock so a concurrent scrape never sees
+        # a dict mid-mutation (thread_safe=False registries hold a
+        # no-op lock and keep the historical behaviour).
+        with source._lock:
+            counters: Dict[str, object] = {
+                name: {"value": c.value, "by_label": dict(c.by_label)}
+                for name, c in source.counters.items()
+            }
+            gauges: Dict[str, object] = {
+                name: g.value for name, g in source.gauges.items()
+            }
+            histograms: Dict[str, object] = dict(source.histograms)
     else:
         counters = dict(source.get("counters", {}))  # type: ignore[arg-type]
         gauges = dict(source.get("gauges", {}))  # type: ignore[arg-type]

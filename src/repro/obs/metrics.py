@@ -10,16 +10,40 @@ measurement-cost argument.
 Everything is pure Python (no numpy): histograms keep a deterministic
 reservoir sample for quantiles, so the registry can be imported by the
 lowest-level modules without dragging in the numeric stack.
+
+Thread safety: a registry created with ``thread_safe=True`` (the
+default) guards every mutation and read-out behind one shared
+``threading.RLock`` — the instruments it creates share the registry's
+lock, so concurrent handler threads (the HTTP service) and the
+thread-per-connection farm broker can increment and scrape without an
+external lock.  ``thread_safe=False`` keeps the historical lock-free
+behaviour for single-threaded hot paths (per-unit capture registries).
 """
 
 from __future__ import annotations
 
 import random
+import threading
 from typing import Dict, Iterable, List, Optional, Tuple
 
 #: Reservoir size of a streaming histogram.  Quantiles are exact up to this
 #: many observations and a uniform sample beyond it.
 DEFAULT_RESERVOIR_SIZE = 512
+
+
+class _NullLock:
+    """Zero-cost stand-in for a lock (``thread_safe=False`` registries)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullLock":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_LOCK = _NullLock()
 
 
 class Counter:
@@ -29,39 +53,46 @@ class Counter:
     per test name) next to the total; the report renders the top labels.
     """
 
-    __slots__ = ("name", "value", "by_label")
+    __slots__ = ("name", "value", "by_label", "_lock")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, lock: Optional[object] = None) -> None:
         self.name = name
         self.value = 0
         self.by_label: Dict[str, int] = {}
+        self._lock = lock if lock is not None else _NULL_LOCK
 
     def inc(self, amount: int = 1, label: Optional[str] = None) -> None:
         """Add ``amount`` to the total (and to ``label``'s count if given)."""
         if amount < 0:
             raise ValueError("counters only go up")
-        self.value += amount
-        if label is not None:
-            self.by_label[label] = self.by_label.get(label, 0) + amount
+        with self._lock:
+            self.value += amount
+            if label is not None:
+                self.by_label[label] = self.by_label.get(label, 0) + amount
 
     def top_labels(self, count: int = 20) -> List[Tuple[str, int]]:
         """The ``count`` largest labels, descending, ties by name."""
-        ranked = sorted(self.by_label.items(), key=lambda kv: (-kv[1], kv[0]))
+        with self._lock:
+            ranked = sorted(
+                self.by_label.items(), key=lambda kv: (-kv[1], kv[0])
+            )
         return ranked[:count]
 
 
 class Gauge:
     """Last-value-wins instrument (e.g. validation accuracy)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, lock: Optional[object] = None) -> None:
         self.name = name
         self.value: Optional[float] = None
+        self._lock = lock if lock is not None else _NULL_LOCK
 
     def set(self, value: float) -> None:
         """Record the current value."""
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
 
 class Histogram:
@@ -81,6 +112,7 @@ class Histogram:
         "_reservoir",
         "_reservoir_size",
         "_rng",
+        "_lock",
     )
 
     def __init__(
@@ -88,6 +120,7 @@ class Histogram:
         name: str,
         reservoir_size: int = DEFAULT_RESERVOIR_SIZE,
         keep_raw: bool = False,
+        lock: Optional[object] = None,
     ) -> None:
         if reservoir_size < 1:
             raise ValueError("reservoir_size must be >= 1")
@@ -103,24 +136,26 @@ class Histogram:
         self._reservoir: List[float] = []
         self._reservoir_size = reservoir_size
         self._rng = random.Random(0x5EED)
+        self._lock = lock if lock is not None else _NULL_LOCK
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         value = float(value)
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        if self.raw is not None:
-            self.raw.append(value)
-        if len(self._reservoir) < self._reservoir_size:
-            self._reservoir.append(value)
-        else:
-            slot = self._rng.randrange(self.count)
-            if slot < self._reservoir_size:
-                self._reservoir[slot] = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            if self.raw is not None:
+                self.raw.append(value)
+            if len(self._reservoir) < self._reservoir_size:
+                self._reservoir.append(value)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self._reservoir_size:
+                    self._reservoir[slot] = value
 
     @property
     def mean(self) -> float:
@@ -131,9 +166,10 @@ class Histogram:
         """The ``q``-quantile (nearest-rank over the reservoir sample)."""
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
-        if not self._reservoir:
-            return float("nan")
-        ordered = sorted(self._reservoir)
+        with self._lock:
+            if not self._reservoir:
+                return float("nan")
+            ordered = sorted(self._reservoir)
         rank = min(len(ordered) - 1, int(q * len(ordered)))
         return ordered[rank]
 
@@ -160,64 +196,80 @@ class MetricsRegistry:
     stream (:attr:`Histogram.raw`) so the registry can be shipped across
     a process boundary and replayed exactly — the farm collector builds
     per-work-unit registries this way.
+
+    ``thread_safe=True`` (the default) shares one reentrant lock across
+    the registry and every instrument it creates, so concurrent threads
+    can mutate and scrape without external coordination.  Single-thread
+    hot paths (per-unit capture registries) can opt out.
     """
 
-    def __init__(self, keep_raw: bool = False) -> None:
+    def __init__(self, keep_raw: bool = False, thread_safe: bool = True) -> None:
         self.keep_raw = keep_raw
+        self._lock = threading.RLock() if thread_safe else _NULL_LOCK
         self.counters: Dict[str, Counter] = {}
         self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
         """The counter called ``name`` (created at 0 if new)."""
-        instrument = self.counters.get(name)
-        if instrument is None:
-            instrument = self.counters[name] = Counter(name)
+        with self._lock:
+            instrument = self.counters.get(name)
+            if instrument is None:
+                instrument = self.counters[name] = Counter(
+                    name, lock=self._lock
+                )
         return instrument
 
     def gauge(self, name: str) -> Gauge:
         """The gauge called ``name``."""
-        instrument = self.gauges.get(name)
-        if instrument is None:
-            instrument = self.gauges[name] = Gauge(name)
+        with self._lock:
+            instrument = self.gauges.get(name)
+            if instrument is None:
+                instrument = self.gauges[name] = Gauge(name, lock=self._lock)
         return instrument
 
     def histogram(self, name: str) -> Histogram:
         """The histogram called ``name``."""
-        instrument = self.histograms.get(name)
-        if instrument is None:
-            instrument = self.histograms[name] = Histogram(
-                name, keep_raw=self.keep_raw
-            )
+        with self._lock:
+            instrument = self.histograms.get(name)
+            if instrument is None:
+                instrument = self.histograms[name] = Histogram(
+                    name, keep_raw=self.keep_raw, lock=self._lock
+                )
         return instrument
 
     def names(self) -> Iterable[str]:
         """All instrument names, counters first, each group sorted."""
-        yield from sorted(self.counters)
-        yield from sorted(self.gauges)
-        yield from sorted(self.histograms)
+        with self._lock:
+            ordered = (
+                sorted(self.counters)
+                + sorted(self.gauges)
+                + sorted(self.histograms)
+            )
+        yield from ordered
 
     def snapshot(self) -> Dict[str, object]:
         """Plain-data dump (for tests and JSON export)."""
-        return {
-            "counters": {
-                name: {"value": c.value, "by_label": dict(c.by_label)}
-                for name, c in self.counters.items()
-            },
-            "gauges": {name: g.value for name, g in self.gauges.items()},
-            "histograms": {
-                name: {
-                    "count": h.count,
-                    "sum": h.total,
-                    "min": h.min,
-                    "max": h.max,
-                    "mean": h.mean,
-                    "p50": h.p50,
-                    "p95": h.p95,
-                }
-                for name, h in self.histograms.items()
-            },
-        }
+        with self._lock:
+            return {
+                "counters": {
+                    name: {"value": c.value, "by_label": dict(c.by_label)}
+                    for name, c in self.counters.items()
+                },
+                "gauges": {name: g.value for name, g in self.gauges.items()},
+                "histograms": {
+                    name: {
+                        "count": h.count,
+                        "sum": h.total,
+                        "min": h.min,
+                        "max": h.max,
+                        "mean": h.mean,
+                        "p50": h.p50,
+                        "p95": h.p95,
+                    }
+                    for name, h in self.histograms.items()
+                },
+            }
 
     def dump_raw(self) -> Dict[str, object]:
         """Transportable (picklable/JSON-able) form for exact replay.
@@ -227,17 +279,18 @@ class MetricsRegistry:
         otherwise the reservoir sample stands in — still deterministic,
         but a subsample beyond :data:`DEFAULT_RESERVOIR_SIZE`.
         """
-        return {
-            "counters": {
-                name: {"value": c.value, "by_label": dict(c.by_label)}
-                for name, c in self.counters.items()
-            },
-            "gauges": {name: g.value for name, g in self.gauges.items()},
-            "histograms": {
-                name: list(h.raw if h.raw is not None else h._reservoir)
-                for name, h in self.histograms.items()
-            },
-        }
+        with self._lock:
+            return {
+                "counters": {
+                    name: {"value": c.value, "by_label": dict(c.by_label)}
+                    for name, c in self.counters.items()
+                },
+                "gauges": {name: g.value for name, g in self.gauges.items()},
+                "histograms": {
+                    name: list(h.raw if h.raw is not None else h._reservoir)
+                    for name, h in self.histograms.items()
+                },
+            }
 
     def merge_raw(self, payload: Dict[str, object]) -> None:
         """Replay a :meth:`dump_raw` payload into this registry.
@@ -247,6 +300,10 @@ class MetricsRegistry:
         merging the same per-unit payloads in the same order always
         yields an identical registry, no matter where the units ran.
         """
+        with self._lock:
+            self._merge_raw_locked(payload)
+
+    def _merge_raw_locked(self, payload: Dict[str, object]) -> None:
         for name, data in sorted(payload.get("counters", {}).items()):
             counter = self.counter(name)
             by_label = data.get("by_label") or {}
@@ -267,6 +324,7 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Drop every instrument (start of a fresh campaign)."""
-        self.counters.clear()
-        self.gauges.clear()
-        self.histograms.clear()
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()

@@ -11,6 +11,12 @@ Trace Event Format — load the output at ``ui.perfetto.dev`` or
 * a ``campaign`` track with the ``span()`` phase brackets
   (``lot``, ``sweep``, ``optimization.ga``, ...);
 * a ``merge`` track with the deterministic per-unit merge points;
+* when the campaign ran on the remote farm with broker telemetry, a
+  ``broker`` track — lease lifetimes as spans (issue → completion or
+  expiry), re-issues, duplicates and worker (dis)connects as instants —
+  with every broker/worker timestamp skew-corrected onto the client's
+  clock via the ``broker_clock_sync`` offsets
+  (:mod:`repro.obs.farm`), so the multi-host picture is truthful;
 * when the run was profiled (``--profile``), per-worker *counter*
   tracks — CPU% derived from consecutive ``resource_sample`` events'
   cumulative CPU deltas, and RSS in MB — drawn as Perfetto counters.
@@ -28,12 +34,15 @@ import json
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.obs.farm import align_records
+
 #: Reserved track (tid) numbers; worker tracks are assigned from
 #: :data:`_FIRST_WORKER_TID` upward in order of first appearance.
 _PID = 1
 _TID_CAMPAIGN = 1
 _TID_QUEUE = 2
 _TID_MERGE = 3
+_TID_BROKER = 4
 _FIRST_WORKER_TID = 10
 
 
@@ -69,6 +78,9 @@ def build_chrome_trace(
     records = [r for r in records if isinstance(r.get("ts"), (int, float))]
     if not records:
         return {"traceEvents": [], "displayTimeUnit": "ms"}
+    # Re-anchor broker/worker timestamps onto the client clock first —
+    # an identity pass unless a broker_clock_sync record is present.
+    records = align_records(records)
     t0 = min(float(r["ts"]) for r in records)
 
     events: List[Dict[str, object]] = []
@@ -77,6 +89,10 @@ def build_chrome_trace(
     phase_stack: Dict[str, List[float]] = {}
     # Per-worker previous (ts, cumulative cpu_s) for the CPU% counter.
     cpu_prev: Dict[str, Tuple[float, float]] = {}
+    # Open leases by unit key -> (issue ts, attempt, worker); the broker
+    # track draws a span when lease_completed/lease_expired closes one.
+    open_leases: Dict[str, Tuple[float, int, str]] = {}
+    saw_broker = False
 
     for record in records:
         kind = record.get("type")
@@ -182,6 +198,83 @@ def build_chrome_trace(
                         "args": {"cpu_pct": round(pct, 1)},
                     }
                 )
+        elif kind == "lease_issued":
+            saw_broker = True
+            open_leases[str(record.get("key"))] = (
+                ts,
+                int(record.get("attempt") or 1),
+                str(record.get("worker") or ""),
+            )
+        elif kind in ("lease_completed", "lease_expired"):
+            saw_broker = True
+            key = str(record.get("key"))
+            issued = open_leases.pop(key, None)
+            if issued is not None:
+                start, attempt, worker = issued
+                events.append(
+                    {
+                        "name": key,
+                        "cat": "lease",
+                        "ph": "X",
+                        "pid": _PID,
+                        "tid": _TID_BROKER,
+                        "ts": _us(min(start, ts), t0),
+                        # Clamped: skew correction must never produce a
+                        # negative lease lifetime.
+                        "dur": max(0.0, round((ts - start) * 1e6, 3)),
+                        "args": {
+                            "worker": worker,
+                            "attempt": attempt,
+                            "outcome": (
+                                "expired" if kind == "lease_expired"
+                                else ("ok" if record.get("ok") else "error")
+                            ),
+                        },
+                    }
+                )
+        elif kind in (
+            "lease_reissued",
+            "duplicate_suppressed",
+            "worker_joined",
+            "worker_left",
+            "broker_campaign_started",
+            "spool_restored",
+        ):
+            saw_broker = True
+            if kind == "lease_reissued":
+                name = f"reissue {record.get('key')}"
+                args: Dict[str, object] = {"reason": record.get("reason", "")}
+            elif kind == "duplicate_suppressed":
+                name = f"duplicate {record.get('key')}"
+                args = {"worker": record.get("worker", "")}
+            elif kind in ("worker_joined", "worker_left"):
+                verb = "join" if kind == "worker_joined" else "leave"
+                name = f"{verb} {record.get('worker')}"
+                args = {"worker_id": record.get("worker_id", "")}
+            elif kind == "spool_restored":
+                name = (
+                    f"spool restored {record.get('restored')} "
+                    f"(dropped {record.get('dropped')})"
+                )
+                args = {"campaign": record.get("campaign", "")}
+            else:
+                name = f"campaign {record.get('campaign')}"
+                args = {
+                    "units": record.get("units", 0),
+                    "restored": record.get("restored", 0),
+                }
+            events.append(
+                {
+                    "name": name,
+                    "cat": "broker",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": _PID,
+                    "tid": _TID_BROKER,
+                    "ts": _us(ts, t0),
+                    "args": args,
+                }
+            )
         elif kind == "campaign_phase":
             phase = str(record.get("phase"))
             if record.get("status") == "start":
@@ -215,6 +308,8 @@ def build_chrome_trace(
         _thread_name(_TID_QUEUE, "farm queue"),
         _thread_name(_TID_MERGE, "merge"),
     ]
+    if saw_broker:
+        metadata.append(_thread_name(_TID_BROKER, "broker"))
     metadata.extend(
         _thread_name(tid, f"worker {name}") for name, tid in tracks.items()
     )

@@ -118,7 +118,9 @@ class CharacterizationServer(ThreadingHTTPServer):
         self.metrics = MetricsRegistry()
         self.started_ts = time.time()
         self.ready_queue_limit = ready_queue_limit
-        self._metrics_lock = threading.Lock()
+        # The registry is internally thread-safe; this small lock only
+        # guards the in-flight integer.
+        self._in_flight_lock = threading.Lock()
         self._in_flight = 0
         self._access_lock = threading.Lock()
         self.access_log_path = (
@@ -132,19 +134,17 @@ class CharacterizationServer(ThreadingHTTPServer):
     # -- request instrumentation -----------------------------------------------
 
     def request_started(self) -> None:
-        with self._metrics_lock:
+        with self._in_flight_lock:
             self._in_flight += 1
 
     def request_finished(
         self, method: str, route: str, status: int, duration_s: float
     ) -> None:
-        with self._metrics_lock:
+        with self._in_flight_lock:
             self._in_flight -= 1
-            self.metrics.counter("http.requests").inc(
-                label=f"{method} {route}"
-            )
-            self.metrics.counter("http.responses").inc(label=str(status))
-            self.metrics.histogram("http.request_seconds").observe(duration_s)
+        self.metrics.counter("http.requests").inc(label=f"{method} {route}")
+        self.metrics.counter("http.responses").inc(label=str(status))
+        self.metrics.histogram("http.request_seconds").observe(duration_s)
 
     def write_access_log(self, record: Dict[str, object]) -> None:
         """Append one JSON access-log line (no-op without ``--access-log``)."""
@@ -163,21 +163,67 @@ class CharacterizationServer(ThreadingHTTPServer):
         """
         tally = self.manager.state_tally()
         finished = tally.get("completed", 0) + tally.get("failed", 0)
-        with self._metrics_lock:
-            gauge = self.metrics.gauge
-            gauge("http.in_flight").set(float(self._in_flight))
-            gauge("service.uptime_seconds").set(
-                max(0.0, time.time() - self.started_ts)
-            )
-            gauge("jobs.workers_max").set(float(self.manager.max_workers))
-            gauge("jobs.queue_depth").set(float(tally.get("queued", 0)))
-            gauge("jobs.running").set(float(tally.get("running", 0)))
-            gauge("jobs.failure_rate").set(
-                tally.get("failed", 0) / finished if finished else 0.0
-            )
-            for state, count in tally.items():
-                gauge(f"jobs.state.{state}").set(float(count))
-            return render_exposition(self.metrics)
+        with self._in_flight_lock:
+            in_flight = self._in_flight
+        gauge = self.metrics.gauge
+        gauge("http.in_flight").set(float(in_flight))
+        gauge("service.uptime_seconds").set(
+            max(0.0, time.time() - self.started_ts)
+        )
+        gauge("jobs.workers_max").set(float(self.manager.max_workers))
+        gauge("jobs.queue_depth").set(float(tally.get("queued", 0)))
+        gauge("jobs.running").set(float(tally.get("running", 0)))
+        gauge("jobs.failure_rate").set(
+            tally.get("failed", 0) / finished if finished else 0.0
+        )
+        for state, count in tally.items():
+            gauge(f"jobs.state.{state}").set(float(count))
+        self._set_broker_gauges()
+        return render_exposition(self.metrics)
+
+    def _set_broker_gauges(self) -> None:
+        """Proxy farm-broker gauges into the service registry.
+
+        When the manager delegates to a remote broker (``serve
+        --broker``), one scrape of the service should cover both planes:
+        a ``stats`` frame is fetched over the farm socket protocol and
+        summarized as ``farm.*`` gauges.  ``farm.broker_up`` reports
+        reachability; an unreachable broker degrades to 0 instead of
+        failing the scrape.
+        """
+        address = getattr(self.manager, "broker", None)
+        if not address:
+            return
+        gauge = self.metrics.gauge
+        try:
+            from repro.farm.remote.telemetry import fetch_broker_stats
+
+            stats = fetch_broker_stats(address, timeout_s=2.0)
+        except Exception:
+            gauge("farm.broker_up").set(0.0)
+            return
+        gauge("farm.broker_up").set(1.0)
+        for name in (
+            "queue_depth",
+            "leases_active",
+            "workers_connected",
+        ):
+            value = stats.get(name)
+            if value is not None:
+                gauge(f"farm.{name}").set(float(value))
+        uptime = stats.get("uptime_s")
+        if uptime is not None:
+            gauge("farm.uptime_seconds").set(float(uptime))
+        totals = stats.get("totals") or {}
+        for name in (
+            "units_completed",
+            "units_failed",
+            "reissues",
+            "duplicates_dropped",
+        ):
+            value = totals.get(name)
+            if value is not None:
+                gauge(f"farm.{name}").set(float(value))
 
     def ready(self) -> Tuple[bool, Dict[str, object]]:
         """Readiness: can this instance absorb more submissions now?"""

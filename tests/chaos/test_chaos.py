@@ -316,3 +316,131 @@ class TestChaoticLotCampaign:
         for proc in (victim, survivor):
             proc.wait(timeout=10.0)
         assert remote_db.read_bytes() == serial_db.read_bytes()
+
+
+class TestFarmObservabilityEndToEnd:
+    """The telemetry acceptance gate: chaos with the control plane
+    observable.  Broker + two workers, one murdered mid-unit; the
+    merged data must stay byte-identical to serial, the broker's
+    ``/metrics`` must parse and show the re-issue, and the client's
+    trace must render a timeline with a broker track and both worker
+    tracks whose skew-corrected lease spans are non-negative."""
+
+    @staticmethod
+    def _doomed_holding_second_lease(broker):
+        """True once worker ``doomed`` has completed a unit and is
+        leasing another — the moment a SIGKILL lands mid-unit."""
+        with broker._lock:
+            campaign = broker._campaign
+            if campaign is None:
+                return False
+            for state in broker._workers.values():
+                if state.name == "doomed" and state.completed >= 1:
+                    return any(
+                        lease.worker == state.worker_id
+                        for lease in campaign.leases.leases.values()
+                    )
+        return False
+
+    def test_identity_metrics_and_timeline_under_worker_murder(
+        self, tmp_path
+    ):
+        import urllib.request
+
+        from repro import obs
+        from repro.obs.exposition import find_sample, parse_exposition
+        from repro.obs.report import read_trace
+        from repro.obs.timeline import build_chrome_trace
+
+        units = _units(6, sleep_s=0.5)
+        expected = _serial_bytes(units)
+        trace = tmp_path / "client.jsonl"
+        obs.configure(trace_path=trace)
+        try:
+            with FarmBroker(
+                port=0, poll_s=0.02, lease_timeout_s=10.0, metrics_port=0
+            ) as broker:
+                # Both workers are real processes: in-thread workers
+                # would swap the client's OBS switchboard while
+                # capturing units (see UnitCapture), garbling the very
+                # trace this test asserts on.
+                doomed = _spawn_worker_process(broker.address, "doomed")
+                survivor = {}
+                killed = threading.Event()
+
+                def assassinate():
+                    deadline = time.monotonic() + 20.0
+                    while time.monotonic() < deadline:
+                        if self._doomed_holding_second_lease(broker):
+                            break
+                        time.sleep(0.01)
+                    doomed.send_signal(signal.SIGKILL)
+                    killed.set()
+
+                def healthy_serve():
+                    # The survivor joins only after the murder, so the
+                    # doomed worker is guaranteed both a completed unit
+                    # (its timeline track) and a dying lease (the
+                    # re-issue).
+                    killed.wait(timeout=30.0)
+                    survivor["proc"] = _spawn_worker_process(
+                        broker.address, "healthy"
+                    )
+
+                killer = threading.Thread(target=assassinate, daemon=True)
+                healthy = threading.Thread(target=healthy_serve, daemon=True)
+                killer.start()
+                healthy.start()
+                try:
+                    results = RemoteExecutor(
+                        broker.address, max_attempts=3
+                    ).run(units, deterministic_runner)
+                finally:
+                    healthy.join(timeout=30.0)
+                    if survivor.get("proc") is not None:
+                        survivor["proc"].terminate()
+                doomed.wait(timeout=10.0)
+                # 1) Scheduling chaos never reaches the data.
+                assert _merged_bytes(results) == expected
+                assert broker.stats["reissues"] >= 1
+                # 2) The embedded endpoint speaks valid exposition text
+                # and counted the re-issue.
+                mhost, mport = broker.metrics_address
+                body = urllib.request.urlopen(
+                    f"http://{mhost}:{mport}/metrics", timeout=5.0
+                ).read().decode("utf-8")
+            if survivor.get("proc") is not None:
+                survivor["proc"].wait(timeout=10.0)
+        finally:
+            obs.reset()
+        samples = parse_exposition(body)
+        reissued = find_sample(samples, "repro_farm_lease_reissued_total", {})
+        assert reissued is not None and reissued.value >= 1.0
+        expired = find_sample(samples, "repro_farm_lease_expired_total", {})
+        assert expired is not None and expired.value >= 1.0
+        completed = find_sample(samples, "repro_farm_units_completed_total", {})
+        assert completed is not None and completed.value == float(len(units))
+        # 3) The shipped broker story renders as a timeline: broker
+        # track plus one track per worker, lease spans never negative
+        # after skew correction.
+        records = read_trace(trace)
+        types = {r["type"] for r in records}
+        assert "broker_clock_sync" in types
+        assert {"lease_issued", "lease_reissued", "worker_joined"} <= types
+        events = build_chrome_trace(records)["traceEvents"]
+        track_names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "broker" in track_names
+        assert "worker doomed" in track_names
+        assert "worker healthy" in track_names
+        lease_spans = [e for e in events if e.get("cat") == "lease"]
+        assert lease_spans, "broker track lost its lease spans"
+        assert all(e["dur"] >= 0.0 for e in lease_spans)
+        assert all(e["ts"] >= 0.0 for e in lease_spans)
+        assert any(
+            e.get("cat") == "broker" and e["name"].startswith("reissue")
+            for e in events
+        )

@@ -173,3 +173,59 @@ class TestStoreSamples:
         assert levels["repro_jobs_queue_depth"] == "ok"
         assert levels["repro_jobs_failure_rate"] == "critical"
         assert worst_level(results) == 2
+
+
+class TestFarmDefaultRules:
+    def test_default_rules_cover_farm_fleet_health(self):
+        metrics = {rule.metric for rule in DEFAULT_RULES}
+        assert {
+            "repro_farm_reissue_rate",
+            "repro_farm_duplicate_rate",
+            "repro_farm_worker_churn",
+            "repro_farm_queue_stall_seconds",
+        } <= metrics
+        # All farm rules are optional: a farm-less service skips them.
+        assert all(
+            not rule.required
+            for rule in DEFAULT_RULES
+            if rule.metric.startswith("repro_farm_")
+        )
+
+    def test_healthy_broker_scrape_exits_zero(self):
+        samples = parse_exposition(
+            "repro_farm_reissue_rate 0.0\n"
+            "repro_farm_duplicate_rate 0.0\n"
+            "repro_farm_worker_churn 0.0\n"
+            "repro_farm_queue_stall_seconds 0.0\n"
+        )
+        results = evaluate_rules(samples, DEFAULT_RULES)
+        assert worst_level(results) == 0
+        assert {r.rule.metric for r in results} == {
+            "repro_farm_reissue_rate",
+            "repro_farm_duplicate_rate",
+            "repro_farm_worker_churn",
+            "repro_farm_queue_stall_seconds",
+        }
+
+    def test_farmless_scrape_skips_farm_rules_silently(self):
+        samples = parse_exposition("repro_jobs_queue_depth 0\n")
+        results = evaluate_rules(samples, DEFAULT_RULES)
+        assert worst_level(results) == 0
+        assert all(
+            not r.rule.metric.startswith("repro_farm_") for r in results
+        )
+
+    def test_reissue_storm_escalates_to_critical(self):
+        samples = parse_exposition("repro_farm_reissue_rate 0.62\n")
+        results = evaluate_rules(samples, DEFAULT_RULES)
+        assert worst_level(results) == 2
+        (hit,) = [
+            r for r in results
+            if r.rule.metric == "repro_farm_reissue_rate"
+        ]
+        assert hit.level == "critical"
+
+    def test_queue_stall_warns_before_critical(self):
+        samples = parse_exposition("repro_farm_queue_stall_seconds 90\n")
+        results = evaluate_rules(samples, DEFAULT_RULES)
+        assert worst_level(results) == 1

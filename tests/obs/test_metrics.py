@@ -139,3 +139,80 @@ class TestMetricsRegistry:
         registry.reset()
         assert not registry.counters
         assert registry.counter("c").value == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_do_not_lose_updates(self):
+        import threading
+
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        histogram = registry.histogram("lat")
+        barrier = threading.Barrier(4)
+
+        def hammer(label):
+            barrier.wait()
+            for _ in range(2000):
+                counter.inc(label=label)
+                histogram.observe(1.0)
+
+        threads = [
+            threading.Thread(target=hammer, args=(f"t{i}",))
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+        assert counter.by_label == {f"t{i}": 2000 for i in range(4)}
+        assert registry.histograms["lat"].count == 8000
+
+    def test_concurrent_create_on_first_use_yields_one_instrument(self):
+        import threading
+
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def create():
+            barrier.wait()
+            seen.append(registry.counter("shared"))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(c is seen[0] for c in seen)
+
+    def test_thread_safe_off_still_works_single_threaded(self):
+        registry = MetricsRegistry(thread_safe=False)
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(2.0)
+        snap = registry.snapshot()
+        assert snap["counters"]["c"]["value"] == 3
+        assert snap["gauges"]["g"] == 1.5
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_snapshot_under_concurrent_writes_is_consistent(self):
+        import threading
+
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                counter.inc()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(50):
+                snap = registry.snapshot()
+                assert snap["counters"]["c"]["value"] >= 0
+        finally:
+            stop.set()
+            thread.join()

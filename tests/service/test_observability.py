@@ -352,3 +352,61 @@ class TestClientBackoff:
             client.wait("job-x", timeout=0.0, poll_s=5.0)
         assert time_mod.time() - start < 1.0
         assert sleeps == []  # deadline hit before the first sleep
+
+
+class TestBrokerGaugeProxy:
+    """``serve --broker`` folds farm-broker gauges into ``/metrics``."""
+
+    def _scrape(self, tmp_path, broker_address):
+        store = ResultStore(tmp_path / "store.db")
+        manager = JobManager(
+            store, tmp_path / "data", max_workers=1,
+            runner=TraceWritingRunner(), broker=broker_address,
+        )
+        manager.start()
+        server, _ = serve_in_thread(manager)
+        host, port = server.server_address[0], server.server_address[1]
+        try:
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/metrics", timeout=WAIT
+            ) as response:
+                body = response.read().decode("utf-8")
+        finally:
+            server.shutdown()
+            server.server_close()
+            manager.shutdown()
+        return parse_exposition(body)
+
+    def test_no_broker_configured_means_no_farm_series(self, tmp_path):
+        samples = self._scrape(tmp_path, None)
+        assert find_sample(samples, "repro_farm_broker_up", {}) is None
+
+    def test_unreachable_broker_degrades_to_zero(self, tmp_path):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        host, port = probe.getsockname()
+        probe.close()  # nothing listens here any more
+        samples = self._scrape(tmp_path, f"{host}:{port}")
+        up = find_sample(samples, "repro_farm_broker_up", {})
+        assert up is not None and up.value == 0.0
+
+    def test_live_broker_gauges_ride_the_service_scrape(self, tmp_path):
+        from repro.farm.remote import FarmBroker
+
+        with FarmBroker(port=0, poll_s=0.05) as broker:
+            host, port = broker.address
+            samples = self._scrape(tmp_path, f"{host}:{port}")
+        up = find_sample(samples, "repro_farm_broker_up", {})
+        assert up is not None and up.value == 1.0
+        for name in (
+            "repro_farm_queue_depth",
+            "repro_farm_leases_active",
+            "repro_farm_workers_connected",
+            "repro_farm_units_completed",
+            "repro_farm_uptime_seconds",
+        ):
+            sample = find_sample(samples, name, {})
+            assert sample is not None, name
+            assert sample.value >= 0.0
